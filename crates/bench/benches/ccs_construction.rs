@@ -1,0 +1,62 @@
+//! Experiment E4: the representative-FSP construction (Definition 2.3.1,
+//! Lemma 2.3.1) — construction time and output size as a function of the
+//! expression length.
+
+use std::time::Duration;
+
+use ccs_expr::{construct, parse, StarExpr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A deterministic expression family of growing length:
+/// `((…(a + b0).c0* + b1).c1* + …)`.
+fn expression_of_generation(generations: usize) -> StarExpr {
+    let mut text = String::from("a");
+    for i in 0..generations {
+        text = format!("({text} + b{i}).c{i}*");
+    }
+    parse(&text).expect("generated expression is well-formed")
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccs/construct");
+    for generations in [4usize, 8, 16, 32] {
+        let expr = expression_of_generation(generations);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(expr.len()),
+            &expr,
+            |b, expr| {
+                b.iter(|| construct::representative(expr));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccs/parse");
+    for generations in [8usize, 32] {
+        let text = expression_of_generation(generations).to_string();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(text.len()),
+            &text,
+            |b, text| {
+                b.iter(|| parse(text).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_construction, bench_parsing
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Experiment E15: the end-to-end CCS equivalence problem for star
+//! expressions (Section 2.3) — parse, build representatives, decide strong
+//! equivalence — compared with deciding *language* equivalence of the same
+//! expressions.
+
+use std::time::Duration;
+
+use ccs_expr::{ccs_equivalent, language_equivalent, parse, StarExpr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn expression_pair(generations: usize) -> (StarExpr, StarExpr) {
+    // Two syntactically different but CCS-equivalent expressions: the second
+    // swaps every union.
+    let mut left = String::from("a");
+    let mut right = String::from("a");
+    for i in 0..generations {
+        left = format!("({left} + b{i}).c{i}*");
+        right = format!("(b{i} + {right}).c{i}*");
+    }
+    (parse(&left).unwrap(), parse(&right).unwrap())
+}
+
+fn bench_ccs_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccs/equivalence");
+    for generations in [4usize, 8, 16] {
+        let pair = expression_pair(generations);
+        let len = pair.0.len();
+        group.bench_with_input(BenchmarkId::new("ccs", len), &pair, |b, (l, r)| {
+            b.iter(|| ccs_equivalent(l, r));
+        });
+        group.bench_with_input(BenchmarkId::new("language", len), &pair, |b, (l, r)| {
+            b.iter(|| language_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributivity_counterexamples(c: &mut Criterion) {
+    // The law instances of Section 2.3: cheap for CCS (bisimulation),
+    // potentially expensive for language equivalence (subset construction).
+    let mut group = c.benchmark_group("ccs/laws");
+    let r = parse("a.(b + c)*").unwrap();
+    let s = parse("b.a*").unwrap();
+    let t = parse("c + a.b").unwrap();
+    for law in ccs_expr::laws::Law::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(law.to_string()), &law, |b, &law| {
+            b.iter(|| ccs_expr::laws::check(law, &r, &s, &t));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ccs_equivalence, bench_distributivity_counterexamples
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E13: failure equivalence (Theorem 5.1) — exponential in
+//! general (failures determinization), polynomial on the special cases the
+//! paper singles out (finite trees, unary alphabets).
+
+use std::time::Duration;
+
+use ccs_bench::equivalent_pair;
+use ccs_equiv::failures;
+use ccs_reductions::gadgets;
+use ccs_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_random_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure/random");
+    for &n in &[8usize, 12, 16, 20] {
+        let pair = equivalent_pair(n, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, (l, r)| {
+            b.iter(|| failures::failure_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_finite_trees(c: &mut Criterion) {
+    // Finite trees: the polynomial special case (Section 5 / Smolka 1984).
+    let mut group = c.benchmark_group("failure/tree");
+    for depth in [3usize, 5, 7, 9] {
+        let left = families::binary_tree(depth);
+        let right = families::binary_tree(depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(1usize << depth),
+            &(left, right),
+            |b, (l, r)| {
+                b.iter(|| failures::failure_equivalent(l, r));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_theorem_5_1_gadget(c: &mut Criterion) {
+    // Instances produced by the Theorem 5.1 reduction from language
+    // equivalence.
+    let mut group = c.benchmark_group("failure/gadget");
+    for &n in &[8usize, 12, 16] {
+        let (l, r) = equivalent_pair(n, 29);
+        let gl = gadgets::failure_gadget(&l);
+        let gr = gadgets::failure_gadget(&r);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(gl, gr), |b, (l, r)| {
+            b.iter(|| failures::failure_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_random_pairs, bench_finite_trees, bench_theorem_5_1_gadget
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment E10: the exact `≈ₖ` checker (PSPACE-complete for fixed k,
+//! Theorem 4.1(b)) versus the polynomial limit `≈` on the same instances —
+//! the cost gap is the paper's headline contrast ("a complexity that
+//! disappears when we take limits").
+
+use std::time::Duration;
+
+use ccs_equiv::{kobs, weak};
+use ccs_fsp::ops;
+use ccs_reductions::gadgets;
+use ccs_workloads::{random, RandomConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn small_pair(states: usize, seed: u64) -> (ccs_fsp::Fsp, ccs_fsp::Fsp) {
+    let cfg = RandomConfig {
+        states,
+        actions: 2,
+        transitions_per_state: 2.0,
+        ..RandomConfig::sized(states, seed)
+    };
+    let base = random::random_fsp(&cfg);
+    let other = random::bisimilar_variant(&base, seed + 1);
+    (base, other)
+}
+
+fn bench_kobs_levels(c: &mut Criterion) {
+    // Cost as a function of the level k on a fixed-size instance.
+    let mut group = c.benchmark_group("kobs/by-level");
+    let (l, r) = small_pair(10, 3);
+    let union = ops::disjoint_union(&l, &r);
+    for k in 0..=3usize {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let (p, q) = ops::union_starts(&union, &l, &r);
+            b.iter(|| kobs::kobs_equivalent_states(&union.fsp, p, q, k));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kobs_vs_weak_by_size(c: &mut Criterion) {
+    // ≈₂ (exponential machinery) vs ≈ (polynomial) on the same instances.
+    let mut group = c.benchmark_group("kobs/vs-weak");
+    for &n in &[4usize, 6, 8, 10] {
+        let (l, r) = small_pair(n, 11);
+        group.bench_with_input(
+            BenchmarkId::new("kobs-2", n),
+            &(l.clone(), r.clone()),
+            |b, (l, r)| {
+                b.iter(|| kobs::kobs_equivalent(l, r, 2));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("weak", n), &(l, r), |b, (l, r)| {
+            b.iter(|| weak::observationally_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifting_gadget(c: &mut Criterion) {
+    // Instances produced by the Theorem 4.1(b) gadget: each application adds
+    // one level of lifting.
+    let mut group = c.benchmark_group("kobs/lift-gadget");
+    let base_l = random::random_fsp(&RandomConfig::sized(4, 21));
+    let base_r = random::random_fsp(&RandomConfig::sized(4, 22));
+    let mut pair = (base_l, base_r);
+    for level in 1..=2usize {
+        pair = gadgets::kobs_lift(&pair.0, &pair.1, "lift");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level),
+            &(pair.clone(), level),
+            |b, ((l, r), level)| {
+                b.iter(|| kobs::kobs_equivalent(l, r, *level + 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kobs_levels, bench_kobs_vs_weak_by_size, bench_lifting_gadget
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment E8: end-to-end strong-equivalence checks (Theorem 3.1),
+//! equivalent and inequivalent pairs, as a function of process size.
+
+use std::time::Duration;
+
+use ccs_bench::{equivalent_pair, perturbed_pair, SCALING_SIZES};
+use ccs_equiv::strong;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_equivalent_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong/equivalent");
+    for &n in &SCALING_SIZES {
+        let pair = equivalent_pair(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, (l, r)| {
+            b.iter(|| strong::strong_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inequivalent_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong/perturbed");
+    for &n in &SCALING_SIZES {
+        let pair = perturbed_pair(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pair, |b, (l, r)| {
+            b.iter(|| strong::strong_equivalent(l, r));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strong/quotient");
+    for &n in &SCALING_SIZES {
+        let (fsp, _) = equivalent_pair(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+            b.iter(|| strong::quotient(fsp));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_equivalent_pairs, bench_inequivalent_pairs, bench_quotient
+}
+criterion_main!(benches);

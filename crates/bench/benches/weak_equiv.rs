@@ -1,0 +1,64 @@
+//! Experiment E9: observational equivalence (Theorem 4.1(a)) — saturation
+//! plus partition refinement — on general processes with τ-moves, including
+//! the cost breakdown of the two phases.
+
+use std::time::Duration;
+
+use ccs_bench::{general_process, SCALING_SIZES};
+use ccs_equiv::{strong, weak};
+use ccs_fsp::saturate;
+use ccs_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak/end-to-end");
+    for &n in &SCALING_SIZES {
+        let fsp = general_process(n, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+            b.iter(|| weak::weak_partition(fsp));
+        });
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak/phases");
+    for &n in &SCALING_SIZES {
+        let fsp = general_process(n, 13);
+        group.bench_with_input(BenchmarkId::new("saturate", n), &fsp, |b, fsp| {
+            b.iter(|| saturate::saturate(fsp));
+        });
+        let saturated = saturate::saturate(&fsp).fsp;
+        group.bench_with_input(BenchmarkId::new("refine", n), &saturated, |b, sat| {
+            b.iter(|| strong::strong_partition(sat));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_chains(c: &mut Criterion) {
+    // τ-chains maximise the ε-closure, the dominant term of the paper's
+    // O(n²m log n + m·n^ω) bound.
+    let mut group = c.benchmark_group("weak/tau-chain");
+    for &n in &SCALING_SIZES {
+        let fsp = families::tau_chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+            b.iter(|| weak::weak_partition(fsp));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_end_to_end, bench_phases, bench_tau_chains
+}
+criterion_main!(benches);

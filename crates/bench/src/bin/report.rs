@@ -1,0 +1,184 @@
+//! Wall-clock experiment runner: prints the scaling tables recorded in
+//! `EXPERIMENTS.md` (one section per experiment of the index in
+//! `DESIGN.md`).
+//!
+//! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]`
+//! where `experiment` is one of `e7 e8 e9 e10 e13 e14 e4` (default: all).
+
+use std::time::Instant;
+
+use ccs_bench::{equivalent_pair, general_process, standard_process};
+use ccs_equiv::{failures, kobs, strong, weak};
+use ccs_expr::{construct, parse};
+use ccs_partition::{dfa_equiv, hopcroft, solve, Algorithm, Dfa};
+use ccs_workloads::families;
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn e7_partition_algorithms() {
+    println!("\n== E7: generalized partitioning — naive vs Kanellakis-Smolka vs Paige-Tarjan ==");
+    println!("{:>8} {:>10} {:>12} {:>12} {:>12}", "states", "edges", "naive ms", "ks ms", "pt ms");
+    for &n in &[64usize, 128, 256, 512, 1024] {
+        let fsp = standard_process(n, 42);
+        let inst = strong::to_instance(&fsp);
+        let (p_naive, t_naive) = time_ms(|| solve(&inst, Algorithm::Naive));
+        let (p_ks, t_ks) = time_ms(|| solve(&inst, Algorithm::KanellakisSmolka));
+        let (p_pt, t_pt) = time_ms(|| solve(&inst, Algorithm::PaigeTarjan));
+        assert_eq!(p_naive, p_ks);
+        assert_eq!(p_ks, p_pt);
+        println!(
+            "{:>8} {:>10} {:>12.2} {:>12.2} {:>12.2}",
+            n,
+            inst.num_edges(),
+            t_naive,
+            t_ks,
+            t_pt
+        );
+    }
+}
+
+fn e8_strong_equivalence() {
+    println!("\n== E8: strong equivalence, equivalent pairs (Theorem 3.1) ==");
+    println!("{:>8} {:>12} {:>12}", "states", "check ms", "classes");
+    for &n in &[64usize, 128, 256, 512, 1024] {
+        let (l, r) = equivalent_pair(n, 7);
+        let union = ccs_fsp::ops::disjoint_union(&l, &r);
+        let (partition, t) = time_ms(|| strong::strong_partition(&union.fsp));
+        println!("{:>8} {:>12.2} {:>12}", n, t, partition.num_classes());
+    }
+}
+
+fn e9_observational_equivalence() {
+    println!("\n== E9: observational equivalence (Theorem 4.1a): saturation + refinement ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12}",
+        "states", "saturate ms", "refine ms", "classes"
+    );
+    for &n in &[64usize, 128, 256, 512] {
+        let fsp = general_process(n, 13);
+        let (saturated, t_sat) = time_ms(|| ccs_fsp::saturate::saturate(&fsp));
+        let (partition, t_ref) = time_ms(|| strong::strong_partition(&saturated.fsp));
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>12}",
+            n,
+            t_sat,
+            t_ref,
+            partition.num_classes()
+        );
+    }
+}
+
+fn e10_k_observational() {
+    println!("\n== E10: exact ≈k (PSPACE-complete, Theorem 4.1b) vs polynomial ≈ ==");
+    println!("{:>8} {:>12} {:>12} {:>12}", "states", "≈2 ms", "≈3 ms", "≈ ms");
+    for &n in &[4usize, 6, 8, 10, 12] {
+        let base = standard_process(n, 11);
+        let other = ccs_workloads::random::bisimilar_variant(&base, 12);
+        let (_, t2) = time_ms(|| kobs::kobs_equivalent(&base, &other, 2));
+        let (_, t3) = time_ms(|| kobs::kobs_equivalent(&base, &other, 3));
+        let (_, tw) = time_ms(|| weak::observationally_equivalent(&base, &other));
+        println!("{:>8} {:>12.2} {:>12.2} {:>12.2}", n, t2, t3, tw);
+    }
+}
+
+fn e13_failure_equivalence() {
+    println!("\n== E13: failure equivalence (Theorem 5.1): general vs finite trees ==");
+    println!("{:>10} {:>10} {:>14}", "family", "states", "check ms");
+    for &n in &[8usize, 12, 16, 20, 24] {
+        let (l, r) = equivalent_pair(n, 17);
+        let (_, t) = time_ms(|| failures::failure_equivalent(&l, &r));
+        println!("{:>10} {:>10} {:>14.2}", "random", n, t);
+    }
+    for depth in [4usize, 6, 8, 10] {
+        let l = families::binary_tree(depth);
+        let r = families::binary_tree(depth);
+        let (_, t) = time_ms(|| failures::failure_equivalent(&l, &r));
+        println!("{:>10} {:>10} {:>14.2}", "tree", l.num_states(), t);
+    }
+}
+
+fn e14_deterministic() {
+    println!("\n== E14: deterministic case — Hopcroft minimization and UNION-FIND equivalence ==");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "states", "hopcroft ms", "pt ms", "union-find ms"
+    );
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for &n in &[128usize, 256, 512, 1024, 2048] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut build = |seed_shift: u64| {
+            let _ = seed_shift;
+            let mut d = Dfa::new(n, 2, 0);
+            for s in 0..n {
+                d.set_accepting(s, rng.gen_bool(0.5));
+                for l in 0..2 {
+                    d.set_transition(s, l, rng.gen_range(0..n));
+                }
+            }
+            d
+        };
+        let left = build(0);
+        let right = build(1);
+        let (_, t_h) = time_ms(|| hopcroft::minimize(&left));
+        let inst = left.to_instance();
+        let (_, t_pt) = time_ms(|| solve(&inst, Algorithm::PaigeTarjan));
+        let (_, t_uf) = time_ms(|| dfa_equiv::equivalent(&left, &right));
+        println!("{:>8} {:>14.2} {:>14.2} {:>14.2}", n, t_h, t_pt, t_uf);
+    }
+}
+
+fn e4_ccs_construction() {
+    println!("\n== E4: representative FSP construction (Lemma 2.3.1) ==");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "length", "states", "transitions", "build ms"
+    );
+    let mut text = String::from("a");
+    for i in 0..48 {
+        text = format!("({text} + b{i}).c{i}*");
+        if i % 8 != 7 {
+            continue;
+        }
+        let expr = parse(&text).unwrap();
+        let (fsp, t) = time_ms(|| construct::representative(&expr));
+        println!(
+            "{:>10} {:>10} {:>14} {:>12.2}",
+            expr.len(),
+            fsp.num_states(),
+            fsp.num_transitions(),
+            t
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    println!("ccs-equiv experiment report (wall-clock, release recommended)");
+    if want("e7") {
+        e7_partition_algorithms();
+    }
+    if want("e8") {
+        e8_strong_equivalence();
+    }
+    if want("e9") {
+        e9_observational_equivalence();
+    }
+    if want("e10") {
+        e10_k_observational();
+    }
+    if want("e13") {
+        e13_failure_equivalence();
+    }
+    if want("e14") {
+        e14_deterministic();
+    }
+    if want("e4") {
+        e4_ccs_construction();
+    }
+}

@@ -1,0 +1,155 @@
+use std::fmt;
+
+/// A star expression over an action alphabet (Definition 2.3.1).
+///
+/// The syntax is that of regular expressions: the empty expression `∅`
+/// (written `0`), single actions, union `∪` (written `+`), concatenation `.`
+/// and iteration `*`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StarExpr {
+    /// The empty expression `∅` (denotes a single non-accepting, dead state).
+    Empty,
+    /// A single action.
+    Action(String),
+    /// Union `r ∪ s`.
+    Union(Box<StarExpr>, Box<StarExpr>),
+    /// Concatenation `r · s`.
+    Concat(Box<StarExpr>, Box<StarExpr>),
+    /// Iteration `r*`.
+    Star(Box<StarExpr>),
+}
+
+impl StarExpr {
+    /// Convenience constructor for an action expression.
+    #[must_use]
+    pub fn action(name: &str) -> Self {
+        StarExpr::Action(name.to_owned())
+    }
+
+    /// Convenience constructor for `self ∪ other`.
+    #[must_use]
+    pub fn union(self, other: StarExpr) -> Self {
+        StarExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor for `self · other`.
+    #[must_use]
+    pub fn concat(self, other: StarExpr) -> Self {
+        StarExpr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience constructor for `self*`.
+    #[must_use]
+    pub fn star(self) -> Self {
+        StarExpr::Star(Box::new(self))
+    }
+
+    /// The *length* of the expression: its number of symbols (actions,
+    /// operators and `∅` occurrences), the size measure of Lemma 2.3.1.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            StarExpr::Empty | StarExpr::Action(_) => 1,
+            StarExpr::Union(l, r) | StarExpr::Concat(l, r) => 1 + l.len() + r.len(),
+            StarExpr::Star(inner) => 1 + inner.len(),
+        }
+    }
+
+    /// Returns `true` iff the expression is the single symbol `∅`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!(self, StarExpr::Empty)
+    }
+
+    /// The set of distinct action names occurring in the expression, sorted.
+    #[must_use]
+    pub fn actions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_actions(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_actions(&self, out: &mut Vec<String>) {
+        match self {
+            StarExpr::Empty => {}
+            StarExpr::Action(a) => out.push(a.clone()),
+            StarExpr::Union(l, r) | StarExpr::Concat(l, r) => {
+                l.collect_actions(out);
+                r.collect_actions(out);
+            }
+            StarExpr::Star(inner) => inner.collect_actions(out),
+        }
+    }
+
+    /// The star height: maximal nesting depth of `*`, the measure of the
+    /// star-height question Milner raises for star expressions (Section 6).
+    #[must_use]
+    pub fn star_height(&self) -> usize {
+        match self {
+            StarExpr::Empty | StarExpr::Action(_) => 0,
+            StarExpr::Union(l, r) | StarExpr::Concat(l, r) => l.star_height().max(r.star_height()),
+            StarExpr::Star(inner) => 1 + inner.star_height(),
+        }
+    }
+}
+
+impl fmt::Display for StarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StarExpr::Empty => write!(f, "0"),
+            StarExpr::Action(a) => write!(f, "{a}"),
+            StarExpr::Union(l, r) => write!(f, "({l} + {r})"),
+            StarExpr::Concat(l, r) => write!(f, "({l}.{r})"),
+            StarExpr::Star(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_counts_symbols() {
+        assert_eq!(StarExpr::Empty.len(), 1);
+        assert_eq!(StarExpr::action("a").len(), 1);
+        let e = StarExpr::action("a").concat(StarExpr::action("b").union(StarExpr::action("c")));
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.clone().star().len(), 6);
+        assert!(!e.is_empty());
+        assert!(StarExpr::Empty.is_empty());
+    }
+
+    #[test]
+    fn actions_are_collected_and_deduplicated() {
+        let e = StarExpr::action("b")
+            .union(StarExpr::action("a"))
+            .concat(StarExpr::action("a").star());
+        assert_eq!(e.actions(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(StarExpr::Empty.actions(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn star_height() {
+        assert_eq!(StarExpr::action("a").star_height(), 0);
+        assert_eq!(StarExpr::action("a").star().star_height(), 1);
+        let nested = StarExpr::action("a").star().union(StarExpr::action("b")).star();
+        assert_eq!(nested.star_height(), 2);
+    }
+
+    #[test]
+    fn display_round_trips_through_the_parser() {
+        let exprs = [
+            StarExpr::Empty,
+            StarExpr::action("a"),
+            StarExpr::action("a").concat(StarExpr::action("b")).star(),
+            StarExpr::action("a").union(StarExpr::Empty).concat(StarExpr::action("c")),
+        ];
+        for e in exprs {
+            let reparsed = crate::parse(&e.to_string()).unwrap();
+            assert_eq!(reparsed, e, "{e}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The representative-FSP construction of Definition 2.3.1 / Fig. 3.
+//!
+//! Every star expression `r` denotes the class of observable standard FSPs
+//! strongly equivalent to the *representative FSP* built inductively:
+//!
+//! * `∅` — a single non-accepting dead state;
+//! * `a` — a fresh start with one `a`-transition into an accepting dead state;
+//! * `r₁ ∪ r₂` — a fresh start carrying the outgoing transitions (and
+//!   acceptance) of both component starts;
+//! * `r₁ · r₂` — every accepting state of `r₁` additionally gets the
+//!   outgoing transitions of `r₂`'s start, and only `r₂`'s acceptance
+//!   survives;
+//! * `r₁*` — a fresh accepting start with the transitions of `r₁`'s start,
+//!   and every accepting state of `r₁` also gets those transitions.
+//!
+//! Lemma 2.3.1: for an expression of length `n` the representative FSP is
+//! observable and standard, has `O(n)` states and `O(n²)` transitions, and is
+//! built in `O(n²)` time — properties checked by this module's tests and
+//! measured by the `ccs_construction` bench.
+
+use ccs_fsp::{Fsp, FspBuilder, StateId};
+
+use crate::StarExpr;
+
+/// Intermediate mutable representation used during the induction.
+#[derive(Clone, Debug, Default)]
+struct Rep {
+    start: usize,
+    states: Vec<RepState>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RepState {
+    accepting: bool,
+    transitions: Vec<(String, usize)>,
+}
+
+impl Rep {
+    fn accepting_states(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| self.states[i].accepting)
+            .collect()
+    }
+
+    /// Appends all states of `other`, returning the index offset applied.
+    fn absorb(&mut self, other: Rep) -> usize {
+        let offset = self.states.len();
+        for st in other.states {
+            self.states.push(RepState {
+                accepting: st.accepting,
+                transitions: st
+                    .transitions
+                    .into_iter()
+                    .map(|(a, t)| (a, t + offset))
+                    .collect(),
+            });
+        }
+        offset
+    }
+}
+
+fn build(expr: &StarExpr) -> Rep {
+    match expr {
+        StarExpr::Empty => Rep {
+            start: 0,
+            states: vec![RepState::default()],
+        },
+        StarExpr::Action(a) => Rep {
+            start: 0,
+            states: vec![
+                RepState {
+                    accepting: false,
+                    transitions: vec![(a.clone(), 1)],
+                },
+                RepState {
+                    accepting: true,
+                    transitions: vec![],
+                },
+            ],
+        },
+        StarExpr::Union(l, r) => {
+            let mut rep = build(l);
+            let left_start = rep.start;
+            let right = build(r);
+            let right_start_old = right.start;
+            let offset = rep.absorb(right);
+            let right_start = right_start_old + offset;
+            let mut transitions = rep.states[left_start].transitions.clone();
+            transitions.extend(rep.states[right_start].transitions.clone());
+            let accepting =
+                rep.states[left_start].accepting || rep.states[right_start].accepting;
+            rep.states.push(RepState {
+                accepting,
+                transitions,
+            });
+            rep.start = rep.states.len() - 1;
+            rep
+        }
+        StarExpr::Concat(l, r) => {
+            let mut rep = build(l);
+            let left_accepting = rep.accepting_states();
+            let right = build(r);
+            let right_start_old = right.start;
+            let offset = rep.absorb(right);
+            let right_start = right_start_old + offset;
+            let right_start_transitions = rep.states[right_start].transitions.clone();
+            let right_start_accepting = rep.states[right_start].accepting;
+            for q in left_accepting {
+                rep.states[q]
+                    .transitions
+                    .extend(right_start_transitions.iter().cloned());
+                // Only E₂ survives: the old accepting states of r₁ keep
+                // acceptance only if r₂ accepts the empty string through its
+                // start… no — Definition 2.3.1 sets E = E₂, so they lose it,
+                // unless the state also belongs to K₂ (it does not).
+                rep.states[q].accepting = false;
+                // A state of K₁ that could finish r₁ can now finish r₁·r₂
+                // immediately iff r₂'s start is accepting.
+                if right_start_accepting {
+                    rep.states[q].accepting = true;
+                }
+            }
+            rep
+        }
+        StarExpr::Star(inner) => {
+            let mut rep = build(inner);
+            let start_transitions = rep.states[rep.start].transitions.clone();
+            for q in rep.accepting_states() {
+                rep.states[q]
+                    .transitions
+                    .extend(start_transitions.iter().cloned());
+            }
+            rep.states.push(RepState {
+                accepting: true,
+                transitions: start_transitions,
+            });
+            rep.start = rep.states.len() - 1;
+            rep
+        }
+    }
+}
+
+/// Builds the representative FSP of a star expression.
+///
+/// The result is observable and standard; its start state is the
+/// representative of the expression's strong-equivalence class.
+#[must_use]
+pub fn representative(expr: &StarExpr) -> Fsp {
+    let rep = build(expr);
+    let mut b: FspBuilder = Fsp::builder(&expr.to_string());
+    let ids: Vec<StateId> = (0..rep.states.len()).map(|_| b.fresh_state()).collect();
+    for (i, st) in rep.states.iter().enumerate() {
+        if st.accepting {
+            b.mark_accepting(ids[i]);
+        }
+        for (a, target) in &st.transitions {
+            let label = b.label(a);
+            b.add_transition(ids[i], label, ids[*target]);
+        }
+    }
+    b.set_start(ids[rep.start]);
+    b.build().expect("representative construction yields at least one state")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use ccs_equiv::language;
+
+    #[test]
+    fn empty_expression_denotes_a_dead_non_accepting_state() {
+        let f = representative(&StarExpr::Empty);
+        assert_eq!(f.num_states(), 1);
+        assert_eq!(f.num_transitions(), 0);
+        assert!(f.accepting_states().is_empty());
+    }
+
+    #[test]
+    fn single_action_has_two_states() {
+        let f = representative(&parse("a").unwrap());
+        assert_eq!(f.num_states(), 2);
+        assert_eq!(f.num_transitions(), 1);
+        assert_eq!(f.accepting_states().len(), 1);
+        assert!(language::accepts(&f, f.start(), &["a"]));
+        assert!(!language::accepts(&f, f.start(), &[]));
+    }
+
+    #[test]
+    fn representative_is_observable_and_standard() {
+        for text in ["0", "a", "a.b + c*", "(a + b.c)*.(d + 0)", "a**"] {
+            let f = representative(&parse(text).unwrap());
+            let profile = f.profile();
+            assert!(profile.observable, "{text}");
+            assert!(profile.standard, "{text}");
+        }
+    }
+
+    #[test]
+    fn language_matches_the_regular_expression_reading() {
+        // The representative FSP, read as an NFA, accepts exactly the regular
+        // language of the expression.  Spot-check on small expressions.
+        let cases: Vec<(&str, Vec<&[&str]>, Vec<&[&str]>)> = vec![
+            ("a.b", vec![&["a", "b"]], vec![&[], &["a"], &["b"], &["a", "b", "a"]]),
+            ("a + b", vec![&["a"], &["b"]], vec![&[], &["a", "b"]]),
+            ("a*", vec![&[], &["a"], &["a", "a", "a"]], vec![&["b"]]),
+            (
+                "(a.b)*",
+                vec![&[], &["a", "b"], &["a", "b", "a", "b"]],
+                vec![&["a"], &["a", "b", "a"]],
+            ),
+            ("a.0", vec![], vec![&[], &["a"]]),
+            ("a.b*", vec![&["a"], &["a", "b"], &["a", "b", "b"]], vec![&[], &["b"]]),
+        ];
+        for (text, accepted, rejected) in cases {
+            let f = representative(&parse(text).unwrap());
+            for w in accepted {
+                assert!(language::accepts(&f, f.start(), w), "{text} should accept {w:?}");
+            }
+            for w in rejected {
+                assert!(!language::accepts(&f, f.start(), w), "{text} should reject {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_3_1_size_bounds() {
+        // States O(n) (within a factor of 2 of the length) and transitions
+        // O(n²) for a family of expressions of growing size.
+        let mut texts = Vec::new();
+        let mut expr = String::from("a");
+        for i in 0..8 {
+            expr = format!("({expr} + b{i}).c{i}*");
+            texts.push(expr.clone());
+        }
+        for text in texts {
+            let e = parse(&text).unwrap();
+            let f = representative(&e);
+            let n = e.len();
+            assert!(
+                f.num_states() <= 2 * n,
+                "{text}: {} states for length {n}",
+                f.num_states()
+            );
+            assert!(
+                f.num_transitions() <= n * n,
+                "{text}: {} transitions for length {n}",
+                f.num_transitions()
+            );
+        }
+    }
+
+    #[test]
+    fn star_accepts_the_empty_word_and_iterates() {
+        let f = representative(&parse("(a.b + c)*").unwrap());
+        let words: Vec<&[&str]> = vec![&[], &["c"], &["a", "b"], &["a", "b", "c", "a", "b"]];
+        for w in words {
+            assert!(language::accepts(&f, f.start(), w), "{w:?}");
+        }
+        assert!(!language::accepts(&f, f.start(), &["a"]));
+        assert!(!language::accepts(&f, f.start(), &["b", "a"]));
+    }
+
+    #[test]
+    fn concat_with_empty_accepting_start() {
+        // (a*).(b*) accepts ε, a, b, ab but not ba.
+        let f = representative(&parse("a*.b*").unwrap());
+        assert!(language::accepts(&f, f.start(), &[]));
+        assert!(language::accepts(&f, f.start(), &["a"]));
+        assert!(language::accepts(&f, f.start(), &["b"]));
+        assert!(language::accepts(&f, f.start(), &["a", "a", "b", "b"]));
+        assert!(!language::accepts(&f, f.start(), &["b", "a"]));
+    }
+}

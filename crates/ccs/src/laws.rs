@@ -1,0 +1,180 @@
+//! Algebraic laws of star expressions under the two semantics.
+//!
+//! Section 2.3 points out that star expressions satisfy *most* of the
+//! classical regular-expression identities under strong equivalence, with two
+//! notable exceptions: `r·(s ∪ t) = r·s ∪ r·t` and `r·∅ = ∅`.  This module
+//! makes that observation executable: given concrete expressions for the
+//! metavariables, it instantiates both sides of a law and checks them under
+//! CCS (strong) equivalence and under language equivalence.
+
+use std::fmt;
+
+use crate::StarExpr;
+
+/// The algebraic identities examined in Section 2.3 (and the standard
+/// axioms of Salomaa's system they come from).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Law {
+    /// `r ∪ s = s ∪ r`
+    UnionCommutative,
+    /// `(r ∪ s) ∪ t = r ∪ (s ∪ t)`
+    UnionAssociative,
+    /// `r ∪ r = r`
+    UnionIdempotent,
+    /// `r ∪ ∅ = r`
+    UnionEmptyIdentity,
+    /// `(r·s)·t = r·(s·t)`
+    ConcatAssociative,
+    /// `r·(s ∪ t) = r·s ∪ r·t` — **fails** in CCS.
+    LeftDistributive,
+    /// `(s ∪ t)·r = s·r ∪ t·r`
+    RightDistributive,
+    /// `r·∅ = ∅` — **fails** in CCS.
+    ConcatEmptyAnnihilates,
+    /// `r* = r·r* ∪ ε`-style unfolding, phrased star-expression-only as
+    /// `r** = r*`.
+    DoubleStar,
+}
+
+impl Law {
+    /// All laws, in declaration order.
+    pub const ALL: [Law; 9] = [
+        Law::UnionCommutative,
+        Law::UnionAssociative,
+        Law::UnionIdempotent,
+        Law::UnionEmptyIdentity,
+        Law::ConcatAssociative,
+        Law::LeftDistributive,
+        Law::RightDistributive,
+        Law::ConcatEmptyAnnihilates,
+        Law::DoubleStar,
+    ];
+
+    /// Instantiates the two sides of the law with the given expressions for
+    /// the metavariables `r`, `s`, `t` (unused metavariables ignore their
+    /// argument).
+    #[must_use]
+    pub fn instantiate(&self, r: &StarExpr, s: &StarExpr, t: &StarExpr) -> (StarExpr, StarExpr) {
+        let (r, s, t) = (r.clone(), s.clone(), t.clone());
+        match self {
+            Law::UnionCommutative => (r.clone().union(s.clone()), s.union(r)),
+            Law::UnionAssociative => (
+                r.clone().union(s.clone()).union(t.clone()),
+                r.union(s.union(t)),
+            ),
+            Law::UnionIdempotent => (r.clone().union(r.clone()), r),
+            Law::UnionEmptyIdentity => (r.clone().union(StarExpr::Empty), r),
+            Law::ConcatAssociative => (
+                r.clone().concat(s.clone()).concat(t.clone()),
+                r.concat(s.concat(t)),
+            ),
+            Law::LeftDistributive => (
+                r.clone().concat(s.clone().union(t.clone())),
+                r.clone().concat(s).union(r.concat(t)),
+            ),
+            Law::RightDistributive => (
+                s.clone().union(t.clone()).concat(r.clone()),
+                s.concat(r.clone()).union(t.concat(r)),
+            ),
+            Law::ConcatEmptyAnnihilates => (r.concat(StarExpr::Empty), StarExpr::Empty),
+            Law::DoubleStar => (r.clone().star().star(), r.star()),
+        }
+    }
+}
+
+impl fmt::Display for Law {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Law::UnionCommutative => "r + s = s + r",
+            Law::UnionAssociative => "(r + s) + t = r + (s + t)",
+            Law::UnionIdempotent => "r + r = r",
+            Law::UnionEmptyIdentity => "r + 0 = r",
+            Law::ConcatAssociative => "(r.s).t = r.(s.t)",
+            Law::LeftDistributive => "r.(s + t) = r.s + r.t",
+            Law::RightDistributive => "(s + t).r = s.r + t.r",
+            Law::ConcatEmptyAnnihilates => "r.0 = 0",
+            Law::DoubleStar => "r** = r*",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict of checking one law instance under both semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LawVerdict {
+    /// Whether the instance holds under CCS (strong) equivalence.
+    pub ccs: bool,
+    /// Whether the instance holds under language equivalence.
+    pub language: bool,
+}
+
+/// Checks a law instance under both semantics.
+#[must_use]
+pub fn check(law: Law, r: &StarExpr, s: &StarExpr, t: &StarExpr) -> LawVerdict {
+    let (lhs, rhs) = law.instantiate(r, s, t);
+    LawVerdict {
+        ccs: crate::ccs_equivalent(&lhs, &rhs),
+        language: crate::language_equivalent(&lhs, &rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn r() -> StarExpr {
+        parse("a").unwrap()
+    }
+    fn s() -> StarExpr {
+        parse("b.c").unwrap()
+    }
+    fn t() -> StarExpr {
+        parse("d*").unwrap()
+    }
+
+    #[test]
+    fn every_law_holds_for_languages() {
+        for law in Law::ALL {
+            let v = check(law, &r(), &s(), &t());
+            assert!(v.language, "{law} should hold for languages");
+        }
+    }
+
+    #[test]
+    fn the_two_paper_identities_fail_in_ccs() {
+        let distributive = check(Law::LeftDistributive, &r(), &s(), &t());
+        assert!(!distributive.ccs);
+        let annihilation = check(Law::ConcatEmptyAnnihilates, &r(), &s(), &t());
+        assert!(!annihilation.ccs);
+    }
+
+    #[test]
+    fn the_remaining_laws_hold_in_ccs() {
+        for law in [
+            Law::UnionCommutative,
+            Law::UnionAssociative,
+            Law::UnionIdempotent,
+            Law::UnionEmptyIdentity,
+            Law::ConcatAssociative,
+            Law::RightDistributive,
+        ] {
+            let v = check(law, &r(), &s(), &t());
+            assert!(v.ccs, "{law} should hold under strong equivalence");
+        }
+    }
+
+    #[test]
+    fn left_distributivity_holds_when_the_branches_coincide() {
+        // r.(s + s) ~ r.s + r.s: the counterexample needs distinct branches.
+        let v = check(Law::LeftDistributive, &r(), &s(), &s());
+        assert!(v.ccs);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Law::LeftDistributive.to_string(), "r.(s + t) = r.s + r.t");
+        assert_eq!(Law::ALL.len(), 9);
+    }
+}

@@ -1,0 +1,217 @@
+//! A small recursive-descent parser for star expressions.
+//!
+//! Grammar (standard regular-expression precedence: `*` binds tightest, then
+//! `.`, then `+`):
+//!
+//! ```text
+//! expr    := term   ('+' term)*
+//! term    := factor ('.' factor)*
+//! factor  := atom '*'*
+//! atom    := '0' | IDENT | '(' expr ')'
+//! IDENT   := [A-Za-z_][A-Za-z0-9_]*       (except the literal "0")
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::StarExpr;
+
+/// Errors produced while parsing a star expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprError {
+    /// Byte offset of the problem in the input.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ExprError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> ExprError {
+        ExprError {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<StarExpr, ExprError> {
+        let mut left = self.term()?;
+        while self.peek() == Some(b'+') {
+            self.pos += 1;
+            let right = self.term()?;
+            left = left.union(right);
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<StarExpr, ExprError> {
+        let mut left = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(b'.') => {
+                    self.pos += 1;
+                    let right = self.factor()?;
+                    left = left.concat(right);
+                }
+                // Juxtaposition of atoms is not allowed; concatenation needs
+                // an explicit dot, matching the paper's `·`.
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<StarExpr, ExprError> {
+        let mut atom = self.atom()?;
+        while self.peek() == Some(b'*') {
+            self.pos += 1;
+            atom = atom.star();
+        }
+        Ok(atom)
+    }
+
+    fn atom(&mut self) -> Result<StarExpr, ExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(StarExpr::Empty)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.input[start..self.pos])
+                    .expect("ASCII identifier is valid UTF-8");
+                Ok(StarExpr::action(name))
+            }
+            Some(_) => Err(self.error("expected '0', an action name, or '('")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses a star expression.
+///
+/// # Errors
+///
+/// Returns [`ExprError`] describing the first syntax error.
+pub fn parse(input: &str) -> Result<StarExpr, ExprError> {
+    let mut p = Parser::new(input);
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_star_binds_tightest() {
+        assert_eq!(
+            parse("a.b*").unwrap(),
+            StarExpr::action("a").concat(StarExpr::action("b").star())
+        );
+        assert_eq!(
+            parse("(a.b)*").unwrap(),
+            StarExpr::action("a").concat(StarExpr::action("b")).star()
+        );
+    }
+
+    #[test]
+    fn precedence_concat_over_union() {
+        assert_eq!(
+            parse("a.b + c").unwrap(),
+            StarExpr::action("a")
+                .concat(StarExpr::action("b"))
+                .union(StarExpr::action("c"))
+        );
+    }
+
+    #[test]
+    fn union_and_concat_are_left_associative() {
+        assert_eq!(
+            parse("a + b + c").unwrap(),
+            StarExpr::action("a")
+                .union(StarExpr::action("b"))
+                .union(StarExpr::action("c"))
+        );
+        assert_eq!(
+            parse("a.b.c").unwrap(),
+            StarExpr::action("a")
+                .concat(StarExpr::action("b"))
+                .concat(StarExpr::action("c"))
+        );
+    }
+
+    #[test]
+    fn empty_and_identifiers() {
+        assert_eq!(parse("0").unwrap(), StarExpr::Empty);
+        assert_eq!(parse("coin_inserted").unwrap(), StarExpr::action("coin_inserted"));
+        assert_eq!(parse("  a  ").unwrap(), StarExpr::action("a"));
+    }
+
+    #[test]
+    fn double_star_parses() {
+        assert_eq!(parse("a**").unwrap(), StarExpr::action("a").star().star());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in ["", "+", "a +", "(a", "a)", "a..b", "a b", "*a", "a.+b", "1abc"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("a + )").unwrap_err();
+        assert_eq!(err.position, 4);
+        assert!(err.to_string().contains("offset 4"));
+    }
+}

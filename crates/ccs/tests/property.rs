@@ -1,0 +1,71 @@
+//! Property-based tests for star expressions: the representative construction
+//! respects Lemma 2.3.1 and CCS equivalence behaves like a congruent
+//! equivalence relation refining language equivalence.
+
+use ccs_expr::{ccs_equivalent, construct, language_equivalent, StarExpr};
+use proptest::prelude::*;
+
+fn expr_strategy() -> impl Strategy<Value = StarExpr> {
+    let leaf = prop_oneof![
+        Just(StarExpr::Empty),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(StarExpr::action),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| StarExpr::Union(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| StarExpr::Concat(Box::new(l), Box::new(r))),
+            inner.prop_map(|e| StarExpr::Star(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 2.3.1: the representative is observable, standard, with O(n)
+    /// states and O(n²) transitions.
+    #[test]
+    fn representative_respects_lemma_2_3_1(expr in expr_strategy()) {
+        let fsp = construct::representative(&expr);
+        let n = expr.len();
+        prop_assert!(fsp.profile().observable);
+        prop_assert!(fsp.profile().standard);
+        prop_assert!(fsp.num_states() <= 2 * n);
+        prop_assert!(fsp.num_transitions() <= 4 * n * n);
+    }
+
+    /// Printing and re-parsing an expression is the identity.
+    #[test]
+    fn display_parse_round_trip(expr in expr_strategy()) {
+        let reparsed = ccs_expr::parse(&expr.to_string()).expect("display output parses");
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// CCS equivalence refines language equivalence, and both are reflexive
+    /// and symmetric.
+    #[test]
+    fn ccs_refines_language(left in expr_strategy(), right in expr_strategy()) {
+        prop_assert!(ccs_equivalent(&left, &left));
+        prop_assert!(language_equivalent(&right, &right));
+        let ccs = ccs_equivalent(&left, &right);
+        let lang = language_equivalent(&left, &right);
+        if ccs {
+            prop_assert!(lang);
+        }
+        prop_assert_eq!(ccs, ccs_equivalent(&right, &left));
+    }
+
+    /// Union with ∅ and idempotent union are CCS identities on arbitrary
+    /// expressions (the laws that *do* survive the change of semantics).
+    #[test]
+    fn surviving_laws_hold(expr in expr_strategy()) {
+        let with_empty = expr.clone().union(StarExpr::Empty);
+        prop_assert!(ccs_equivalent(&with_empty, &expr));
+        let doubled = expr.clone().union(expr.clone());
+        prop_assert!(ccs_equivalent(&doubled, &expr));
+        let double_star = expr.clone().star().star();
+        prop_assert!(ccs_equivalent(&double_star, &expr.star()));
+    }
+}

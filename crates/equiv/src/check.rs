@@ -1,0 +1,154 @@
+//! One-stop dispatch over the equivalence notions of Table II.
+
+use std::fmt;
+
+use ccs_fsp::{ops, Fsp, StateId};
+
+use crate::{failures, kobs, language, limited, strong, traces, weak, EquivError};
+
+/// The equivalence notions of the paper's Table II (plus plain trace
+/// equivalence), selectable at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Equivalence {
+    /// Strong (bisimulation) equivalence `~` (Definition 2.2.3).
+    Strong,
+    /// Observational equivalence `≈` (Definition 2.2.1, the limit).
+    Observational,
+    /// Limited observational equivalence `≃ₖ` at a fixed level
+    /// (Definition 2.2.2).
+    Limited(usize),
+    /// k-observational equivalence `≈ₖ` at a fixed level (Definition 2.2.1);
+    /// PSPACE-complete for `k ≥ 1`, so expect exponential behaviour.
+    KObservational(usize),
+    /// Classical NFA language equivalence (acceptance via the extension `x`).
+    Language,
+    /// Trace-set equality (language equivalence ignoring acceptance).
+    Trace,
+    /// Failure equivalence `≡F` (Definition 2.2.4).
+    Failure,
+}
+
+impl fmt::Display for Equivalence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Equivalence::Strong => write!(f, "strong"),
+            Equivalence::Observational => write!(f, "observational"),
+            Equivalence::Limited(k) => write!(f, "limited-{k}"),
+            Equivalence::KObservational(k) => write!(f, "k-observational-{k}"),
+            Equivalence::Language => write!(f, "language"),
+            Equivalence::Trace => write!(f, "trace"),
+            Equivalence::Failure => write!(f, "failure"),
+        }
+    }
+}
+
+/// Tests whether the start states of two processes are related by the chosen
+/// equivalence.
+///
+/// # Errors
+///
+/// Currently no notion can fail on well-formed processes; the `Result` return
+/// type leaves room for notions with model-class requirements (see
+/// [`deterministic`](crate::deterministic) for the deterministic fast path,
+/// which is exposed separately because it *does* have requirements).
+pub fn equivalent(left: &Fsp, right: &Fsp, notion: Equivalence) -> Result<bool, EquivError> {
+    Ok(match notion {
+        Equivalence::Strong => strong::strong_equivalent(left, right),
+        Equivalence::Observational => weak::observationally_equivalent(left, right),
+        Equivalence::Limited(k) => {
+            let union = ops::disjoint_union(left, right);
+            let (p, q) = ops::union_starts(&union, left, right);
+            limited::limited_equivalent_at(&union.fsp, p, q, k)
+        }
+        Equivalence::KObservational(k) => kobs::kobs_equivalent(left, right, k),
+        Equivalence::Language => language::language_equivalent(left, right).holds,
+        Equivalence::Trace => traces::trace_equivalent(left, right).holds,
+        Equivalence::Failure => failures::failure_equivalent(left, right).equivalent,
+    })
+}
+
+/// Tests whether two states of the same process are related by the chosen
+/// equivalence.
+///
+/// # Errors
+///
+/// See [`equivalent`].
+pub fn equivalent_states(
+    fsp: &Fsp,
+    p: StateId,
+    q: StateId,
+    notion: Equivalence,
+) -> Result<bool, EquivError> {
+    Ok(match notion {
+        Equivalence::Strong => strong::strong_equivalent_states(fsp, p, q),
+        Equivalence::Observational => weak::observationally_equivalent_states(fsp, p, q),
+        Equivalence::Limited(k) => limited::limited_equivalent_at(fsp, p, q, k),
+        Equivalence::KObservational(k) => kobs::kobs_equivalent_states(fsp, p, q, k),
+        Equivalence::Language => language::language_equivalent_states(fsp, p, q).holds,
+        Equivalence::Trace => traces::trace_equivalent_states(fsp, p, q).holds,
+        Equivalence::Failure => failures::failure_equivalent_states(fsp, p, q).equivalent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+
+    const ALL: [Equivalence; 8] = [
+        Equivalence::Strong,
+        Equivalence::Observational,
+        Equivalence::Limited(3),
+        Equivalence::KObservational(1),
+        Equivalence::KObservational(2),
+        Equivalence::Language,
+        Equivalence::Trace,
+        Equivalence::Failure,
+    ];
+
+    #[test]
+    fn identical_processes_are_equivalent_under_every_notion() {
+        let f = format::parse("trans p a q\ntrans q b p\ntrans p tau q\naccept q").unwrap();
+        for notion in ALL {
+            assert!(equivalent(&f, &f, notion).unwrap(), "{notion}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_on_the_classic_example() {
+        // a.(b + c) vs a.b + a.c, restricted: language/trace/≈₁-equivalent but
+        // neither failure, nor ≈₂, nor observationally, nor strongly.
+        let merged =
+            format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
+        let split = format::parse(
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
+        )
+        .unwrap();
+        assert!(equivalent(&merged, &split, Equivalence::Language).unwrap());
+        assert!(equivalent(&merged, &split, Equivalence::Trace).unwrap());
+        assert!(equivalent(&merged, &split, Equivalence::KObservational(1)).unwrap());
+        assert!(!equivalent(&merged, &split, Equivalence::KObservational(2)).unwrap());
+        assert!(!equivalent(&merged, &split, Equivalence::Failure).unwrap());
+        assert!(!equivalent(&merged, &split, Equivalence::Observational).unwrap());
+        assert!(!equivalent(&merged, &split, Equivalence::Strong).unwrap());
+    }
+
+    #[test]
+    fn state_level_dispatch() {
+        let f = format::parse("trans p a q\ntrans r a s\naccept q s").unwrap();
+        let p = f.state_by_name("p").unwrap();
+        let r = f.state_by_name("r").unwrap();
+        for notion in ALL {
+            assert!(equivalent_states(&f, p, r, notion).unwrap(), "{notion}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Equivalence::Strong.to_string(), "strong");
+        assert_eq!(Equivalence::Limited(2).to_string(), "limited-2");
+        assert_eq!(Equivalence::KObservational(3).to_string(), "k-observational-3");
+        assert_eq!(Equivalence::Failure.to_string(), "failure");
+    }
+}

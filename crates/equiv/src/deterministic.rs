@@ -1,0 +1,213 @@
+//! Fast paths for the deterministic model (Proposition 2.2.4).
+//!
+//! For deterministic processes all the paper's equivalences collapse to
+//! `≈₁` — i.e. to classical DFA equivalence — so the efficient
+//! UNION-FIND algorithm (`O(N·α(N))`, Aho–Hopcroft–Ullman) applies.  This
+//! module converts deterministic FSPs to [`ccs_partition::Dfa`]s with the
+//! extension set as output class and dispatches to
+//! [`ccs_partition::dfa_equiv`].
+
+use std::collections::HashMap;
+
+use ccs_fsp::{Fsp, Label};
+use ccs_partition::{dfa_equiv, Dfa};
+
+use crate::EquivError;
+
+/// Outcome of the deterministic fast-path equivalence test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeterministicResult {
+    /// Whether the two deterministic processes are equivalent (in every sense
+    /// of Table II — they all coincide here).
+    pub equivalent: bool,
+    /// A distinguishing word (action names) when not equivalent.
+    pub witness: Option<Vec<String>>,
+}
+
+/// Converts a deterministic process into a complete DFA over the action
+/// alphabet of `alphabet` (a superset of the process's own actions given by
+/// name), with the extension set as output class.
+///
+/// # Errors
+///
+/// Returns [`EquivError::ModelMismatch`] if the process is not deterministic
+/// (observable, exactly one transition per state per action of its own
+/// alphabet), or if it uses an action missing from `alphabet`.
+pub fn to_dfa(
+    fsp: &Fsp,
+    alphabet: &[String],
+    class_index: &mut HashMap<Vec<String>, usize>,
+) -> Result<Dfa, EquivError> {
+    if !fsp.profile().deterministic {
+        return Err(EquivError::ModelMismatch {
+            expected: "deterministic process (observable, exactly one transition per action)"
+                .into(),
+        });
+    }
+    for a in fsp.action_ids() {
+        if !alphabet.contains(&fsp.action_name(a).to_owned()) {
+            return Err(EquivError::Incomparable {
+                message: format!("action '{}' missing from the shared alphabet", fsp.action_name(a)),
+            });
+        }
+    }
+    let n = fsp.num_states();
+    let mut dfa = Dfa::new(n + 1, alphabet.len(), fsp.start().index());
+    let sink = n; // completion state for actions outside the process alphabet
+    {
+        let fresh = class_index.len();
+        let sink_class = *class_index.entry(vec!["__sink".into()]).or_insert(fresh);
+        dfa.set_class(sink, sink_class);
+    }
+    for l in 0..alphabet.len() {
+        dfa.set_transition(sink, l, sink);
+    }
+    for s in fsp.state_ids() {
+        let exts: Vec<String> = fsp
+            .extensions(s)
+            .iter()
+            .map(|&v| fsp.var_name(v).to_owned())
+            .collect();
+        let fresh = class_index.len();
+        let class = *class_index.entry(exts).or_insert(fresh);
+        dfa.set_class(s.index(), class);
+        for (li, name) in alphabet.iter().enumerate() {
+            match fsp.action_id(name) {
+                Some(a) => {
+                    let mut succ = fsp.successors(s, Label::Act(a));
+                    let target = succ.next().expect("deterministic process is complete");
+                    dfa.set_transition(s.index(), li, target.index());
+                }
+                None => dfa.set_transition(s.index(), li, sink),
+            }
+        }
+    }
+    Ok(dfa)
+}
+
+/// Tests equivalence of two deterministic processes with the UNION-FIND
+/// algorithm.
+///
+/// # Errors
+///
+/// Returns [`EquivError::ModelMismatch`] if either process is not
+/// deterministic, or [`EquivError::Incomparable`] if their action alphabets
+/// differ (the deterministic model requires exactly one transition per action
+/// of `Σ`, so differing alphabets make the comparison ill-posed).
+pub fn deterministic_equivalent(left: &Fsp, right: &Fsp) -> Result<DeterministicResult, EquivError> {
+    let mut alphabet: Vec<String> = left.action_names().iter().map(|s| (*s).to_owned()).collect();
+    let right_names: Vec<String> = right.action_names().iter().map(|s| (*s).to_owned()).collect();
+    for name in &right_names {
+        if !alphabet.contains(name) {
+            alphabet.push(name.clone());
+        }
+    }
+    if alphabet.len() != left.num_actions() || alphabet.len() != right.num_actions() {
+        return Err(EquivError::Incomparable {
+            message: "deterministic comparison requires identical action alphabets".into(),
+        });
+    }
+    let mut classes = HashMap::new();
+    let dl = to_dfa(left, &alphabet, &mut classes)?;
+    let dr = to_dfa(right, &alphabet, &mut classes)?;
+    let r = dfa_equiv::equivalent(&dl, &dr);
+    Ok(DeterministicResult {
+        equivalent: r.equivalent,
+        witness: r
+            .witness
+            .map(|w| w.iter().map(|&l| alphabet[l].clone()).collect()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+
+    fn mod_counter(n: usize) -> Fsp {
+        // Deterministic unary counter modulo n, state 0 accepting.
+        let mut b = Fsp::builder(&format!("mod{n}"));
+        for i in 0..n {
+            b.transition(&format!("s{i}"), "a", &format!("s{}", (i + 1) % n));
+        }
+        let s0 = b.state("s0");
+        b.mark_accepting(s0);
+        b.set_start(s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equal_counters_are_equivalent() {
+        let r = deterministic_equivalent(&mod_counter(3), &mod_counter(3)).unwrap();
+        assert!(r.equivalent);
+        assert!(r.witness.is_none());
+    }
+
+    #[test]
+    fn different_counters_are_not() {
+        let r = deterministic_equivalent(&mod_counter(2), &mod_counter(3)).unwrap();
+        assert!(!r.equivalent);
+        let w = r.witness.unwrap();
+        // The witness distinguishes the two languages.
+        let m2 = mod_counter(2);
+        let m3 = mod_counter(3);
+        let word: Vec<&str> = w.iter().map(String::as_str).collect();
+        assert_ne!(
+            crate::language::accepts(&m2, m2.start(), &word),
+            crate::language::accepts(&m3, m3.start(), &word)
+        );
+    }
+
+    #[test]
+    fn nondeterministic_inputs_are_rejected() {
+        let nd = format::parse("trans p a q\ntrans p a r\ntrans q a q\ntrans r a r").unwrap();
+        let d = mod_counter(2);
+        assert!(matches!(
+            deterministic_equivalent(&nd, &d),
+            Err(EquivError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_processes_are_rejected() {
+        let partial = format::parse("trans p a q").unwrap();
+        assert!(deterministic_equivalent(&partial, &partial).is_err());
+    }
+
+    #[test]
+    fn alphabet_mismatch_is_rejected() {
+        let unary = mod_counter(2);
+        let binary = format::parse(
+            "trans p a p\ntrans p b p\naccept p",
+        )
+        .unwrap();
+        assert!(matches!(
+            deterministic_equivalent(&unary, &binary),
+            Err(EquivError::Incomparable { .. })
+        ));
+    }
+
+    #[test]
+    fn proposition_2_2_4_collapse() {
+        // For deterministic processes, the fast path agrees with strong,
+        // observational, language and failure equivalence.
+        let a = mod_counter(2);
+        let mut b4 = Fsp::builder("mod4-even");
+        for i in 0..4 {
+            b4.transition(&format!("s{i}"), "a", &format!("s{}", (i + 1) % 4));
+        }
+        for i in [0, 2] {
+            let s = b4.state(&format!("s{i}"));
+            b4.mark_accepting(s);
+        }
+        let s0 = b4.state("s0");
+        b4.set_start(s0);
+        let b = b4.build().unwrap();
+
+        let fast = deterministic_equivalent(&a, &b).unwrap().equivalent;
+        assert!(fast);
+        assert_eq!(fast, crate::language::language_equivalent(&a, &b).holds);
+        assert_eq!(fast, crate::weak::observationally_equivalent(&a, &b));
+        assert_eq!(fast, crate::kobs::kobs_equivalent(&a, &b, 1));
+    }
+}

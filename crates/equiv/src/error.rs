@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use ccs_fsp::FspError;
+
+/// Errors produced by the equivalence checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EquivError {
+    /// The requested notion needs a process from a more specific model class
+    /// (e.g. the deterministic fast path applied to a nondeterministic
+    /// process).
+    ModelMismatch {
+        /// The requirement that was violated.
+        expected: String,
+    },
+    /// An underlying process-construction error.
+    Fsp(FspError),
+    /// The two processes cannot be compared (e.g. different variable sets
+    /// where the notion requires identical `V`).
+    Incomparable {
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::ModelMismatch { expected } => {
+                write!(f, "process does not satisfy model requirement: {expected}")
+            }
+            EquivError::Fsp(e) => write!(f, "process error: {e}"),
+            EquivError::Incomparable { message } => {
+                write!(f, "processes cannot be compared: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EquivError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EquivError::Fsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FspError> for EquivError {
+    fn from(value: FspError) -> Self {
+        EquivError::Fsp(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EquivError::ModelMismatch {
+            expected: "deterministic".into(),
+        };
+        assert!(e.to_string().contains("deterministic"));
+        assert!(e.source().is_none());
+
+        let wrapped = EquivError::from(FspError::EmptyProcess);
+        assert!(wrapped.to_string().contains("no states"));
+        assert!(wrapped.source().is_some());
+
+        let inc = EquivError::Incomparable {
+            message: "different variable sets".into(),
+        };
+        assert!(inc.to_string().contains("variable sets"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EquivError>();
+    }
+}

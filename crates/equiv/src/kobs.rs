@@ -1,0 +1,252 @@
+//! The k-observational equivalences `≈ₖ` (Definition 2.2.1), decided
+//! *exactly*.
+//!
+//! Theorem 4.1(b) shows that deciding `p ≈ₖ q` is PSPACE-complete for every
+//! fixed `k ≥ 1`, so — unlike the limit `≈` — no polynomial algorithm is
+//! expected.  The checker here follows the membership argument of the
+//! theorem: `p ≈ₖ₊₁ q` iff for every string `s ∈ Σ*` the *set of
+//! `≈ₖ`-classes* hit by the `s`-derivatives of `p` equals the set hit by the
+//! `s`-derivatives of `q`.  This is decided by a synchronized subset
+//! construction over weak transitions, comparing class-sets at every
+//! reachable pair of subsets — exponential in the worst case, which is
+//! exactly the behaviour the `k_observational` bench measures.
+//!
+//! Note that the levels `≈ₖ` are *not* in general a refinement chain for
+//! small `k` (only their limit is characterised by Proposition 2.2.1), so
+//! each level is computed from the previous one without assuming
+//! refinement.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ccs_fsp::saturate::{tau_closure, TauClosure};
+use ccs_fsp::{ops, Fsp, StateId};
+use ccs_partition::Partition;
+
+use crate::language::{closure_of, subset_step, Subset};
+
+/// Computes the partition of all states into `≈ₖ`-classes.
+///
+/// Level 0 groups states with equal extension sets; level `k+1` is obtained
+/// from level `k` by the class-set characterisation above.  Worst-case cost
+/// is exponential in the number of states (per Theorem 4.1(b)).
+#[must_use]
+pub fn kobs_partition(fsp: &Fsp, k: usize) -> Partition {
+    let closure = tau_closure(fsp);
+    let mut current = extension_partition(fsp);
+    for _ in 0..k {
+        current = next_level(fsp, &closure, &current);
+    }
+    current
+}
+
+/// Tests `p ≈ₖ q` for two states of the same process.
+#[must_use]
+pub fn kobs_equivalent_states(fsp: &Fsp, p: StateId, q: StateId, k: usize) -> bool {
+    if k == 0 {
+        return fsp.same_extensions(p, q);
+    }
+    let closure = tau_closure(fsp);
+    let prev = kobs_partition(fsp, k - 1);
+    pair_equivalent(fsp, &closure, &prev, p, q)
+}
+
+/// Tests whether the start states of two processes are `≈ₖ`-equivalent.
+#[must_use]
+pub fn kobs_equivalent(left: &Fsp, right: &Fsp, k: usize) -> bool {
+    let union = ops::disjoint_union(left, right);
+    let (p, q) = ops::union_starts(&union, left, right);
+    kobs_equivalent_states(&union.fsp, p, q, k)
+}
+
+fn extension_partition(fsp: &Fsp) -> Partition {
+    let mut ext_blocks: HashMap<Vec<usize>, usize> = HashMap::new();
+    let assignment: Vec<usize> = fsp
+        .state_ids()
+        .map(|s| {
+            let key: Vec<usize> = fsp.extensions(s).iter().map(|v| v.index()).collect();
+            let fresh = ext_blocks.len();
+            *ext_blocks.entry(key).or_insert(fresh)
+        })
+        .collect();
+    Partition::from_assignment(&assignment)
+}
+
+/// Builds level `k+1` from level `k` by grouping states with pairwise-equal
+/// class-set behaviour (the relation is transitive, so comparing against one
+/// representative per group is sound).
+fn next_level(fsp: &Fsp, closure: &TauClosure, prev: &Partition) -> Partition {
+    let n = fsp.num_states();
+    let mut assignment = vec![usize::MAX; n];
+    let mut representatives: Vec<StateId> = Vec::new();
+    for s in fsp.state_ids() {
+        let mut found = None;
+        for (class, &rep) in representatives.iter().enumerate() {
+            if pair_equivalent(fsp, closure, prev, s, rep) {
+                found = Some(class);
+                break;
+            }
+        }
+        let class = match found {
+            Some(c) => c,
+            None => {
+                representatives.push(s);
+                representatives.len() - 1
+            }
+        };
+        assignment[s.index()] = class;
+    }
+    Partition::from_assignment(&assignment)
+}
+
+/// The set of `prev`-classes represented in a subset.
+fn class_set(prev: &Partition, subset: &[usize]) -> Vec<usize> {
+    let mut classes: Vec<usize> = subset.iter().map(|&x| prev.block_of(x)).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+}
+
+/// Decides whether `p` and `q` are related at the level *above* `prev`:
+/// for every `s ∈ Σ*`, the class-sets of their `s`-derivatives agree.
+fn pair_equivalent(
+    fsp: &Fsp,
+    closure: &TauClosure,
+    prev: &Partition,
+    p: StateId,
+    q: StateId,
+) -> bool {
+    let start = (closure_of(closure, p), closure_of(closure, q));
+    let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
+    let mut queue: VecDeque<(Subset, Subset)> = VecDeque::new();
+    seen.insert(start.clone());
+    queue.push_back(start);
+    while let Some((xs, ys)) = queue.pop_front() {
+        if class_set(prev, &xs) != class_set(prev, &ys) {
+            return false;
+        }
+        for a in fsp.action_ids() {
+            let nx = subset_step(fsp, closure, &xs, a);
+            let ny = subset_step(fsp, closure, &ys, a);
+            if nx.is_empty() && ny.is_empty() {
+                continue;
+            }
+            let pair = (nx, ny);
+            if !seen.contains(&pair) {
+                seen.insert(pair.clone());
+                queue.push_back(pair);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+
+    #[test]
+    fn level_zero_is_extension_equality() {
+        let f = format::parse("trans p a q\naccept q\nstate r").unwrap();
+        let p = f.state_by_name("p").unwrap();
+        let q = f.state_by_name("q").unwrap();
+        let r = f.state_by_name("r").unwrap();
+        assert!(kobs_equivalent_states(&f, p, r, 0));
+        assert!(!kobs_equivalent_states(&f, p, q, 0));
+        assert_eq!(kobs_partition(&f, 0).num_blocks(), 2);
+    }
+
+    #[test]
+    fn level_one_is_language_equivalence_in_the_restricted_model() {
+        // Proposition 2.2.3(b): in the restricted model, ≈₁ is language
+        // equivalence.  a.b + a.c vs a.(b + c), all states accepting.
+        let split = format::parse(
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
+        )
+        .unwrap();
+        let merged =
+            format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
+        assert!(kobs_equivalent(&split, &merged, 1));
+        assert!(
+            crate::language::language_equivalent(&split, &merged).holds
+        );
+        // ...but they are NOT ≈₂-equivalent: after `a`, one side may refuse b.
+        assert!(!kobs_equivalent(&split, &merged, 2));
+        // And consequently not observationally equivalent either.
+        assert!(!crate::weak::observationally_equivalent(&split, &merged));
+    }
+
+    #[test]
+    fn kobs_agrees_with_language_equivalence_at_level_one() {
+        let cases = [
+            ("trans p a q\naccept p q", "trans u a u\naccept u"),
+            ("trans p a q\ntrans q a p\naccept p q", "trans u a u\naccept u"),
+            ("trans p a q\naccept p", "trans u a u\naccept u"),
+        ];
+        for (l, r) in cases {
+            let left = format::parse(l).unwrap();
+            let right = format::parse(r).unwrap();
+            assert_eq!(
+                kobs_equivalent(&left, &right, 1),
+                crate::language::language_equivalent(&left, &right).holds,
+                "{l} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn observational_equivalence_implies_every_level() {
+        // τ.a ≈ a, so the pair is ≈ₖ for every k we care to test.
+        let left = format::parse("trans p tau q\ntrans q a r\naccept p q r").unwrap();
+        let right = format::parse("trans u a v\naccept u v").unwrap();
+        assert!(crate::weak::observationally_equivalent(&left, &right));
+        for k in 0..4 {
+            assert!(kobs_equivalent(&left, &right, k), "level {k}");
+        }
+    }
+
+    #[test]
+    fn higher_levels_distinguish_deeper_branching() {
+        // The classic k=2 vs k=3 separation: a.(b.c + b.d) vs a.b.c + a.b.d
+        // (all states accepting).  They agree on traces (≈₁) and on one level
+        // of branching after the first action, but differ at ≈₃... in fact
+        // they already differ at ≈₂ because after `a` the class-sets of the
+        // b-derivatives differ.  The important part for the hierarchy is that
+        // ≈₁ holds while some higher level fails.
+        let merged = format::parse(
+            "trans p a q\ntrans q b r1\ntrans q b r2\ntrans r1 c s1\ntrans r2 d s2\naccept p q r1 r2 s1 s2",
+        )
+        .unwrap();
+        let split = format::parse(
+            "trans u a v1\ntrans u a v2\ntrans v1 b w1\ntrans v2 b w2\ntrans w1 c x1\ntrans w2 d x2\naccept u v1 v2 w1 w2 x1 x2",
+        )
+        .unwrap();
+        assert!(kobs_equivalent(&merged, &split, 1));
+        assert!(!kobs_equivalent(&merged, &split, 2));
+    }
+
+    #[test]
+    fn partition_levels_have_sensible_sizes() {
+        let f = format::parse(
+            "trans s0 a s1\ntrans s1 a s2\ntrans s2 a s2\naccept s0 s1 s2",
+        )
+        .unwrap();
+        // All states accepting; ≈₀ has one block.
+        assert_eq!(kobs_partition(&f, 0).num_blocks(), 1);
+        // s0 (can do exactly a, aa, aaa, ...), s1, s2 all have language {a}*
+        // minus nothing... in the restricted sense they differ: s2 loops so
+        // L(s2) = a*, L(s0) = a* as well (prefix-closed, infinite) — so one
+        // block at level 1 too.
+        assert_eq!(kobs_partition(&f, 1).num_blocks(), 1);
+    }
+
+    #[test]
+    fn finite_chains_of_different_length_separate_at_level_one() {
+        let f = format::parse("trans s0 a s1\ntrans s1 a s2\ntrans t0 a t1\naccept s0 s1 s2 t0 t1")
+            .unwrap();
+        let s0 = f.state_by_name("s0").unwrap();
+        let t0 = f.state_by_name("t0").unwrap();
+        assert!(!kobs_equivalent_states(&f, s0, t0, 1));
+        assert!(kobs_equivalent_states(&f, s0, t0, 0));
+    }
+}

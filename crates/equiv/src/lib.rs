@@ -1,0 +1,58 @@
+//! Equivalence checkers for finite state processes — the three problems of
+//! equivalence of Kanellakis & Smolka.
+//!
+//! The crate implements every equivalence notion of the paper's Table II and
+//! the algorithms (and complexity behaviours) of Sections 3–5:
+//!
+//! | notion | module | paper result | algorithm here |
+//! |---|---|---|---|
+//! | strong equivalence `~` | [`strong`] | polynomial, `O(m log n)` (Thm 3.1) | Lemma 3.1 reduction to generalized partitioning |
+//! | observational equivalence `≈` | [`weak`] | polynomial (Thm 4.1a) | τ-saturation + strong equivalence |
+//! | limited observational `≃ₖ`, `≃` | [`limited`] | `≃` = `≈` (Prop 2.2.1) | bounded partition refinement on the saturated process |
+//! | k-observational `≈ₖ` | [`kobs`] | PSPACE-complete for fixed k ≥ 1 (Thm 4.1b) | exact, exponential: synchronized subset construction per level |
+//! | language (NFA) equivalence `≈₁` | [`language`] | PSPACE-complete | on-the-fly subset construction with union-find |
+//! | trace equivalence | [`traces`] | (special case of `≈₁`) | subset construction |
+//! | failure equivalence `≡F` | [`failures`] | PSPACE-complete (Thm 5.1) | synchronized failures-determinization |
+//! | deterministic fast paths | [`deterministic`] | everything collapses (Prop 2.2.4) | UNION-FIND DFA equivalence |
+//!
+//! Non-equivalent states can be explained: [`witness`] produces
+//! Hennessy–Milner-style distinguishing formulas for strong/observational
+//! inequivalence, and the language/failures checkers return distinguishing
+//! words and failure pairs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ccs_fsp::format;
+//! use ccs_equiv::{equivalent, Equivalence};
+//!
+//! // a.(b + c)  versus  a.b + a.c — the classic CCS example:
+//! // language equivalent but NOT observationally equivalent.
+//! let left = format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s")?;
+//! let right = format::parse(
+//!     "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")?;
+//! assert!(equivalent(&left, &right, Equivalence::Language)?);
+//! assert!(!equivalent(&left, &right, Equivalence::Observational)?);
+//! assert!(!equivalent(&left, &right, Equivalence::Strong)?);
+//! # Ok::<(), ccs_equiv::EquivError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod check;
+pub mod deterministic;
+mod error;
+pub mod failures;
+pub mod kobs;
+pub mod language;
+pub mod limited;
+pub mod relation;
+pub mod strong;
+pub mod traces;
+pub mod weak;
+pub mod witness;
+
+pub use check::{equivalent, equivalent_states, Equivalence};
+pub use error::EquivError;

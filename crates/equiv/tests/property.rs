@@ -1,0 +1,155 @@
+//! Property-based tests for the equivalence checkers: the fixed-point
+//! characterisations of Proposition 2.2.1, the implication hierarchy of
+//! Proposition 2.2.3, and agreement between independently implemented
+//! checkers, on arbitrary small processes.
+
+use ccs_equiv::{failures, kobs, language, limited, relation, strong, traces, weak};
+use ccs_fsp::{Fsp, Label, StateId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawProcess {
+    states: usize,
+    edges: Vec<(usize, usize, usize)>, // (from, label, to); label 0 = tau
+    accepting: Vec<bool>,
+    tau_allowed: bool,
+}
+
+fn process_strategy(tau_allowed: bool, all_accepting: bool) -> impl Strategy<Value = RawProcess> {
+    (2usize..8).prop_flat_map(move |states| {
+        let edges = proptest::collection::vec((0..states, 0usize..3, 0..states), 1..20);
+        let accepting = proptest::collection::vec(any::<bool>(), states);
+        (Just(states), edges, accepting).prop_map(move |(states, edges, accepting)| RawProcess {
+            states,
+            edges,
+            accepting: if all_accepting {
+                vec![true; states]
+            } else {
+                accepting
+            },
+            tau_allowed,
+        })
+    })
+}
+
+fn build(raw: &RawProcess) -> Fsp {
+    let mut b = Fsp::builder("prop");
+    let ids: Vec<StateId> = (0..raw.states).map(|i| b.state(&format!("s{i}"))).collect();
+    let a0 = b.action("a");
+    let a1 = b.action("b");
+    for &(from, label, to) in &raw.edges {
+        let l = match label {
+            0 if raw.tau_allowed => Label::Tau,
+            1 => Label::Act(a0),
+            _ => Label::Act(a1),
+        };
+        b.add_transition(ids[from], l, ids[to]);
+    }
+    for (i, &acc) in raw.accepting.iter().enumerate() {
+        if acc {
+            b.mark_accepting(ids[i]);
+        }
+    }
+    b.build().expect("generated process is non-empty")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The computed strong partition is a strong bisimulation (a Σ-fixed-point)
+    /// and the weak partition is a Σ∪{ε}-fixed-point (Proposition 2.2.1(a)).
+    #[test]
+    fn computed_partitions_are_fixed_points(raw in process_strategy(true, false)) {
+        let fsp = build(&raw);
+        let sp = strong::strong_partition(&fsp);
+        prop_assert!(relation::is_strong_bisimulation(
+            &fsp,
+            &relation::partition_to_pairs(sp.partition())
+        ));
+        let wp = weak::weak_partition(&fsp);
+        prop_assert!(relation::is_weak_bisimulation(
+            &fsp,
+            &relation::partition_to_pairs(wp.partition())
+        ));
+    }
+
+    /// Strong equivalence refines observational equivalence, which refines
+    /// the ≃ₖ hierarchy at every level.
+    #[test]
+    fn strong_refines_weak_refines_limited(raw in process_strategy(true, false)) {
+        let fsp = build(&raw);
+        let sp = strong::strong_partition(&fsp);
+        let wp = weak::weak_partition(&fsp);
+        prop_assert!(sp.partition().refines(wp.partition()));
+        let h = limited::limited_hierarchy(&fsp);
+        prop_assert_eq!(h.limit(), wp.partition());
+        for level in h.levels() {
+            prop_assert!(wp.partition().refines(level));
+        }
+    }
+
+    /// Proposition 2.2.3(a) on restricted processes: ≈ ⟹ ≡F ⟹ ≈₁, and ≈₁
+    /// coincides with trace/language equivalence.
+    #[test]
+    fn implication_hierarchy_restricted(raw in process_strategy(false, true)) {
+        let fsp = build(&raw);
+        let wp = weak::weak_partition(&fsp);
+        for p in fsp.state_ids() {
+            for q in fsp.state_ids() {
+                if p >= q {
+                    continue;
+                }
+                let observational = wp.equivalent(p, q);
+                let failure = failures::failure_equivalent_states(&fsp, p, q).equivalent;
+                let lang = language::language_equivalent_states(&fsp, p, q).holds;
+                let trace = traces::trace_equivalent_states(&fsp, p, q).holds;
+                let k1 = kobs::kobs_equivalent_states(&fsp, p, q, 1);
+                if observational {
+                    prop_assert!(failure);
+                }
+                if failure {
+                    prop_assert!(lang);
+                }
+                prop_assert_eq!(lang, trace);
+                prop_assert_eq!(lang, k1);
+            }
+        }
+    }
+
+    /// Language-equivalence witnesses really are distinguishing words, and
+    /// acceptance agrees with the bounded enumeration of the language.
+    #[test]
+    fn language_witnesses_are_sound(raw in process_strategy(true, false)) {
+        let fsp = build(&raw);
+        let states: Vec<StateId> = fsp.state_ids().collect();
+        let p = states[0];
+        let q = states[raw.states - 1];
+        let result = language::language_equivalent_states(&fsp, p, q);
+        if let Some(w) = &result.witness {
+            let word: Vec<&str> = w.iter().map(String::as_str).collect();
+            prop_assert!(!result.holds);
+            prop_assert_ne!(
+                language::accepts(&fsp, p, &word),
+                language::accepts(&fsp, q, &word)
+            );
+        }
+        // Bounded-language agreement: if the checker says equal, the words of
+        // length ≤ 4 agree.
+        if result.holds {
+            prop_assert_eq!(
+                language::language_up_to(&fsp, p, 4),
+                language::language_up_to(&fsp, q, 4)
+            );
+        }
+    }
+
+    /// The strong quotient is strongly equivalent to the original and minimal
+    /// (quotienting twice changes nothing).
+    #[test]
+    fn quotient_is_idempotent(raw in process_strategy(true, false)) {
+        let fsp = build(&raw);
+        let q = strong::quotient(&fsp);
+        prop_assert!(strong::strong_equivalent(&fsp, &q));
+        prop_assert_eq!(strong::quotient(&q).num_states(), q.num_states());
+    }
+}

@@ -1,0 +1,309 @@
+//! Incremental construction of finite state processes.
+
+use std::collections::HashMap;
+
+use crate::interner::Interner;
+use crate::label::{ActionId, Label, VarId};
+use crate::process::{Fsp, StateData, Transition};
+use crate::state::StateId;
+use crate::{FspError, ACCEPT_VAR};
+
+/// Builder for [`Fsp`] values.
+///
+/// States, actions and variables are created on demand; transitions and
+/// extensions may reference them in any order.  [`FspBuilder::build`]
+/// validates the result and normalises the transition relation (sorted,
+/// duplicate-free per state).
+///
+/// ```
+/// use ccs_fsp::{Fsp, Label};
+/// let mut b = Fsp::builder("ab-loop");
+/// let p = b.state("p");
+/// let q = b.state("q");
+/// let a = b.action("a");
+/// let bb = b.action("b");
+/// b.set_start(p);
+/// b.add_transition(p, Label::Act(a), q);
+/// b.add_transition(q, Label::Act(bb), p);
+/// b.mark_accepting(p);
+/// let fsp = b.build()?;
+/// assert_eq!(fsp.num_transitions(), 2);
+/// # Ok::<(), ccs_fsp::FspError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FspBuilder {
+    name: String,
+    states: Vec<StateData>,
+    states_by_name: HashMap<String, StateId>,
+    actions: Interner,
+    vars: Interner,
+    start: Option<StateId>,
+}
+
+impl FspBuilder {
+    /// Creates an empty builder for a process with the given name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        FspBuilder {
+            name: name.to_owned(),
+            states: Vec::new(),
+            states_by_name: HashMap::new(),
+            actions: Interner::new(),
+            vars: Interner::new(),
+            start: None,
+        }
+    }
+
+    /// Number of states created so far.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Gets or creates the state with the given name.
+    ///
+    /// Calling `state` twice with the same name returns the same identifier.
+    pub fn state(&mut self, name: &str) -> StateId {
+        if let Some(&id) = self.states_by_name.get(name) {
+            return id;
+        }
+        let id = StateId::from_index(self.states.len());
+        self.states.push(StateData {
+            name: Some(name.to_owned()),
+            ..StateData::default()
+        });
+        self.states_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Creates a fresh anonymous state.
+    pub fn fresh_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.states.len());
+        self.states.push(StateData::default());
+        id
+    }
+
+    /// Gets or creates the observable action with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is `"tau"`, which is reserved for the unobservable
+    /// action — use [`Label::Tau`] instead.
+    pub fn action(&mut self, name: &str) -> ActionId {
+        assert_ne!(name, "tau", "'tau' is reserved for the unobservable action");
+        ActionId::from_index(self.actions.intern(name) as usize)
+    }
+
+    /// Gets or creates the variable with the given name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        VarId::from_index(self.vars.intern(name) as usize)
+    }
+
+    /// Parses a label name: `"tau"` yields [`Label::Tau`], anything else an
+    /// observable action.
+    pub fn label(&mut self, name: &str) -> Label {
+        if name == "tau" {
+            Label::Tau
+        } else {
+            Label::Act(self.action(name))
+        }
+    }
+
+    /// Designates the start state `p0`.
+    pub fn set_start(&mut self, state: StateId) -> &mut Self {
+        self.start = Some(state);
+        self
+    }
+
+    /// Adds the transition `(from, label, to)` to `Δ`.
+    pub fn add_transition(&mut self, from: StateId, label: Label, to: StateId) -> &mut Self {
+        // Bounds are validated in `build`, so out-of-range ids are reported as
+        // errors rather than panics.
+        if from.index() < self.states.len() {
+            self.states[from.index()]
+                .transitions
+                .push(Transition { label, target: to });
+        } else {
+            // Record it on a synthetic overflow entry so `build` can report it.
+            self.states.resize(from.index() + 1, StateData::default());
+            self.states[from.index()]
+                .transitions
+                .push(Transition { label, target: to });
+        }
+        self
+    }
+
+    /// Convenience: adds a transition between named states with a named
+    /// label (`"tau"` for `τ`), creating states and actions as needed.
+    pub fn transition(&mut self, from: &str, label: &str, to: &str) -> &mut Self {
+        let f = self.state(from);
+        let t = self.state(to);
+        let l = self.label(label);
+        self.add_transition(f, l, t)
+    }
+
+    /// Adds variable `var` to the extension set `E(state)`.
+    pub fn add_extension(&mut self, state: StateId, var: &str) -> &mut Self {
+        let v = self.var(var);
+        if state.index() >= self.states.len() {
+            self.states.resize(state.index() + 1, StateData::default());
+        }
+        self.states[state.index()].extensions.insert(v);
+        self
+    }
+
+    /// Marks a state as accepting by adding the conventional variable `x`
+    /// ([`ACCEPT_VAR`](crate::ACCEPT_VAR)) to its extension set.
+    pub fn mark_accepting(&mut self, state: StateId) -> &mut Self {
+        self.add_extension(state, ACCEPT_VAR)
+    }
+
+    /// Marks every state created so far as accepting, producing a process in
+    /// the *restricted* model (all states accepting).
+    pub fn mark_all_accepting(&mut self) -> &mut Self {
+        let n = self.states.len();
+        for i in 0..n {
+            self.mark_accepting(StateId::from_index(i));
+        }
+        self
+    }
+
+    /// Finalises the process.
+    ///
+    /// If no start state was designated, the first created state is used.
+    ///
+    /// # Errors
+    ///
+    /// * [`FspError::EmptyProcess`] if no states were created.
+    /// * [`FspError::UnknownState`] if a transition targets a state index
+    ///   that was never created.
+    pub fn build(self) -> Result<Fsp, FspError> {
+        if self.states.is_empty() {
+            return Err(FspError::EmptyProcess);
+        }
+        let start = match self.start {
+            Some(s) => s,
+            None => StateId::from_index(0),
+        };
+        let num_states = self.states.len();
+        if start.index() >= num_states {
+            return Err(FspError::UnknownState {
+                state: start,
+                num_states,
+            });
+        }
+        for st in &self.states {
+            for t in &st.transitions {
+                if t.target.index() >= num_states {
+                    return Err(FspError::UnknownState {
+                        state: t.target,
+                        num_states,
+                    });
+                }
+            }
+        }
+        Ok(Fsp::from_parts(
+            self.name,
+            start,
+            self.states,
+            self.actions,
+            self.vars,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_states_are_deduplicated() {
+        let mut b = FspBuilder::new("t");
+        let p1 = b.state("p");
+        let p2 = b.state("p");
+        assert_eq!(p1, p2);
+        assert_eq!(b.num_states(), 1);
+    }
+
+    #[test]
+    fn fresh_states_are_distinct() {
+        let mut b = FspBuilder::new("t");
+        let a = b.fresh_state();
+        let c = b.fresh_state();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_process_is_rejected() {
+        let b = FspBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), FspError::EmptyProcess);
+    }
+
+    #[test]
+    fn default_start_is_first_state() {
+        let mut b = FspBuilder::new("t");
+        let p = b.state("p");
+        b.state("q");
+        let f = b.build().unwrap();
+        assert_eq!(f.start(), p);
+    }
+
+    #[test]
+    fn invalid_transition_target_is_rejected() {
+        let mut b = FspBuilder::new("t");
+        let p = b.state("p");
+        b.set_start(p);
+        b.add_transition(p, Label::Tau, StateId::from_index(42));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            FspError::UnknownState { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_start_is_rejected() {
+        let mut b = FspBuilder::new("t");
+        b.state("p");
+        b.set_start(StateId::from_index(9));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            FspError::UnknownState { .. }
+        ));
+    }
+
+    #[test]
+    fn transition_by_name_creates_everything() {
+        let mut b = FspBuilder::new("t");
+        b.transition("p", "a", "q");
+        b.transition("q", "tau", "p");
+        let f = b.build().unwrap();
+        assert_eq!(f.num_states(), 2);
+        assert_eq!(f.num_transitions(), 2);
+        assert!(f.has_tau_transitions());
+        assert_eq!(f.num_actions(), 1);
+    }
+
+    #[test]
+    fn mark_all_accepting_gives_restricted_model() {
+        let mut b = FspBuilder::new("t");
+        b.transition("p", "a", "q");
+        b.mark_all_accepting();
+        let f = b.build().unwrap();
+        assert_eq!(f.accepting_states().len(), 2);
+        assert!(f.profile().restricted);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn tau_action_name_is_reserved() {
+        let mut b = FspBuilder::new("t");
+        b.action("tau");
+    }
+
+    #[test]
+    fn label_helper_maps_tau() {
+        let mut b = FspBuilder::new("t");
+        assert_eq!(b.label("tau"), Label::Tau);
+        assert!(matches!(b.label("a"), Label::Act(_)));
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz (DOT) export for visual inspection of processes.
+
+use crate::process::Fsp;
+use crate::Label;
+
+/// Renders a process as a Graphviz `digraph`.
+///
+/// * the start state is drawn with a double border,
+/// * accepting states (extension `x`) are filled,
+/// * non-empty extension sets are appended to the state label,
+/// * τ-transitions are drawn dashed.
+///
+/// ```
+/// use ccs_fsp::{dot, format};
+/// let fsp = format::parse("trans p a q\ntrans q tau p\naccept q\n")?;
+/// let rendered = dot::to_dot(&fsp);
+/// assert!(rendered.starts_with("digraph"));
+/// assert!(rendered.contains("style=dashed"));
+/// # Ok::<(), ccs_fsp::FspError>(())
+/// ```
+#[must_use]
+pub fn to_dot(fsp: &Fsp) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(fsp.name())));
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for s in fsp.state_ids() {
+        let mut label = fsp.state_label(s);
+        let exts = fsp.extensions(s);
+        if !exts.is_empty() {
+            let vars: Vec<&str> = exts.iter().map(|&v| fsp.var_name(v)).collect();
+            label.push_str(&format!("\\n{{{}}}", vars.join(",")));
+        }
+        let mut attrs = vec![format!("label=\"{}\"", escape(&label))];
+        if s == fsp.start() {
+            attrs.push("peripheries=2".to_owned());
+        }
+        if fsp.is_accepting(s) {
+            attrs.push("style=filled".to_owned());
+            attrs.push("fillcolor=lightgrey".to_owned());
+        }
+        out.push_str(&format!("  n{} [{}];\n", s.index(), attrs.join(", ")));
+    }
+    for (from, label, to) in fsp.all_transitions() {
+        match label {
+            Label::Tau => out.push_str(&format!(
+                "  n{} -> n{} [label=\"τ\", style=dashed];\n",
+                from.index(),
+                to.index()
+            )),
+            Label::Act(a) => out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                from.index(),
+                to.index(),
+                escape(fsp.action_name(a))
+            )),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format;
+
+    #[test]
+    fn dot_output_mentions_every_state_and_edge() {
+        let f = format::parse("trans p a q\ntrans q b r\ntrans r tau p\naccept r\n").unwrap();
+        let d = to_dot(&f);
+        assert!(d.contains("digraph"));
+        assert_eq!(d.matches(" -> ").count(), 3);
+        assert!(d.contains("label=\"p\""));
+        assert!(d.contains("peripheries=2"));
+        assert!(d.contains("fillcolor=lightgrey"));
+        assert!(d.contains("style=dashed"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = crate::Fsp::builder("quo\"te");
+        let s = b.state("st\"ate");
+        b.set_start(s);
+        let f = b.build().unwrap();
+        let d = to_dot(&f);
+        assert!(d.contains("quo\\\"te"));
+        assert!(d.contains("st\\\"ate"));
+    }
+
+    #[test]
+    fn extensions_appear_in_labels() {
+        let f = format::parse("ext p x y\n").unwrap();
+        let d = to_dot(&f);
+        assert!(d.contains("{x,y}"));
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::StateId;
+
+/// Errors produced while constructing, parsing, or combining finite state
+/// processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FspError {
+    /// The process has no states; an FSP must have a start state `p0 ∈ K`.
+    EmptyProcess,
+    /// A state identifier does not belong to the process being built.
+    UnknownState {
+        /// The offending state.
+        state: StateId,
+        /// Number of states in the process.
+        num_states: usize,
+    },
+    /// No start state was designated and none could be inferred.
+    MissingStart,
+    /// A textual process description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line (0 if not applicable).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An operation required a specific model class which the argument does
+    /// not belong to (e.g. a deterministic-only fast path applied to a
+    /// nondeterministic process).
+    ModelMismatch {
+        /// The requirement that was violated.
+        expected: String,
+    },
+    /// Two processes that must share an alphabet/variable set do not.
+    AlphabetMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+}
+
+impl fmt::Display for FspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FspError::EmptyProcess => write!(f, "process has no states"),
+            FspError::UnknownState { state, num_states } => write!(
+                f,
+                "state {state} does not belong to this process ({num_states} states)"
+            ),
+            FspError::MissingStart => write!(f, "no start state designated"),
+            FspError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            FspError::ModelMismatch { expected } => {
+                write!(f, "process does not satisfy model requirement: {expected}")
+            }
+            FspError::AlphabetMismatch { message } => {
+                write!(f, "alphabet mismatch: {message}")
+            }
+        }
+    }
+}
+
+impl Error for FspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty_and_lowercase() {
+        let errors = vec![
+            FspError::EmptyProcess,
+            FspError::UnknownState {
+                state: StateId::from_index(7),
+                num_states: 3,
+            },
+            FspError::MissingStart,
+            FspError::Parse {
+                line: 4,
+                message: "expected action name".into(),
+            },
+            FspError::Parse {
+                line: 0,
+                message: "empty input".into(),
+            },
+            FspError::ModelMismatch {
+                expected: "observable (no tau transitions)".into(),
+            },
+            FspError::AlphabetMismatch {
+                message: "left has action 'a' missing on the right".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FspError>();
+    }
+}

@@ -1,0 +1,253 @@
+//! A plain-text interchange format for finite state processes.
+//!
+//! The format is line-oriented; `#` starts a comment and blank lines are
+//! ignored.  Directives:
+//!
+//! ```text
+//! process NAME          # optional, at most once
+//! state S1 S2 ...       # declare states (optional; transitions declare too)
+//! start S               # designate the start state (default: first state)
+//! trans P LABEL Q       # transition P --LABEL--> Q; LABEL `tau` is the
+//!                       # unobservable action
+//! ext S V1 V2 ...       # add variables V1.. to the extension set E(S)
+//! accept S1 S2 ...      # shorthand for `ext Si x`
+//! ```
+//!
+//! ```
+//! use ccs_fsp::format;
+//! let fsp = format::parse(r"
+//!     process coffee
+//!     trans idle coin paid
+//!     trans paid coffee idle
+//!     accept idle
+//! ")?;
+//! assert_eq!(fsp.num_states(), 2);
+//! let round_trip = format::parse(&format::to_text(&fsp))?;
+//! assert_eq!(round_trip.num_states(), fsp.num_states());
+//! # Ok::<(), ccs_fsp::FspError>(())
+//! ```
+
+use crate::builder::FspBuilder;
+use crate::process::Fsp;
+use crate::{FspError, Label};
+
+/// Parses a process from its textual description.
+///
+/// # Errors
+///
+/// Returns [`FspError::Parse`] for malformed directives and
+/// [`FspError::EmptyProcess`] if the text declares no state.
+pub fn parse(text: &str) -> Result<Fsp, FspError> {
+    let mut name = "process".to_owned();
+    let mut builder: Option<FspBuilder> = None;
+    let mut pending_start: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line has a first token");
+        let args: Vec<&str> = parts.collect();
+        let err = |message: &str| FspError::Parse {
+            line: lineno + 1,
+            message: message.to_owned(),
+        };
+        match directive {
+            "process" => {
+                if args.len() != 1 {
+                    return Err(err("'process' takes exactly one name"));
+                }
+                if builder.is_some() {
+                    return Err(err("'process' must appear before other directives"));
+                }
+                name = args[0].to_owned();
+            }
+            "state" => {
+                if args.is_empty() {
+                    return Err(err("'state' needs at least one state name"));
+                }
+                let b = builder.get_or_insert_with(|| FspBuilder::new(&name));
+                for s in &args {
+                    b.state(s);
+                }
+            }
+            "start" => {
+                if args.len() != 1 {
+                    return Err(err("'start' takes exactly one state name"));
+                }
+                pending_start = Some(args[0].to_owned());
+            }
+            "trans" => {
+                if args.len() != 3 {
+                    return Err(err("'trans' takes: source label target"));
+                }
+                let b = builder.get_or_insert_with(|| FspBuilder::new(&name));
+                b.transition(args[0], args[1], args[2]);
+            }
+            "ext" => {
+                if args.len() < 2 {
+                    return Err(err("'ext' takes: state var..."));
+                }
+                let b = builder.get_or_insert_with(|| FspBuilder::new(&name));
+                let s = b.state(args[0]);
+                for v in &args[1..] {
+                    b.add_extension(s, v);
+                }
+            }
+            "accept" => {
+                if args.is_empty() {
+                    return Err(err("'accept' needs at least one state name"));
+                }
+                let b = builder.get_or_insert_with(|| FspBuilder::new(&name));
+                for s in &args {
+                    let id = b.state(s);
+                    b.mark_accepting(id);
+                }
+            }
+            other => {
+                return Err(err(&format!("unknown directive '{other}'")));
+            }
+        }
+    }
+
+    let mut builder = builder.ok_or(FspError::EmptyProcess)?;
+    if let Some(start_name) = pending_start {
+        let s = builder.state(&start_name);
+        builder.set_start(s);
+    }
+    builder.build()
+}
+
+/// Renders a process in the textual format accepted by [`parse`].
+///
+/// The output lists every state explicitly, so processes with isolated or
+/// extension-only states round-trip exactly.
+#[must_use]
+pub fn to_text(fsp: &Fsp) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("process {}\n", sanitize(fsp.name())));
+    let labels: Vec<String> = fsp
+        .state_ids()
+        .map(|s| sanitize(&fsp.state_label(s)))
+        .collect();
+    out.push_str(&format!("state {}\n", labels.join(" ")));
+    out.push_str(&format!("start {}\n", labels[fsp.start().index()]));
+    for s in fsp.state_ids() {
+        let exts = fsp.extensions(s);
+        if !exts.is_empty() {
+            let vars: Vec<&str> = exts.iter().map(|&v| fsp.var_name(v)).collect();
+            out.push_str(&format!("ext {} {}\n", labels[s.index()], vars.join(" ")));
+        }
+    }
+    for (from, label, to) in fsp.all_transitions() {
+        let lname = match label {
+            Label::Tau => "tau",
+            Label::Act(a) => fsp.action_name(a),
+        };
+        out.push_str(&format!(
+            "trans {} {} {}\n",
+            labels[from.index()],
+            lname,
+            labels[to.index()]
+        ));
+    }
+    out
+}
+
+/// Replaces whitespace in names so they survive the whitespace-separated
+/// format.
+fn sanitize(name: &str) -> String {
+    name.split_whitespace().collect::<Vec<_>>().join("_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_process() {
+        let f = parse(
+            "# a two state loop\nprocess loop\ntrans p a q\ntrans q b p\naccept p q\nstart p\n",
+        )
+        .unwrap();
+        assert_eq!(f.name(), "loop");
+        assert_eq!(f.num_states(), 2);
+        assert_eq!(f.num_transitions(), 2);
+        assert_eq!(f.accepting_states().len(), 2);
+        assert_eq!(f.state_label(f.start()), "p");
+    }
+
+    #[test]
+    fn parse_handles_tau_and_extensions() {
+        let f = parse("trans p tau q\next q x y\n").unwrap();
+        assert!(f.has_tau_transitions());
+        let q = f.state_by_name("q").unwrap();
+        assert_eq!(f.extensions(q).len(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_directives() {
+        assert!(matches!(parse("trans p a\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(parse("start\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(parse("bogus x\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(parse("accept\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(parse("ext s\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(parse("process a b\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(
+            parse("trans p a q\nprocess late\n"),
+            Err(FspError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_empty_input() {
+        assert_eq!(parse("# only a comment\n"), Err(FspError::EmptyProcess));
+        assert_eq!(parse(""), Err(FspError::EmptyProcess));
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let err = parse("trans p a q\ntrans broken\n").unwrap_err();
+        match err {
+            FspError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = parse(
+            "process rt\nstate lonely\ntrans p a q\ntrans p tau q\ntrans q b p\naccept q\nstart p\n",
+        )
+        .unwrap();
+        let text = to_text(&original);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.num_states(), original.num_states());
+        assert_eq!(parsed.num_transitions(), original.num_transitions());
+        assert_eq!(parsed.accepting_states().len(), 1);
+        assert_eq!(
+            parsed.state_label(parsed.start()),
+            original.state_label(original.start())
+        );
+        assert!(parsed.state_by_name("lonely").is_some());
+    }
+
+    #[test]
+    fn state_directive_declares_isolated_states() {
+        let f = parse("state a b c\nstart b\n").unwrap();
+        assert_eq!(f.num_states(), 3);
+        assert_eq!(f.num_transitions(), 0);
+        assert_eq!(f.state_label(f.start()), "b");
+    }
+
+    #[test]
+    fn display_uses_text_format() {
+        let f = parse("trans p a q\n").unwrap();
+        let shown = f.to_string();
+        assert!(shown.contains("trans p a q"));
+        assert!(shown.starts_with("process"));
+    }
+}

@@ -1,0 +1,92 @@
+use std::collections::HashMap;
+
+/// A small string interner mapping symbol names to dense `u32` indices.
+///
+/// Used for both the action alphabet `Σ` and the variable set `V` of an FSP.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its dense index.  Idempotent.
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub(crate) fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an index back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub(crate) fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    #[allow(dead_code)] // exercised by unit tests; kept for API symmetry with len()
+    pub(crate) fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("coin");
+        assert_eq!(i.resolve(a), "coin");
+        assert_eq!(i.get("coin"), Some(a));
+        assert_eq!(i.get("tea"), None);
+    }
+
+    #[test]
+    fn iteration_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let names: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(!i.is_empty());
+    }
+}

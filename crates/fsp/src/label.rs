@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// Identifier of an observable action (an element of `Σ`).
+///
+/// Action identifiers are dense indices into the action alphabet of a single
+/// process, assigned in interning order by the builder.  The unobservable
+/// action `τ` is *not* an `ActionId`; it is represented by
+/// [`Label::Tau`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(u32);
+
+impl ActionId {
+    /// Creates an action identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ActionId(u32::try_from(index).expect("action index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this action.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifier of a variable (an element of `V`, used by the extension
+/// relation `E ⊆ K × V`).
+///
+/// The standard model uses the single variable `x`
+/// ([`ACCEPT_VAR`](crate::ACCEPT_VAR)), recovering classical NFA acceptance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates a variable identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A transition label: either the unobservable action `τ` or an observable
+/// action from `Σ`.
+///
+/// ```
+/// use ccs_fsp::{ActionId, Label};
+/// let a = Label::Act(ActionId::from_index(0));
+/// assert!(!a.is_tau());
+/// assert!(Label::Tau.is_tau());
+/// assert_eq!(a.action(), Some(ActionId::from_index(0)));
+/// assert_eq!(Label::Tau.action(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Label {
+    /// The unobservable action `τ` (the CCS analogue of an ε-move).
+    Tau,
+    /// An observable action from the alphabet `Σ`.
+    Act(ActionId),
+}
+
+impl Label {
+    /// Returns `true` iff this label is the unobservable action `τ`.
+    #[must_use]
+    pub fn is_tau(self) -> bool {
+        matches!(self, Label::Tau)
+    }
+
+    /// Returns the observable action, or `None` for `τ`.
+    #[must_use]
+    pub fn action(self) -> Option<ActionId> {
+        match self {
+            Label::Tau => None,
+            Label::Act(a) => Some(a),
+        }
+    }
+}
+
+impl From<ActionId> for Label {
+    fn from(value: ActionId) -> Self {
+        Label::Act(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_round_trip() {
+        assert_eq!(ActionId::from_index(9).index(), 9);
+        assert_eq!(VarId::from_index(2).index(), 2);
+    }
+
+    #[test]
+    fn label_predicates() {
+        let a = ActionId::from_index(1);
+        assert!(Label::Tau.is_tau());
+        assert!(!Label::Act(a).is_tau());
+        assert_eq!(Label::Act(a).action(), Some(a));
+        assert_eq!(Label::Tau.action(), None);
+    }
+
+    #[test]
+    fn label_from_action() {
+        let a = ActionId::from_index(4);
+        assert_eq!(Label::from(a), Label::Act(a));
+    }
+
+    #[test]
+    fn label_ordering_puts_tau_first() {
+        assert!(Label::Tau < Label::Act(ActionId::from_index(0)));
+    }
+}

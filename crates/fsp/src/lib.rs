@@ -1,0 +1,94 @@
+//! Finite State Processes (FSPs) — the process model of Kanellakis & Smolka,
+//! *"CCS Expressions, Finite State Processes, and Three Problems of
+//! Equivalence"* (Definition 2.1.1).
+//!
+//! An FSP is a sextuple `(K, p0, Σ, Δ, V, E)`:
+//!
+//! * `K` — a finite set of states,
+//! * `p0 ∈ K` — the start state,
+//! * `Σ` — a finite set of observable *actions*, plus the distinguished
+//!   unobservable action `τ`,
+//! * `Δ ⊆ K × (Σ ∪ {τ}) × K` — the transition relation,
+//! * `V` — a finite set of *variables* (acceptance flavours),
+//! * `E ⊆ K × V` — the extension relation labelling states with variables.
+//!
+//! An FSP is exactly a nondeterministic finite automaton with ε-moves (here
+//! written `τ`) whose states carry sets of variables instead of a single
+//! accept bit.  The special variable `x` recovers the classical notion of
+//! acceptance: a *standard* FSP uses `V = {x}` and a state is accepting iff
+//! its extension set is `{x}` (see [`Fsp::is_accepting`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use ccs_fsp::{Fsp, Label};
+//!
+//! // A tiny vending machine: insert a coin, then choose tea or coffee.
+//! let mut b = Fsp::builder("vending");
+//! let idle = b.state("idle");
+//! let paid = b.state("paid");
+//! let done = b.state("done");
+//! let coin = b.action("coin");
+//! let tea = b.action("tea");
+//! let coffee = b.action("coffee");
+//! b.set_start(idle);
+//! b.add_transition(idle, Label::Act(coin), paid);
+//! b.add_transition(paid, Label::Act(tea), done);
+//! b.add_transition(paid, Label::Act(coffee), done);
+//! b.mark_accepting(done);
+//! let fsp = b.build()?;
+//!
+//! assert_eq!(fsp.num_states(), 3);
+//! assert_eq!(fsp.num_transitions(), 3);
+//! assert!(fsp.profile().observable);
+//! # Ok::<(), ccs_fsp::FspError>(())
+//! ```
+//!
+//! # Modules
+//!
+//! * [`builder`] — incremental construction of processes.
+//! * [`model`] — classification into the FSP hierarchy of the paper's
+//!   Table I / Fig. 1a (general, observable, standard, restricted, r.o.u.,
+//!   deterministic, finite tree, ...).
+//! * [`ops`] — combinators: disjoint union, CCS-style choice and prefixing,
+//!   relabelling, synchronous product, restriction to the reachable part.
+//! * [`reach`] — reachability and structural queries.
+//! * [`saturate`] — the weak (double-arrow) transition relation `⇒` used to
+//!   reduce observational equivalence to strong equivalence (Theorem 4.1(a)).
+//! * [`format`] — a plain-text interchange format with parser and printer.
+//! * [`dot`] — Graphviz export for visual inspection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod dot;
+mod error;
+pub mod format;
+mod interner;
+mod label;
+pub mod model;
+pub mod ops;
+mod process;
+pub mod reach;
+pub mod saturate;
+mod state;
+
+pub use builder::FspBuilder;
+pub use error::FspError;
+pub use label::{ActionId, Label, VarId};
+pub use model::{ModelClass, ModelProfile};
+pub use process::{Fsp, Transition};
+pub use state::StateId;
+
+/// Name of the conventional acceptance variable of the *standard* model.
+///
+/// A standard FSP uses `V = {x}`; a state `q` is accepting iff `E(q) = {x}`
+/// (Section 2.1 of the paper).
+pub const ACCEPT_VAR: &str = "x";
+
+/// Reserved action name used by [`saturate::saturate`] for the ε column of
+/// the weak transition relation (`p ⇒ε q` iff `q` is reachable from `p` via
+/// zero or more `τ`-moves).
+pub const EPSILON_ACTION: &str = "__eps";

@@ -1,0 +1,375 @@
+//! Classification of processes into the FSP hierarchy of Table I / Fig. 1a.
+//!
+//! The paper distinguishes ten model classes:
+//!
+//! * **general** — any FSP (Definition 2.1.1);
+//! * **observable** — no τ-transitions;
+//! * **standard** — `V = {x}`: every state is either accepting (`E(q) =
+//!   {x}`) or non-accepting (`E(q) = ∅`), i.e. a classical NFA with ε-moves;
+//! * **deterministic** — observable, with *exactly one* transition per state
+//!   per action of `Σ`;
+//! * **restricted** — standard with *all* states accepting;
+//! * **restricted observable** — restricted and observable;
+//! * **r.o.u.** — restricted, observable and unary (`|Σ| = 1`);
+//! * **standard observable** and **s.o.u.** — analogous;
+//! * **finite tree** — restricted, and the underlying directed graph is a
+//!   tree rooted at `p0`.
+
+use std::fmt;
+
+use crate::process::Fsp;
+use crate::state::StateId;
+use crate::{Label, ACCEPT_VAR};
+
+/// The model classes of Table I, ordered roughly from most general to most
+/// specific.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ModelClass {
+    /// Any FSP (Definition 2.1.1).
+    General,
+    /// No τ-transitions.
+    Observable,
+    /// `V ⊆ {x}`: a classical NFA with ε-moves.
+    Standard,
+    /// Standard and observable: a classical NFA without ε-moves.
+    StandardObservable,
+    /// Standard, observable and unary (`|Σ| = 1`).
+    StandardObservableUnary,
+    /// Observable with exactly one transition per state per action.
+    Deterministic,
+    /// Standard with every state accepting.
+    Restricted,
+    /// Restricted and observable.
+    RestrictedObservable,
+    /// Restricted, observable and unary (`|Σ| = 1`).
+    RestrictedObservableUnary,
+    /// Restricted and the underlying graph is a tree rooted at `p0`.
+    FiniteTree,
+}
+
+impl fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ModelClass::General => "general",
+            ModelClass::Observable => "observable",
+            ModelClass::Standard => "standard",
+            ModelClass::StandardObservable => "standard observable",
+            ModelClass::StandardObservableUnary => "standard observable unary (s.o.u.)",
+            ModelClass::Deterministic => "deterministic",
+            ModelClass::Restricted => "restricted",
+            ModelClass::RestrictedObservable => "restricted observable",
+            ModelClass::RestrictedObservableUnary => "restricted observable unary (r.o.u.)",
+            ModelClass::FiniteTree => "finite tree",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Structural profile of a process: which defining properties of the FSP
+/// hierarchy it satisfies.
+///
+/// Obtained with [`profile`] or [`Fsp::profile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelProfile {
+    /// No τ-transitions.
+    pub observable: bool,
+    /// `V ⊆ {x}` (every extension set is `∅` or `{x}`).
+    pub standard: bool,
+    /// Standard with every state accepting.
+    pub restricted: bool,
+    /// Observable with exactly one transition per state per action.
+    pub deterministic: bool,
+    /// `|Σ| = 1`.
+    pub unary: bool,
+    /// Restricted and the underlying directed graph is a tree rooted at `p0`
+    /// covering all states.
+    pub finite_tree: bool,
+}
+
+impl ModelProfile {
+    /// All model classes of Table I that the process belongs to, from most
+    /// general to most specific.
+    #[must_use]
+    pub fn classes(&self) -> Vec<ModelClass> {
+        let mut out = vec![ModelClass::General];
+        if self.observable {
+            out.push(ModelClass::Observable);
+        }
+        if self.standard {
+            out.push(ModelClass::Standard);
+        }
+        if self.standard && self.observable {
+            out.push(ModelClass::StandardObservable);
+        }
+        if self.standard && self.observable && self.unary {
+            out.push(ModelClass::StandardObservableUnary);
+        }
+        if self.deterministic {
+            out.push(ModelClass::Deterministic);
+        }
+        if self.restricted {
+            out.push(ModelClass::Restricted);
+        }
+        if self.restricted && self.observable {
+            out.push(ModelClass::RestrictedObservable);
+        }
+        if self.restricted && self.observable && self.unary {
+            out.push(ModelClass::RestrictedObservableUnary);
+        }
+        if self.finite_tree {
+            out.push(ModelClass::FiniteTree);
+        }
+        out
+    }
+
+    /// Returns `true` iff the process belongs to `class`.
+    #[must_use]
+    pub fn is(&self, class: ModelClass) -> bool {
+        self.classes().contains(&class)
+    }
+}
+
+/// Returns `true` iff the process has no τ-transitions (the *observable*
+/// model of Milner 1984).
+#[must_use]
+pub fn is_observable(fsp: &Fsp) -> bool {
+    !fsp.has_tau_transitions()
+}
+
+/// Returns `true` iff the process is *standard*: `V ⊆ {x}`, i.e. it can be
+/// viewed as a classical NFA with ε-moves where `E(q) = {x}` means accepting
+/// and `E(q) = ∅` means non-accepting.
+#[must_use]
+pub fn is_standard(fsp: &Fsp) -> bool {
+    match fsp.num_vars() {
+        0 => true,
+        1 => fsp.var_names() == vec![ACCEPT_VAR],
+        _ => false,
+    }
+}
+
+/// Returns `true` iff the process is *restricted*: standard with every state
+/// accepting (so the only feature distinguishing states is the absence of
+/// certain transitions).
+#[must_use]
+pub fn is_restricted(fsp: &Fsp) -> bool {
+    is_standard(fsp) && fsp.state_ids().all(|s| fsp.is_accepting(s))
+}
+
+/// Returns `true` iff the process is *deterministic*: observable and with
+/// exactly one transition per state for each action of `Σ`.
+#[must_use]
+pub fn is_deterministic(fsp: &Fsp) -> bool {
+    if !is_observable(fsp) {
+        return false;
+    }
+    let k = fsp.num_actions();
+    for s in fsp.state_ids() {
+        if fsp.out_degree(s) != k {
+            return false;
+        }
+        // Transitions are sorted; exactly one per action means k distinct labels.
+        let mut labels: Vec<Label> = fsp.transitions(s).iter().map(|t| t.label).collect();
+        labels.dedup();
+        if labels.len() != k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` iff the action alphabet is unary (`|Σ| = 1`).
+#[must_use]
+pub fn is_unary(fsp: &Fsp) -> bool {
+    fsp.num_actions() == 1
+}
+
+/// Returns `true` iff the process is *deterministic modulo missing
+/// transitions*: observable and with **at most** one transition per state per
+/// action.  This is the usual notion of a partial DFA; useful for the
+/// language-equivalence fast paths.
+#[must_use]
+pub fn is_action_deterministic(fsp: &Fsp) -> bool {
+    if !is_observable(fsp) {
+        return false;
+    }
+    for s in fsp.state_ids() {
+        let mut labels: Vec<Label> = fsp.transitions(s).iter().map(|t| t.label).collect();
+        let before = labels.len();
+        labels.dedup();
+        if labels.len() != before {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` iff the process is a *finite tree*: restricted and its
+/// underlying directed graph is a tree rooted at the start state covering
+/// every state (each non-root state has exactly one incoming transition, the
+/// root has none, and there are no cycles).
+#[must_use]
+pub fn is_finite_tree(fsp: &Fsp) -> bool {
+    if !is_restricted(fsp) {
+        return false;
+    }
+    let n = fsp.num_states();
+    let mut indegree = vec![0usize; n];
+    for (_, _, to) in fsp.all_transitions() {
+        indegree[to.index()] += 1;
+    }
+    if indegree[fsp.start().index()] != 0 {
+        return false;
+    }
+    if fsp.num_transitions() != n.saturating_sub(1) {
+        return false;
+    }
+    for (i, &d) in indegree.iter().enumerate() {
+        let is_root = i == fsp.start().index();
+        if !is_root && d != 1 {
+            return false;
+        }
+    }
+    // In-degrees are correct and |Δ| = n-1: the graph is a forest of
+    // functional parents; check every state is reachable from the root.
+    let reachable = crate::reach::reachable_states(fsp, fsp.start());
+    reachable.len() == n
+}
+
+/// Computes the full structural profile of a process.
+#[must_use]
+pub fn profile(fsp: &Fsp) -> ModelProfile {
+    ModelProfile {
+        observable: is_observable(fsp),
+        standard: is_standard(fsp),
+        restricted: is_restricted(fsp),
+        deterministic: is_deterministic(fsp),
+        unary: is_unary(fsp),
+        finite_tree: is_finite_tree(fsp),
+    }
+}
+
+/// Returns `true` iff `state` is a dead state (no outgoing transitions), the
+/// notion used in Theorem 4.1(c).
+#[must_use]
+pub fn is_dead_state(fsp: &Fsp, state: StateId) -> bool {
+    fsp.is_dead(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fsp;
+
+    fn build(edges: &[(&str, &str, &str)], accepting: &[&str], all_accept: bool) -> Fsp {
+        let mut b = Fsp::builder("t");
+        for (f, l, t) in edges {
+            b.transition(f, l, t);
+        }
+        for name in accepting {
+            let s = b.state(name);
+            b.mark_accepting(s);
+        }
+        if all_accept {
+            b.mark_all_accepting();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn observable_iff_no_tau() {
+        let with_tau = build(&[("p", "tau", "q")], &[], false);
+        let without = build(&[("p", "a", "q")], &[], false);
+        assert!(!is_observable(&with_tau));
+        assert!(is_observable(&without));
+    }
+
+    #[test]
+    fn standard_requires_only_x() {
+        let std = build(&[("p", "a", "q")], &["q"], false);
+        assert!(is_standard(&std));
+        let mut b = Fsp::builder("t");
+        let p = b.state("p");
+        b.add_extension(p, "y");
+        let nonstd = b.build().unwrap();
+        assert!(!is_standard(&nonstd));
+    }
+
+    #[test]
+    fn restricted_requires_all_accepting() {
+        let restricted = build(&[("p", "a", "q")], &[], true);
+        assert!(is_restricted(&restricted));
+        let partial = build(&[("p", "a", "q")], &["q"], false);
+        assert!(!is_restricted(&partial));
+    }
+
+    #[test]
+    fn deterministic_requires_exactly_one_per_action() {
+        // Complete one-action loop: deterministic.
+        let det = build(&[("p", "a", "q"), ("q", "a", "p")], &[], true);
+        assert!(is_deterministic(&det));
+        // Missing transition for q: not deterministic (but action-deterministic).
+        let partial = build(&[("p", "a", "q")], &[], true);
+        assert!(!is_deterministic(&partial));
+        assert!(is_action_deterministic(&partial));
+        // Nondeterministic on a.
+        let nondet = build(&[("p", "a", "q"), ("p", "a", "p")], &[], true);
+        assert!(!is_deterministic(&nondet));
+        assert!(!is_action_deterministic(&nondet));
+    }
+
+    #[test]
+    fn unary_counts_alphabet() {
+        let unary = build(&[("p", "a", "q")], &[], false);
+        assert!(is_unary(&unary));
+        let binary = build(&[("p", "a", "q"), ("q", "b", "p")], &[], false);
+        assert!(!is_unary(&binary));
+    }
+
+    #[test]
+    fn finite_tree_detection() {
+        let tree = build(&[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "w")], &[], true);
+        assert!(is_finite_tree(&tree));
+        // A cycle is not a tree.
+        let cyc = build(&[("p", "a", "q"), ("q", "a", "p")], &[], true);
+        assert!(!is_finite_tree(&cyc));
+        // A DAG with two parents is not a tree.
+        let dag = build(&[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "v")], &[], true);
+        assert!(!is_finite_tree(&dag));
+        // Not restricted => not a finite tree in the paper's sense.
+        let not_restricted = build(&[("r", "a", "u")], &[], false);
+        assert!(!is_finite_tree(&not_restricted));
+    }
+
+    #[test]
+    fn profile_and_classes() {
+        let rou = build(&[("p", "a", "q"), ("q", "a", "q")], &[], true);
+        let prof = profile(&rou);
+        assert!(prof.observable && prof.restricted && prof.unary);
+        assert!(prof.is(ModelClass::RestrictedObservableUnary));
+        assert!(prof.is(ModelClass::General));
+        assert!(!prof.is(ModelClass::FiniteTree));
+        let classes = prof.classes();
+        assert_eq!(classes[0], ModelClass::General);
+        assert!(classes.contains(&ModelClass::RestrictedObservable));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            ModelClass::RestrictedObservableUnary.to_string(),
+            "restricted observable unary (r.o.u.)"
+        );
+        assert_eq!(ModelClass::General.to_string(), "general");
+    }
+
+    #[test]
+    fn dead_state_helper() {
+        let f = build(&[("p", "a", "q")], &[], false);
+        let q = f.state_by_name("q").unwrap();
+        let p = f.state_by_name("p").unwrap();
+        assert!(is_dead_state(&f, q));
+        assert!(!is_dead_state(&f, p));
+    }
+}

@@ -1,0 +1,565 @@
+//! Combinators on processes: disjoint union, CCS-style choice and prefixing,
+//! relabelling, restriction to the reachable part, and synchronous product.
+//!
+//! Equivalence checkers work on *states of a single process* (as in
+//! Lemma 3.1), so comparing two separate processes starts with
+//! [`disjoint_union`], which merges alphabets by action name and returns the
+//! images of both start states.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use crate::interner::Interner;
+use crate::label::{Label, VarId};
+use crate::process::{Fsp, StateData, Transition};
+use crate::state::StateId;
+use crate::{FspError, ACCEPT_VAR};
+
+/// Result of [`disjoint_union`]: the combined process plus the mapping of the
+/// original state identifiers into it.
+#[derive(Clone, Debug)]
+pub struct UnionMap {
+    /// The combined process.
+    pub fsp: Fsp,
+    /// `left[i]` is the image in the union of state `i` of the left operand.
+    pub left: Vec<StateId>,
+    /// `right[i]` is the image in the union of state `i` of the right operand.
+    pub right: Vec<StateId>,
+}
+
+fn remap_labels(
+    fsp: &Fsp,
+    actions: &mut Interner,
+) -> Vec<Label> {
+    // Map each action index of `fsp` to a label in the combined alphabet.
+    fsp.action_ids()
+        .map(|a| {
+            let id = actions.intern(fsp.action_name(a));
+            Label::Act(crate::ActionId::from_index(id as usize))
+        })
+        .collect()
+}
+
+fn remap_vars(fsp: &Fsp, vars: &mut Interner) -> Vec<VarId> {
+    fsp.var_ids()
+        .map(|v| VarId::from_index(vars.intern(fsp.var_name(v)) as usize))
+        .collect()
+}
+
+fn copy_states(
+    fsp: &Fsp,
+    offset: usize,
+    action_map: &[Label],
+    var_map: &[VarId],
+    name_prefix: &str,
+    out: &mut Vec<StateData>,
+) -> Vec<StateId> {
+    let mut images = Vec::with_capacity(fsp.num_states());
+    for p in fsp.state_ids() {
+        let new_id = StateId::from_index(offset + p.index());
+        images.push(new_id);
+        let transitions = fsp
+            .transitions(p)
+            .iter()
+            .map(|t| Transition {
+                label: match t.label {
+                    Label::Tau => Label::Tau,
+                    Label::Act(a) => action_map[a.index()],
+                },
+                target: StateId::from_index(offset + t.target.index()),
+            })
+            .collect();
+        let extensions: BTreeSet<VarId> = fsp
+            .extensions(p)
+            .iter()
+            .map(|v| var_map[v.index()])
+            .collect();
+        let name = fsp
+            .state_name(p)
+            .map(|n| format!("{name_prefix}{n}"))
+            .or_else(|| Some(format!("{name_prefix}{p}")));
+        out.push(StateData {
+            name,
+            extensions,
+            transitions,
+        });
+    }
+    images
+}
+
+/// Forms the disjoint union of two processes, merging their alphabets and
+/// variable sets by name.
+///
+/// State names are prefixed with `L:` / `R:` to keep them unique; the
+/// returned [`UnionMap`] records where each original state ended up.
+///
+/// ```
+/// use ccs_fsp::{Fsp, ops};
+/// let mut a = Fsp::builder("a"); a.transition("p", "x", "q");
+/// let mut b = Fsp::builder("b"); b.transition("u", "x", "v");
+/// let u = ops::disjoint_union(&a.build()?, &b.build()?);
+/// assert_eq!(u.fsp.num_states(), 4);
+/// assert_eq!(u.fsp.num_actions(), 1); // the shared action `x`
+/// # Ok::<(), ccs_fsp::FspError>(())
+/// ```
+#[must_use]
+pub fn disjoint_union(left: &Fsp, right: &Fsp) -> UnionMap {
+    let mut actions = Interner::new();
+    let mut vars = Interner::new();
+    let left_actions = remap_labels(left, &mut actions);
+    let right_actions = remap_labels(right, &mut actions);
+    let left_vars = remap_vars(left, &mut vars);
+    let right_vars = remap_vars(right, &mut vars);
+
+    let mut states = Vec::with_capacity(left.num_states() + right.num_states());
+    let left_images = copy_states(left, 0, &left_actions, &left_vars, "L:", &mut states);
+    let right_images = copy_states(
+        right,
+        left.num_states(),
+        &right_actions,
+        &right_vars,
+        "R:",
+        &mut states,
+    );
+
+    let start = left_images[left.start().index()];
+    let fsp = Fsp::from_parts(
+        format!("{}+{}", left.name(), right.name()),
+        start,
+        states,
+        actions,
+        vars,
+    );
+    UnionMap {
+        fsp,
+        left: left_images,
+        right: right_images,
+    }
+}
+
+/// Images of the two start states after [`disjoint_union`].
+#[must_use]
+pub fn union_starts(map: &UnionMap, left: &Fsp, right: &Fsp) -> (StateId, StateId) {
+    (
+        map.left[left.start().index()],
+        map.right[right.start().index()],
+    )
+}
+
+/// CCS-style action prefix `a · P`: a new start state with a single
+/// `a`-transition into (a copy of) the start state of `P`.
+///
+/// This is the process the star expression `a.P` denotes when `P` is given by
+/// its representative FSP (Definition 2.3.1); it is the building block of the
+/// Theorem 4.1(b) gadget.
+#[must_use]
+pub fn prefix(action: &str, p: &Fsp) -> Fsp {
+    let mut actions = Interner::new();
+    let mut vars = Interner::new();
+    let p_actions = remap_labels(p, &mut actions);
+    let p_vars = remap_vars(p, &mut vars);
+    let prefix_label = Label::Act(crate::ActionId::from_index(actions.intern(action) as usize));
+
+    let mut states = Vec::with_capacity(p.num_states() + 1);
+    let images = copy_states(p, 0, &p_actions, &p_vars, "", &mut states);
+    let new_start = StateId::from_index(states.len());
+    states.push(StateData {
+        name: Some("start".to_owned()),
+        extensions: BTreeSet::new(),
+        transitions: vec![Transition {
+            label: prefix_label,
+            target: images[p.start().index()],
+        }],
+    });
+    Fsp::from_parts(
+        format!("{action}.{}", p.name()),
+        new_start,
+        states,
+        actions,
+        vars,
+    )
+}
+
+/// CCS-style binary choice `P ∪ Q` following the union construction of
+/// Definition 2.3.1: a fresh start state whose transitions and extensions are
+/// those of both original start states.
+///
+/// Note that, unlike the disjoint union, the new start state *simulates* both
+/// starts; this is the semantics of the star-expression operator `∪`.
+#[must_use]
+pub fn choice(left: &Fsp, right: &Fsp) -> Fsp {
+    let mut actions = Interner::new();
+    let mut vars = Interner::new();
+    let left_actions = remap_labels(left, &mut actions);
+    let right_actions = remap_labels(right, &mut actions);
+    let left_vars = remap_vars(left, &mut vars);
+    let right_vars = remap_vars(right, &mut vars);
+
+    let mut states = Vec::with_capacity(left.num_states() + right.num_states() + 1);
+    let left_images = copy_states(left, 0, &left_actions, &left_vars, "L:", &mut states);
+    let right_images = copy_states(
+        right,
+        left.num_states(),
+        &right_actions,
+        &right_vars,
+        "R:",
+        &mut states,
+    );
+
+    let new_start = StateId::from_index(states.len());
+    let mut transitions = Vec::new();
+    let mut extensions = BTreeSet::new();
+    for (images, fsp) in [(&left_images, left), (&right_images, right)] {
+        let start_img = images[fsp.start().index()];
+        transitions.extend(states[start_img.index()].transitions.iter().copied());
+        extensions.extend(states[start_img.index()].extensions.iter().copied());
+    }
+    states.push(StateData {
+        name: Some("choice".to_owned()),
+        extensions,
+        transitions,
+    });
+    Fsp::from_parts(
+        format!("({})u({})", left.name(), right.name()),
+        new_start,
+        states,
+        actions,
+        vars,
+    )
+}
+
+/// Makes every state accepting, producing a process of the *restricted* model
+/// (all extension sets become exactly `{x}`).
+#[must_use]
+pub fn make_restricted(fsp: &Fsp) -> Fsp {
+    let mut vars = Interner::new();
+    let x = VarId::from_index(vars.intern(ACCEPT_VAR) as usize);
+    let states = fsp
+        .state_ids()
+        .map(|p| StateData {
+            name: fsp.state_name(p).map(str::to_owned),
+            extensions: BTreeSet::from([x]),
+            transitions: fsp.transitions(p).to_vec(),
+        })
+        .collect();
+    Fsp::from_parts(
+        format!("{}|restricted", fsp.name()),
+        fsp.start(),
+        states,
+        fsp.actions.clone(),
+        vars,
+    )
+}
+
+/// Renames observable actions according to `mapping` (actions not mentioned
+/// keep their names).  Renaming two actions to the same name merges them.
+#[must_use]
+pub fn relabel(fsp: &Fsp, mapping: &HashMap<String, String>) -> Fsp {
+    let mut actions = Interner::new();
+    let action_map: Vec<Label> = fsp
+        .action_ids()
+        .map(|a| {
+            let old = fsp.action_name(a);
+            let new = mapping.get(old).map_or(old, String::as_str);
+            Label::Act(crate::ActionId::from_index(actions.intern(new) as usize))
+        })
+        .collect();
+    let states = fsp
+        .state_ids()
+        .map(|p| StateData {
+            name: fsp.state_name(p).map(str::to_owned),
+            extensions: fsp.extensions(p).clone(),
+            transitions: fsp
+                .transitions(p)
+                .iter()
+                .map(|t| Transition {
+                    label: match t.label {
+                        Label::Tau => Label::Tau,
+                        Label::Act(a) => action_map[a.index()],
+                    },
+                    target: t.target,
+                })
+                .collect(),
+        })
+        .collect();
+    Fsp::from_parts(
+        format!("{}|relabel", fsp.name()),
+        fsp.start(),
+        states,
+        actions,
+        fsp.vars.clone(),
+    )
+}
+
+/// Restricts a process to the states reachable from its start state.
+///
+/// Returns the restricted process and, for each original state, its new
+/// identifier (or `None` if it was unreachable).
+#[must_use]
+pub fn restrict_to_reachable(fsp: &Fsp) -> (Fsp, Vec<Option<StateId>>) {
+    let reachable = crate::reach::reachable_states(fsp, fsp.start());
+    let mut mapping: Vec<Option<StateId>> = vec![None; fsp.num_states()];
+    let mut sorted = reachable;
+    sorted.sort_unstable();
+    for (new_idx, &old) in sorted.iter().enumerate() {
+        mapping[old.index()] = Some(StateId::from_index(new_idx));
+    }
+    let states = sorted
+        .iter()
+        .map(|&p| StateData {
+            name: fsp.state_name(p).map(str::to_owned),
+            extensions: fsp.extensions(p).clone(),
+            transitions: fsp
+                .transitions(p)
+                .iter()
+                .filter_map(|t| {
+                    mapping[t.target.index()].map(|target| Transition {
+                        label: t.label,
+                        target,
+                    })
+                })
+                .collect(),
+        })
+        .collect();
+    let start = mapping[fsp.start().index()].expect("start state is always reachable");
+    let restricted = Fsp::from_parts(
+        format!("{}|reach", fsp.name()),
+        start,
+        states,
+        fsp.actions.clone(),
+        fsp.vars.clone(),
+    );
+    (restricted, mapping)
+}
+
+/// Synchronous product of two *observable* processes over their shared
+/// alphabet: the product moves on action `a` exactly when both components do.
+///
+/// A product state carries a variable iff both components do; in the standard
+/// model this is the usual "accepting iff both accepting" product used for
+/// language-intersection arguments.  Only the reachable part is constructed.
+///
+/// # Errors
+///
+/// Returns [`FspError::ModelMismatch`] if either process has τ-transitions.
+pub fn synchronous_product(left: &Fsp, right: &Fsp) -> Result<Fsp, FspError> {
+    if left.has_tau_transitions() || right.has_tau_transitions() {
+        return Err(FspError::ModelMismatch {
+            expected: "observable (no tau transitions) operands for synchronous product".into(),
+        });
+    }
+    let mut actions = Interner::new();
+    let left_actions = remap_labels(left, &mut actions);
+    let mut vars = Interner::new();
+    let left_vars = remap_vars(left, &mut vars);
+    // Right action/var images resolved on demand by name.
+    let mut states: Vec<StateData> = Vec::new();
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: Vec<(StateId, StateId)> = Vec::new();
+    let start_pair = (left.start(), right.start());
+
+    let get_or_create =
+        |pair: (StateId, StateId),
+         states: &mut Vec<StateData>,
+         queue: &mut Vec<(StateId, StateId)>,
+         index: &mut HashMap<(StateId, StateId), StateId>| {
+            if let Some(&id) = index.get(&pair) {
+                return id;
+            }
+            let id = StateId::from_index(states.len());
+            states.push(StateData {
+                name: Some(format!(
+                    "({},{})",
+                    left.state_label(pair.0),
+                    right.state_label(pair.1)
+                )),
+                extensions: BTreeSet::new(),
+                transitions: Vec::new(),
+            });
+            index.insert(pair, id);
+            queue.push(pair);
+            id
+        };
+
+    let start = get_or_create(start_pair, &mut states, &mut queue, &mut index);
+    let _ = start;
+    let mut head = 0;
+    while head < queue.len() {
+        let (lp, rp) = queue[head];
+        head += 1;
+        let id = index[&(lp, rp)];
+        // Extensions: variables present on both sides (matched by name).
+        let mut exts = BTreeSet::new();
+        for v in left.extensions(lp) {
+            let name = left.var_name(*v);
+            if right
+                .extensions(rp)
+                .iter()
+                .any(|rv| right.var_name(*rv) == name)
+            {
+                exts.insert(left_vars[v.index()]);
+            }
+        }
+        let mut transitions = Vec::new();
+        for lt in left.transitions(lp) {
+            let la = lt.label.action().expect("observable process");
+            let a_name = left.action_name(la);
+            if let Some(ra) = right.action_id(a_name) {
+                for rt in right.transitions(rp) {
+                    if rt.label == Label::Act(ra) {
+                        let target = get_or_create(
+                            (lt.target, rt.target),
+                            &mut states,
+                            &mut queue,
+                            &mut index,
+                        );
+                        transitions.push(Transition {
+                            label: left_actions[la.index()],
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        states[id.index()].extensions = exts;
+        states[id.index()].transitions = transitions;
+    }
+    Ok(Fsp::from_parts(
+        format!("{}x{}", left.name(), right.name()),
+        StateId::from_index(0),
+        states,
+        actions,
+        vars,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fsp;
+
+    fn ab_process() -> Fsp {
+        let mut b = Fsp::builder("ab");
+        b.transition("p", "a", "q");
+        b.transition("q", "b", "p");
+        let q = b.state("q");
+        b.mark_accepting(q);
+        b.build().unwrap()
+    }
+
+    fn ac_process() -> Fsp {
+        let mut b = Fsp::builder("ac");
+        b.transition("u", "a", "v");
+        b.transition("v", "c", "u");
+        let v = b.state("v");
+        b.mark_accepting(v);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disjoint_union_merges_alphabets_by_name() {
+        let u = disjoint_union(&ab_process(), &ac_process());
+        assert_eq!(u.fsp.num_states(), 4);
+        assert_eq!(u.fsp.num_actions(), 3); // a, b, c
+        assert_eq!(u.fsp.num_transitions(), 4);
+        let (ls, rs) = union_starts(&u, &ab_process(), &ac_process());
+        assert_ne!(ls, rs);
+        assert_eq!(u.fsp.start(), ls);
+        // Shared action `a` exists exactly once.
+        assert!(u.fsp.action_id("a").is_some());
+    }
+
+    #[test]
+    fn disjoint_union_preserves_acceptance() {
+        let left = ab_process();
+        let right = ac_process();
+        let u = disjoint_union(&left, &right);
+        let lq = u.left[left.state_by_name("q").unwrap().index()];
+        let rv = u.right[right.state_by_name("v").unwrap().index()];
+        assert!(u.fsp.is_accepting(lq));
+        assert!(u.fsp.is_accepting(rv));
+        assert_eq!(u.fsp.accepting_states().len(), 2);
+    }
+
+    #[test]
+    fn prefix_adds_one_state_and_transition() {
+        let p = ab_process();
+        let f = prefix("go", &p);
+        assert_eq!(f.num_states(), p.num_states() + 1);
+        assert_eq!(f.num_transitions(), p.num_transitions() + 1);
+        let start = f.start();
+        assert_eq!(f.out_degree(start), 1);
+        assert_eq!(f.label_name(f.transitions(start)[0].label), "go");
+    }
+
+    #[test]
+    fn choice_start_has_both_branches() {
+        let f = choice(&ab_process(), &ac_process());
+        let start = f.start();
+        // Both components start with an `a` move, so the choice start has two
+        // outgoing `a` transitions.
+        let a = f.action_id("a").unwrap();
+        assert_eq!(f.successors(start, Label::Act(a)).count(), 2);
+        assert_eq!(f.num_states(), 4 + 1);
+    }
+
+    #[test]
+    fn make_restricted_marks_everything() {
+        let f = make_restricted(&ab_process());
+        assert!(f.profile().restricted);
+        assert_eq!(f.accepting_states().len(), f.num_states());
+        assert_eq!(f.num_transitions(), ab_process().num_transitions());
+    }
+
+    #[test]
+    fn relabel_renames_and_merges() {
+        let mut mapping = HashMap::new();
+        mapping.insert("b".to_owned(), "a".to_owned());
+        let f = relabel(&ab_process(), &mapping);
+        assert_eq!(f.num_actions(), 1);
+        assert!(f.action_id("a").is_some());
+        assert!(f.action_id("b").is_none());
+    }
+
+    #[test]
+    fn restrict_to_reachable_drops_islands() {
+        let mut b = Fsp::builder("t");
+        b.transition("p", "a", "q");
+        b.transition("island", "a", "island2");
+        let p = b.state("p");
+        b.set_start(p);
+        let f = b.build().unwrap();
+        let (r, mapping) = restrict_to_reachable(&f);
+        assert_eq!(r.num_states(), 2);
+        assert!(mapping[f.state_by_name("island").unwrap().index()].is_none());
+        assert!(mapping[f.state_by_name("q").unwrap().index()].is_some());
+        assert!(crate::reach::is_connected(&r));
+    }
+
+    #[test]
+    fn synchronous_product_requires_observable() {
+        let mut b = Fsp::builder("tau");
+        b.transition("p", "tau", "q");
+        let f = b.build().unwrap();
+        assert!(synchronous_product(&f, &ab_process()).is_err());
+    }
+
+    #[test]
+    fn synchronous_product_intersects_behaviour() {
+        // ab loop × ac loop: both can do `a`, then left wants `b`, right wants
+        // `c` — the product deadlocks after one step.
+        let prod = synchronous_product(&ab_process(), &ac_process()).unwrap();
+        assert_eq!(prod.num_states(), 2);
+        assert_eq!(prod.num_transitions(), 1);
+        // The second state is accepting on both sides.
+        let accepting = prod.accepting_states();
+        assert_eq!(accepting.len(), 1);
+    }
+
+    #[test]
+    fn synchronous_product_of_identical_loops_is_a_loop() {
+        let prod = synchronous_product(&ab_process(), &ab_process()).unwrap();
+        assert_eq!(prod.num_states(), 2);
+        assert_eq!(prod.num_transitions(), 2);
+    }
+}

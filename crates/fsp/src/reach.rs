@@ -1,0 +1,195 @@
+//! Reachability and structural queries on processes.
+
+use std::collections::VecDeque;
+
+use crate::process::Fsp;
+use crate::state::StateId;
+
+/// Returns the states reachable from `from` (including `from` itself), in
+/// breadth-first order.
+#[must_use]
+pub fn reachable_states(fsp: &Fsp, from: StateId) -> Vec<StateId> {
+    let mut seen = vec![false; fsp.num_states()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[from.index()] = true;
+    queue.push_back(from);
+    while let Some(s) = queue.pop_front() {
+        order.push(s);
+        for t in fsp.transitions(s) {
+            if !seen[t.target.index()] {
+                seen[t.target.index()] = true;
+                queue.push_back(t.target);
+            }
+        }
+    }
+    order
+}
+
+/// Returns a boolean mask over all states: `true` iff the state is reachable
+/// from the start state.
+#[must_use]
+pub fn reachable_mask(fsp: &Fsp) -> Vec<bool> {
+    let mut mask = vec![false; fsp.num_states()];
+    for s in reachable_states(fsp, fsp.start()) {
+        mask[s.index()] = true;
+    }
+    mask
+}
+
+/// Returns all dead states (states with no outgoing transitions).
+#[must_use]
+pub fn dead_states(fsp: &Fsp) -> Vec<StateId> {
+    fsp.state_ids().filter(|&s| fsp.is_dead(s)).collect()
+}
+
+/// Returns `true` iff every state of the process is reachable from the start
+/// state.
+#[must_use]
+pub fn is_connected(fsp: &Fsp) -> bool {
+    reachable_states(fsp, fsp.start()).len() == fsp.num_states()
+}
+
+/// Returns `true` iff the process contains a directed cycle (τ-moves
+/// included).
+#[must_use]
+pub fn has_cycle(fsp: &Fsp) -> bool {
+    // Iterative three-colour DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let n = fsp.num_states();
+    let mut colour = vec![Colour::White; n];
+    for root in 0..n {
+        if colour[root] != Colour::White {
+            continue;
+        }
+        // Stack of (state, next transition index to explore).
+        let mut stack = vec![(root, 0usize)];
+        colour[root] = Colour::Grey;
+        while let Some(&(s, next)) = stack.last() {
+            let trans = fsp.transitions(StateId::from_index(s));
+            if next < trans.len() {
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                let target = trans[next].target.index();
+                match colour[target] {
+                    Colour::White => {
+                        colour[target] = Colour::Grey;
+                        stack.push((target, 0));
+                    }
+                    Colour::Grey => return true,
+                    Colour::Black => {}
+                }
+            } else {
+                colour[s] = Colour::Black;
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// The length of the longest simple path from the start state when the
+/// process is acyclic, or `None` if it contains a cycle.
+///
+/// Useful as the depth bound for finite trees and DAG-shaped processes.
+#[must_use]
+pub fn acyclic_depth(fsp: &Fsp) -> Option<usize> {
+    if has_cycle(fsp) {
+        return None;
+    }
+    // Longest path via memoised DFS (the graph is a DAG).
+    let n = fsp.num_states();
+    let mut memo: Vec<Option<usize>> = vec![None; n];
+    fn depth(fsp: &Fsp, s: usize, memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(d) = memo[s] {
+            return d;
+        }
+        let mut best = 0;
+        for t in fsp.transitions(StateId::from_index(s)) {
+            best = best.max(1 + depth(fsp, t.target.index(), memo));
+        }
+        memo[s] = Some(best);
+        best
+    }
+    Some(depth(fsp, fsp.start().index(), &mut memo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fsp;
+
+    fn chain(n: usize) -> Fsp {
+        let mut b = Fsp::builder("chain");
+        for i in 0..n.saturating_sub(1) {
+            b.transition(&format!("s{i}"), "a", &format!("s{}", i + 1));
+        }
+        if n == 1 {
+            b.state("s0");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_in_a_chain() {
+        let f = chain(5);
+        assert_eq!(reachable_states(&f, f.start()).len(), 5);
+        assert!(is_connected(&f));
+        let mid = f.state_by_name("s2").unwrap();
+        assert_eq!(reachable_states(&f, mid).len(), 3);
+    }
+
+    #[test]
+    fn unreachable_states_are_detected() {
+        let mut b = Fsp::builder("t");
+        b.transition("p", "a", "q");
+        b.state("island");
+        let f = b.build().unwrap();
+        assert!(!is_connected(&f));
+        let mask = reachable_mask(&f);
+        assert_eq!(mask.iter().filter(|&&x| x).count(), 2);
+    }
+
+    #[test]
+    fn dead_state_listing() {
+        let f = chain(3);
+        let dead = dead_states(&f);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(f.state_label(dead[0]), "s2");
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let f = chain(4);
+        assert!(!has_cycle(&f));
+        let mut b = Fsp::builder("c");
+        b.transition("p", "a", "q");
+        b.transition("q", "a", "p");
+        let g = b.build().unwrap();
+        assert!(has_cycle(&g));
+        let mut b = Fsp::builder("self");
+        b.transition("p", "a", "p");
+        assert!(has_cycle(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn depth_of_acyclic_processes() {
+        assert_eq!(acyclic_depth(&chain(1)), Some(0));
+        assert_eq!(acyclic_depth(&chain(4)), Some(3));
+        let mut b = Fsp::builder("c");
+        b.transition("p", "a", "q");
+        b.transition("q", "a", "p");
+        assert_eq!(acyclic_depth(&b.build().unwrap()), None);
+    }
+
+    #[test]
+    fn reachable_from_single_state() {
+        let f = chain(1);
+        assert_eq!(reachable_states(&f, f.start()), vec![f.start()]);
+        assert!(is_connected(&f));
+    }
+}

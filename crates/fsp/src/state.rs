@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Identifier of a state inside a single [`Fsp`](crate::Fsp).
+///
+/// State identifiers are dense indices `0..n` assigned in creation order by
+/// the [`FspBuilder`](crate::FspBuilder).  They are only meaningful relative
+/// to the process that created them; combinators such as
+/// [`ops::disjoint_union`](crate::ops::disjoint_union) return explicit maps
+/// from old to new identifiers.
+///
+/// ```
+/// use ccs_fsp::StateId;
+/// let s = StateId::from_index(3);
+/// assert_eq!(s.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Creates a state identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        StateId(u32::try_from(index).expect("state index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<StateId> for usize {
+    fn from(value: StateId) -> Self {
+        value.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 7, 4096] {
+            assert_eq!(StateId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(StateId::from_index(1) < StateId::from_index(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(StateId::from_index(5).to_string(), "s5");
+        assert_eq!(format!("{:?}", StateId::from_index(5)), "s5");
+    }
+}

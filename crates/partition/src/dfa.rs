@@ -1,0 +1,195 @@
+//! Complete deterministic finite automata, the deterministic special case of
+//! Section 3 (`fₗ : S → S`, `m = k·n`).
+
+use std::fmt;
+
+/// A complete DFA over the label alphabet `0..num_labels`, with an arbitrary
+/// output class per state.
+///
+/// The classical accepting/non-accepting dichotomy corresponds to classes `1`
+/// and `0`; the more general per-state class plays the role of the extension
+/// set of an FSP and seeds the initial partition of minimization.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_labels: usize,
+    start: usize,
+    /// `delta[state][label]` — the unique successor.
+    delta: Vec<Vec<usize>>,
+    /// Output class per state.
+    class: Vec<usize>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `num_states` states and `num_labels` labels, all
+    /// transitions initially self-loops and all classes `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= num_states` or `num_states == 0`.
+    #[must_use]
+    pub fn new(num_states: usize, num_labels: usize, start: usize) -> Self {
+        assert!(num_states > 0, "a DFA needs at least one state");
+        assert!(start < num_states, "start state out of range");
+        Dfa {
+            num_labels,
+            start,
+            delta: (0..num_states).map(|s| vec![s; num_labels]).collect(),
+            class: vec![0; num_states],
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of labels.
+    #[must_use]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Sets `δ(state, label) = target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn set_transition(&mut self, state: usize, label: usize, target: usize) {
+        assert!(label < self.num_labels, "label out of range");
+        assert!(target < self.num_states(), "target out of range");
+        self.delta[state][label] = target;
+    }
+
+    /// Sets the output class of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn set_class(&mut self, state: usize, class: usize) {
+        self.class[state] = class;
+    }
+
+    /// Marks a state as accepting (class `1`) or non-accepting (class `0`).
+    pub fn set_accepting(&mut self, state: usize, accepting: bool) {
+        self.set_class(state, usize::from(accepting));
+    }
+
+    /// The unique successor `δ(state, label)`.
+    #[must_use]
+    pub fn step(&self, state: usize, label: usize) -> usize {
+        self.delta[state][label]
+    }
+
+    /// The output class of a state.
+    #[must_use]
+    pub fn class(&self, state: usize) -> usize {
+        self.class[state]
+    }
+
+    /// Returns `true` iff the state's class is non-zero.
+    #[must_use]
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.class[state] != 0
+    }
+
+    /// Runs the DFA on a word (sequence of labels) from the start state and
+    /// returns the final state.
+    #[must_use]
+    pub fn run(&self, word: &[usize]) -> usize {
+        word.iter().fold(self.start, |s, &l| self.step(s, l))
+    }
+
+    /// Returns `true` iff the DFA accepts `word` (final state has non-zero
+    /// class).
+    #[must_use]
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        self.is_accepting(self.run(word))
+    }
+
+    /// Converts the DFA into a generalized-partitioning [`Instance`]
+    /// (Section 3's deterministic case), seeding the initial partition with
+    /// the output classes.
+    #[must_use]
+    pub fn to_instance(&self) -> crate::Instance {
+        let mut inst = crate::Instance::new(self.num_states(), self.num_labels);
+        for s in 0..self.num_states() {
+            inst.set_initial_block(s, self.class[s]);
+            for l in 0..self.num_labels {
+                inst.add_edge(l, s, self.delta[s][l]);
+            }
+        }
+        inst
+    }
+}
+
+impl fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dfa")
+            .field("states", &self.num_states())
+            .field("labels", &self.num_labels)
+            .field("start", &self.start)
+            .field("classes", &self.class)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A DFA over {0,1} accepting words with an even number of 1s.
+    pub(crate) fn even_ones() -> Dfa {
+        let mut d = Dfa::new(2, 2, 0);
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 0);
+        d.set_accepting(0, true);
+        d
+    }
+
+    #[test]
+    fn construction_and_stepping() {
+        let d = even_ones();
+        assert_eq!(d.num_states(), 2);
+        assert_eq!(d.num_labels(), 2);
+        assert_eq!(d.start(), 0);
+        assert_eq!(d.step(0, 1), 1);
+        assert_eq!(d.run(&[1, 1, 0]), 0);
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 0, 1]));
+        assert!(!d.accepts(&[1]));
+        assert!(d.is_accepting(0));
+        assert!(!d.is_accepting(1));
+        assert_eq!(d.class(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "start state out of range")]
+    fn invalid_start_panics() {
+        let _ = Dfa::new(2, 1, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn invalid_target_panics() {
+        let mut d = Dfa::new(2, 1, 0);
+        d.set_transition(0, 0, 7);
+    }
+
+    #[test]
+    fn instance_conversion_counts_edges() {
+        let d = even_ones();
+        let inst = d.to_instance();
+        assert_eq!(inst.num_elements(), 2);
+        assert_eq!(inst.num_edges(), 4);
+        assert_eq!(inst.initial_blocks(), &[1, 0]);
+    }
+}

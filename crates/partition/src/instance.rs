@@ -1,0 +1,230 @@
+/// An instance of the generalized partitioning problem (Section 3).
+///
+/// The ground set is `0..num_elements()`; the `k` functions `fₗ : S → 2^S`
+/// are given as labelled edge sets (`fₗ(x) = {y | (x, y) ∈ Eₗ}`); the initial
+/// partition `π` is a block assignment (all elements default to block `0`).
+///
+/// ```
+/// use ccs_partition::Instance;
+/// let mut inst = Instance::new(3, 2);
+/// inst.set_initial_block(2, 1);    // element 2 starts in its own block
+/// inst.add_edge(0, 0, 1);          // f₀(0) ∋ 1
+/// inst.add_edge(1, 1, 2);          // f₁(1) ∋ 2
+/// assert_eq!(inst.num_edges(), 2);
+/// assert_eq!(inst.successors(0, 0), &[1]);
+/// assert_eq!(inst.predecessors(1, 2), &[1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    num_elements: usize,
+    num_labels: usize,
+    initial_block: Vec<usize>,
+    /// Per label, per element: successor list.
+    succ: Vec<Vec<Vec<usize>>>,
+    /// Per label, per element: predecessor list.
+    pred: Vec<Vec<Vec<usize>>>,
+    num_edges: usize,
+}
+
+impl Instance {
+    /// Creates an instance over `num_elements` elements and `num_labels`
+    /// relations, with every element initially in block `0` and no edges.
+    #[must_use]
+    pub fn new(num_elements: usize, num_labels: usize) -> Self {
+        Instance {
+            num_elements,
+            num_labels,
+            initial_block: vec![0; num_elements],
+            succ: vec![vec![Vec::new(); num_elements]; num_labels],
+            pred: vec![vec![Vec::new(); num_elements]; num_labels],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of elements `n = |S|`.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Number of relations (functions) `k`.
+    #[must_use]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Total number of edges `m` over all relations.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Places `element` into initial block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range.
+    pub fn set_initial_block(&mut self, element: usize, block: usize) {
+        assert!(element < self.num_elements, "element out of range");
+        self.initial_block[element] = block;
+    }
+
+    /// The initial block assignment.
+    #[must_use]
+    pub fn initial_blocks(&self) -> &[usize] {
+        &self.initial_block
+    }
+
+    /// Adds `to` to `f_label(from)`.  Duplicate edges are allowed and treated
+    /// as a single edge by the solvers (the `fₗ` are set-valued), but they do
+    /// count toward [`Instance::num_edges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label`, `from` or `to` is out of range.
+    pub fn add_edge(&mut self, label: usize, from: usize, to: usize) {
+        assert!(label < self.num_labels, "label out of range");
+        assert!(from < self.num_elements, "source element out of range");
+        assert!(to < self.num_elements, "target element out of range");
+        self.succ[label][from].push(to);
+        self.pred[label][to].push(from);
+        self.num_edges += 1;
+    }
+
+    /// The successor list `fₗ(x)` (unsorted, possibly with duplicates).
+    #[must_use]
+    pub fn successors(&self, label: usize, element: usize) -> &[usize] {
+        &self.succ[label][element]
+    }
+
+    /// The predecessor list `{y | x ∈ fₗ(y)}`.
+    #[must_use]
+    pub fn predecessors(&self, label: usize, element: usize) -> &[usize] {
+        &self.pred[label][element]
+    }
+
+    /// Maximum fan-out `c = max |fₗ(x)|`, the parameter of the
+    /// Kanellakis–Smolka `O(c²·n·log n)` bound.
+    #[must_use]
+    pub fn max_fanout(&self) -> usize {
+        self.succ
+            .iter()
+            .flat_map(|per_label| per_label.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verifies that `partition` (given as a block assignment over the same
+    /// ground set) satisfies conditions (1) and (2) of the generalized
+    /// partitioning problem: it refines the initial partition and is stable
+    /// with respect to every one of its own blocks under every relation.
+    ///
+    /// This is a correctness oracle for the solvers (it does *not* check
+    /// coarseness).
+    #[must_use]
+    pub fn is_consistent_stable(&self, partition: &crate::Partition) -> bool {
+        if partition.num_elements() != self.num_elements {
+            return false;
+        }
+        // (1) consistency with the initial partition.
+        let initial = crate::Partition::from_assignment(&self.initial_block);
+        if !partition.refines(&initial) {
+            return false;
+        }
+        // (2) stability: within a block, all elements hit the same set of blocks.
+        for block in partition.blocks() {
+            for label in 0..self.num_labels {
+                let signature = |x: usize| {
+                    let mut hit: Vec<usize> = self.successors(label, x)
+                        .iter()
+                        .map(|&y| partition.block_of(y))
+                        .collect();
+                    hit.sort_unstable();
+                    hit.dedup();
+                    hit
+                };
+                let Some(&first) = block.first() else { continue };
+                let expected = signature(first);
+                if block.iter().any(|&x| signature(x) != expected) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+
+    #[test]
+    fn construction_and_queries() {
+        let mut inst = Instance::new(4, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 0, 2);
+        inst.add_edge(1, 3, 0);
+        assert_eq!(inst.num_elements(), 4);
+        assert_eq!(inst.num_labels(), 2);
+        assert_eq!(inst.num_edges(), 3);
+        assert_eq!(inst.successors(0, 0), &[1, 2]);
+        assert_eq!(inst.predecessors(0, 2), &[0]);
+        assert_eq!(inst.predecessors(1, 0), &[3]);
+        assert_eq!(inst.max_fanout(), 2);
+    }
+
+    #[test]
+    fn empty_instance_has_zero_fanout() {
+        let inst = Instance::new(3, 1);
+        assert_eq!(inst.max_fanout(), 0);
+        assert_eq!(inst.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn add_edge_checks_label() {
+        let mut inst = Instance::new(2, 1);
+        inst.add_edge(1, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target element out of range")]
+    fn add_edge_checks_target() {
+        let mut inst = Instance::new(2, 1);
+        inst.add_edge(0, 0, 5);
+    }
+
+    #[test]
+    fn initial_blocks_default_to_zero() {
+        let mut inst = Instance::new(3, 1);
+        assert_eq!(inst.initial_blocks(), &[0, 0, 0]);
+        inst.set_initial_block(1, 4);
+        assert_eq!(inst.initial_blocks(), &[0, 4, 0]);
+    }
+
+    #[test]
+    fn stability_oracle_accepts_stable_partition() {
+        // 0 -> 1, 2 -> 3 under one relation; {0,2},{1,3} is stable.
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 2, 3);
+        let stable = Partition::from_assignment(&[0, 1, 0, 1]);
+        assert!(inst.is_consistent_stable(&stable));
+        // The trivial partition is not stable (0 reaches the block, 1 does not).
+        let trivial = Partition::trivial(4);
+        assert!(!inst.is_consistent_stable(&trivial));
+    }
+
+    #[test]
+    fn stability_oracle_checks_initial_consistency() {
+        let mut inst = Instance::new(2, 1);
+        inst.set_initial_block(0, 0);
+        inst.set_initial_block(1, 1);
+        // A coarser partition than the initial one is inconsistent.
+        assert!(!inst.is_consistent_stable(&Partition::trivial(2)));
+        assert!(inst.is_consistent_stable(&Partition::discrete(2)));
+        // Wrong ground set.
+        assert!(!inst.is_consistent_stable(&Partition::discrete(3)));
+    }
+}

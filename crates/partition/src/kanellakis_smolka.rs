@@ -1,0 +1,177 @@
+//! The Kanellakis–Smolka splitter-worklist algorithm for generalized
+//! partitioning.
+//!
+//! This is the algorithm presented in the PODC 1983 version of the paper (and
+//! in Smolka's 1984 dissertation): maintain a worklist of *splitter* blocks;
+//! to process a splitter `S` and a relation `fₗ`, compute the preimage
+//! `pre_ℓ(S) = {x | fₗ(x) ∩ S ≠ ∅}` and split every block `D` into
+//! `D ∩ pre_ℓ(S)` and `D \ pre_ℓ(S)`; whenever a block splits, both halves
+//! become splitters again.
+//!
+//! The worst-case running time is `O(n·m)`; when the fan-out of every
+//! element is bounded by a constant `c` the original paper sharpens this to
+//! `O(c²·n·log n)` by always processing the smaller half.  The
+//! [`paige_tarjan`](crate::paige_tarjan) module removes the bounded-fanout
+//! assumption.
+
+use crate::{Instance, Partition};
+
+/// Runs the splitter-worklist algorithm and returns the coarsest consistent
+/// stable partition.
+#[must_use]
+pub fn refine(instance: &Instance) -> Partition {
+    let n = instance.num_elements();
+    if n == 0 {
+        return Partition::from_assignment(&[]);
+    }
+
+    // Live partition state.
+    let mut block_of: Vec<usize> = vec![0; n];
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut remap = std::collections::HashMap::new();
+        for (x, &raw) in instance.initial_blocks().iter().enumerate() {
+            let fresh = remap.len();
+            let id = *remap.entry(raw).or_insert(fresh);
+            if id == blocks.len() {
+                blocks.push(Vec::new());
+            }
+            block_of[x] = id;
+            blocks[id].push(x);
+        }
+    }
+
+    // Worklist of splitter block ids (content is read at pop time).
+    let mut worklist: Vec<usize> = (0..blocks.len()).collect();
+    let mut on_worklist = vec![true; blocks.len()];
+
+    // Scratch: for each element, whether it is in the current preimage.
+    let mut marked = vec![false; n];
+
+    while let Some(splitter) = worklist.pop() {
+        on_worklist[splitter] = false;
+        // Snapshot the splitter contents: subsequent splits may move elements
+        // out of `blocks[splitter]`, but every moved element ends up in a
+        // block that is itself (re-)enqueued, so using the snapshot is sound.
+        let splitter_elems = blocks[splitter].clone();
+        for label in 0..instance.num_labels() {
+            // pre_ℓ(splitter)
+            let mut touched_blocks: Vec<usize> = Vec::new();
+            let mut pre: Vec<usize> = Vec::new();
+            for &y in &splitter_elems {
+                for &x in instance.predecessors(label, y) {
+                    if !marked[x] {
+                        marked[x] = true;
+                        pre.push(x);
+                        let b = block_of[x];
+                        if !touched_blocks.contains(&b) {
+                            touched_blocks.push(b);
+                        }
+                    }
+                }
+            }
+            // Split every touched block D into D ∩ pre and D \ pre.
+            for &d in &touched_blocks {
+                let (inside, outside): (Vec<usize>, Vec<usize>) =
+                    blocks[d].iter().partition(|&&x| marked[x]);
+                if inside.is_empty() || outside.is_empty() {
+                    continue;
+                }
+                // Keep the inside part in `d`, move the outside part to a new block.
+                let new_id = blocks.len();
+                for &x in &outside {
+                    block_of[x] = new_id;
+                }
+                blocks[d] = inside;
+                blocks.push(outside);
+                on_worklist.push(false);
+                // Re-enqueue both halves (simple, correct; the smaller-half
+                // refinement is what Paige–Tarjan formalises).
+                for id in [d, new_id] {
+                    if !on_worklist[id] {
+                        on_worklist[id] = true;
+                        worklist.push(id);
+                    }
+                }
+            }
+            for &x in &pre {
+                marked[x] = false;
+            }
+        }
+    }
+
+    Partition::from_assignment(&block_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(0, 2);
+        assert_eq!(refine(&inst).num_elements(), 0);
+    }
+
+    #[test]
+    fn chain_matches_naive() {
+        let mut inst = Instance::new(6, 1);
+        for i in 0..5 {
+            inst.add_edge(0, i, i + 1);
+        }
+        assert_eq!(refine(&inst), naive::refine(&inst));
+        assert_eq!(refine(&inst).num_blocks(), 6);
+    }
+
+    #[test]
+    fn respects_initial_partition() {
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 2, 3);
+        inst.set_initial_block(1, 1);
+        // 1 and 3 would be equivalent (both dead) but start in different blocks.
+        let p = refine(&inst);
+        assert!(!p.same_block(1, 3));
+        assert!(!p.same_block(0, 2));
+        assert!(inst.is_consistent_stable(&p));
+    }
+
+    #[test]
+    fn two_cycles_collapse() {
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 1, 0);
+        inst.add_edge(0, 2, 3);
+        inst.add_edge(0, 3, 2);
+        assert_eq!(refine(&inst).num_blocks(), 1);
+    }
+
+    #[test]
+    fn multi_label_branching() {
+        // 0 -a-> 1, 0 -b-> 2, 3 -a-> 1 (no b): 0 and 3 must be separated.
+        let mut inst = Instance::new(4, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(1, 0, 2);
+        inst.add_edge(0, 3, 1);
+        let p = refine(&inst);
+        assert!(!p.same_block(0, 3));
+        assert!(p.same_block(1, 2));
+        assert_eq!(p, naive::refine(&inst));
+    }
+
+    #[test]
+    fn result_is_stable() {
+        let mut inst = Instance::new(7, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 1, 2);
+        inst.add_edge(0, 2, 0);
+        inst.add_edge(1, 3, 4);
+        inst.add_edge(1, 4, 5);
+        inst.add_edge(0, 5, 6);
+        inst.add_edge(1, 6, 3);
+        let p = refine(&inst);
+        assert!(inst.is_consistent_stable(&p));
+        assert_eq!(p, naive::refine(&inst));
+    }
+}

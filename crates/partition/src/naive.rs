@@ -1,0 +1,163 @@
+//! The *naive method* for generalized partitioning (Lemma 3.2).
+//!
+//! Starting from the initial partition, repeatedly recompute for every
+//! element its *signature* — for each relation, the set of blocks its
+//! successors fall into — and split blocks so that elements with different
+//! signatures are separated.  Stop when a pass makes no progress.
+//!
+//! Each pass costs `O(n + m)` (up to the logarithmic factor of the signature
+//! grouping) and at most `n` passes are needed, matching the paper's `O(n·m)`
+//! bound; simple examples (long chains) show the bound is tight.
+
+use std::collections::HashMap;
+
+use crate::{Instance, Partition};
+
+/// Runs the naive refinement method and returns the coarsest consistent
+/// stable partition.
+#[must_use]
+pub fn refine(instance: &Instance) -> Partition {
+    let n = instance.num_elements();
+    if n == 0 {
+        return Partition::from_assignment(&[]);
+    }
+    let mut block_of: Vec<usize> = normalize(instance.initial_blocks());
+    let mut num_blocks = count_blocks(&block_of);
+
+    loop {
+        // Signature of x: (current block, for each label the sorted set of
+        // successor blocks).
+        let mut sig_to_new: HashMap<(usize, Vec<Vec<usize>>), usize> = HashMap::new();
+        let mut next: Vec<usize> = vec![0; n];
+        for x in 0..n {
+            let mut per_label = Vec::with_capacity(instance.num_labels());
+            for l in 0..instance.num_labels() {
+                let mut hit: Vec<usize> = instance
+                    .successors(l, x)
+                    .iter()
+                    .map(|&y| block_of[y])
+                    .collect();
+                hit.sort_unstable();
+                hit.dedup();
+                per_label.push(hit);
+            }
+            let key = (block_of[x], per_label);
+            let fresh = sig_to_new.len();
+            let id = *sig_to_new.entry(key).or_insert(fresh);
+            next[x] = id;
+        }
+        let new_count = sig_to_new.len();
+        block_of = next;
+        if new_count == num_blocks {
+            break;
+        }
+        num_blocks = new_count;
+    }
+    Partition::from_assignment(&block_of)
+}
+
+fn normalize(assignment: &[usize]) -> Vec<usize> {
+    let mut remap = HashMap::new();
+    assignment
+        .iter()
+        .map(|&b| {
+            let fresh = remap.len();
+            *remap.entry(b).or_insert(fresh)
+        })
+        .collect()
+}
+
+fn count_blocks(assignment: &[usize]) -> usize {
+    let mut seen: Vec<usize> = assignment.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(0, 1);
+        assert_eq!(refine(&inst).num_elements(), 0);
+    }
+
+    #[test]
+    fn no_edges_keeps_initial_partition() {
+        let mut inst = Instance::new(4, 1);
+        inst.set_initial_block(0, 0);
+        inst.set_initial_block(1, 0);
+        inst.set_initial_block(2, 1);
+        inst.set_initial_block(3, 1);
+        let p = refine(&inst);
+        assert_eq!(p.num_blocks(), 2);
+        assert!(p.same_block(0, 1));
+        assert!(p.same_block(2, 3));
+        assert!(!p.same_block(0, 2));
+    }
+
+    #[test]
+    fn chain_is_fully_discriminated() {
+        // 0 -> 1 -> 2 -> 3: each element has a distinct distance to the dead end.
+        let mut inst = Instance::new(4, 1);
+        for i in 0..3 {
+            inst.add_edge(0, i, i + 1);
+        }
+        let p = refine(&inst);
+        assert_eq!(p.num_blocks(), 4);
+    }
+
+    #[test]
+    fn cycles_of_identical_structure_collapse() {
+        // Two disjoint 3-cycles: all six elements are equivalent.
+        let mut inst = Instance::new(6, 1);
+        for base in [0, 3] {
+            inst.add_edge(0, base, base + 1);
+            inst.add_edge(0, base + 1, base + 2);
+            inst.add_edge(0, base + 2, base);
+        }
+        let p = refine(&inst);
+        assert_eq!(p.num_blocks(), 1);
+    }
+
+    #[test]
+    fn labels_are_distinguished() {
+        // 0 -a-> 1, 2 -b-> 3: elements 0 and 2 differ because the labels differ.
+        let mut inst = Instance::new(4, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(1, 2, 3);
+        let p = refine(&inst);
+        assert!(!p.same_block(0, 2));
+        assert!(p.same_block(1, 3));
+        assert_eq!(p.num_blocks(), 3);
+    }
+
+    #[test]
+    fn nondeterministic_branching_is_by_reachable_blocks_only() {
+        // 0 -> {1, 2}, 3 -> {1}: with 1 and 2 equivalent (both dead), 0 and 3
+        // are equivalent too — the *set of blocks* hit matters, not the count.
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 0, 2);
+        inst.add_edge(0, 3, 1);
+        let p = refine(&inst);
+        assert!(p.same_block(0, 3));
+        assert!(p.same_block(1, 2));
+        assert_eq!(p.num_blocks(), 2);
+    }
+
+    #[test]
+    fn result_is_stable_and_consistent() {
+        let mut inst = Instance::new(5, 2);
+        inst.set_initial_block(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 1, 2);
+        inst.add_edge(1, 2, 3);
+        inst.add_edge(1, 3, 4);
+        inst.add_edge(0, 4, 0);
+        let p = refine(&inst);
+        assert!(inst.is_consistent_stable(&p));
+    }
+}

@@ -1,0 +1,213 @@
+use std::fmt;
+
+/// A partition of the elements `0..n` into disjoint blocks.
+///
+/// Partitions returned by the solvers are in *canonical form*: blocks are
+/// numbered by their smallest element in increasing order and each block's
+/// element list is sorted.  Two partitions of the same ground set are equal
+/// as set-partitions iff their canonical forms are `==`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Partition {
+    block_of: Vec<usize>,
+    blocks: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Builds a partition from a block-index assignment (`assignment[i]` is
+    /// the block of element `i`).  Block indices may be arbitrary; the result
+    /// is canonicalized.
+    #[must_use]
+    pub fn from_assignment(assignment: &[usize]) -> Self {
+        let n = assignment.len();
+        // Renumber blocks in order of first appearance of their smallest element.
+        let mut first_seen: Vec<Option<usize>> = Vec::new();
+        let mut remap = std::collections::HashMap::new();
+        let mut block_of = vec![0usize; n];
+        for (elem, &raw) in assignment.iter().enumerate() {
+            let next = remap.len();
+            let id = *remap.entry(raw).or_insert(next);
+            if id == first_seen.len() {
+                first_seen.push(Some(elem));
+            }
+            block_of[elem] = id;
+        }
+        let mut blocks = vec![Vec::new(); remap.len()];
+        for (elem, &b) in block_of.iter().enumerate() {
+            blocks[b].push(elem);
+        }
+        Partition { block_of, blocks }
+    }
+
+    /// The discrete partition: every element in its own block.
+    #[must_use]
+    pub fn discrete(n: usize) -> Self {
+        let assignment: Vec<usize> = (0..n).collect();
+        Partition::from_assignment(&assignment)
+    }
+
+    /// The trivial partition: all elements in a single block (or no blocks if
+    /// `n == 0`).
+    #[must_use]
+    pub fn trivial(n: usize) -> Self {
+        Partition::from_assignment(&vec![0; n])
+    }
+
+    /// Number of elements of the ground set.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block index of an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range.
+    #[must_use]
+    pub fn block_of(&self, element: usize) -> usize {
+        self.block_of[element]
+    }
+
+    /// The elements of a block, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn block(&self, block: usize) -> &[usize] {
+        &self.blocks[block]
+    }
+
+    /// All blocks, each a sorted list of elements.
+    #[must_use]
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// Returns `true` iff two elements share a block.
+    #[must_use]
+    pub fn same_block(&self, a: usize, b: usize) -> bool {
+        self.block_of[a] == self.block_of[b]
+    }
+
+    /// The full block assignment (block index per element).
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.block_of
+    }
+
+    /// Returns `true` iff `self` refines `coarser`: every block of `self` is
+    /// contained in some block of `coarser`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two partitions have different ground sets.
+    #[must_use]
+    pub fn refines(&self, coarser: &Partition) -> bool {
+        assert_eq!(
+            self.num_elements(),
+            coarser.num_elements(),
+            "partitions over different ground sets"
+        );
+        self.blocks.iter().all(|block| {
+            block
+                .windows(2)
+                .all(|w| coarser.block_of(w[0]) == coarser.block_of(w[1]))
+        })
+    }
+
+    /// Number of (unordered) equivalent pairs `{a, b}` with `a ≠ b`, a useful
+    /// size-independent summary when comparing partitions.
+    #[must_use]
+    pub fn num_equivalent_pairs(&self) -> usize {
+        self.blocks.iter().map(|b| b.len() * (b.len() - 1) / 2).sum()
+    }
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Partition({} blocks over {} elements: ", self.num_blocks(), self.num_elements())?;
+        f.debug_list().entries(self.blocks.iter()).finish()?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_numbering_is_stable() {
+        let a = Partition::from_assignment(&[5, 5, 2, 2, 9]);
+        let b = Partition::from_assignment(&[0, 0, 1, 1, 7]);
+        assert_eq!(a, b);
+        assert_eq!(a.num_blocks(), 3);
+        assert_eq!(a.block_of(0), 0);
+        assert_eq!(a.block_of(2), 1);
+        assert_eq!(a.block_of(4), 2);
+    }
+
+    #[test]
+    fn discrete_and_trivial() {
+        let d = Partition::discrete(4);
+        assert_eq!(d.num_blocks(), 4);
+        assert!(!d.same_block(0, 1));
+        let t = Partition::trivial(4);
+        assert_eq!(t.num_blocks(), 1);
+        assert!(t.same_block(0, 3));
+        assert_eq!(Partition::trivial(0).num_blocks(), 0);
+        assert_eq!(Partition::discrete(0).num_elements(), 0);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let fine = Partition::from_assignment(&[0, 1, 2, 2]);
+        let coarse = Partition::from_assignment(&[0, 0, 1, 1]);
+        assert!(fine.refines(&coarse));
+        assert!(!coarse.refines(&fine));
+        assert!(fine.refines(&fine));
+        assert!(Partition::discrete(4).refines(&coarse));
+        assert!(coarse.refines(&Partition::trivial(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different ground sets")]
+    fn refines_rejects_mismatched_sizes() {
+        let a = Partition::discrete(3);
+        let b = Partition::discrete(4);
+        let _ = a.refines(&b);
+    }
+
+    #[test]
+    fn block_contents_are_sorted() {
+        let p = Partition::from_assignment(&[1, 0, 1, 0]);
+        assert_eq!(p.block(0), &[0, 2]);
+        assert_eq!(p.block(1), &[1, 3]);
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(p.assignment(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn pair_counting() {
+        assert_eq!(Partition::trivial(4).num_equivalent_pairs(), 6);
+        assert_eq!(Partition::discrete(4).num_equivalent_pairs(), 0);
+        assert_eq!(
+            Partition::from_assignment(&[0, 0, 1, 1, 1]).num_equivalent_pairs(),
+            1 + 3
+        );
+    }
+
+    #[test]
+    fn debug_output_shows_blocks() {
+        let p = Partition::from_assignment(&[0, 1, 0]);
+        let s = format!("{p:?}");
+        assert!(s.contains("2 blocks"));
+        assert!(s.contains("[0, 2]"));
+    }
+}

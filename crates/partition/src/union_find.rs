@@ -1,0 +1,124 @@
+/// A disjoint-set (UNION-FIND) structure with path compression and union by
+/// rank, as used by the `O(N·α(N))` DFA equivalence test the paper recalls
+/// from Aho, Hopcroft & Ullman (Section 3).
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` iff the structure has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The canonical representative of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` iff they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` iff `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn transitive_chains_collapse() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.same(0, 99));
+        let root = uf.find(50);
+        assert_eq!(uf.find(0), root);
+    }
+}

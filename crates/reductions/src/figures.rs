@@ -1,0 +1,116 @@
+//! The worked example processes of Figs. 1b and 2.
+//!
+//! Fig. 2 of the paper exhibits r.o.u. processes showing that `≈₁`, `≡F` and
+//! `≈` (equivalently `~` for observable processes) are pairwise different
+//! even in that tiny model.  The figure itself is not reproduced pixel by
+//! pixel; the functions here build processes with exactly the documented
+//! separation properties (the integration tests assert them), using a binary
+//! alphabet where a unary one cannot exhibit the separation conveniently.
+
+use ccs_fsp::{format, Fsp};
+
+fn parse(text: &str) -> Fsp {
+    format::parse(text).expect("figure processes are well-formed")
+}
+
+/// The finite-tree example of Fig. 1b: over `Σ = {a, b, c}`, the tree
+/// `a·(b ∪ c) ∪ a·c` with all states accepting (restricted model).
+///
+/// Its failures at the empty trace are `{(ε, Z) | Z ⊆ {b, c}}`, matching the
+/// computation shown in Section 2.1.
+#[must_use]
+pub fn fig1_finite_tree() -> Fsp {
+    parse(
+        "process fig1-tree\n\
+         trans root a n1\n\
+         trans root a n2\n\
+         trans n1 b leaf1\n\
+         trans n1 c leaf2\n\
+         trans n2 c leaf3\n\
+         accept root n1 n2 leaf1 leaf2 leaf3\n\
+         start root\n",
+    )
+}
+
+/// A pair of r.o.u. processes that are `≈₁`- (language-) equivalent but *not*
+/// failure equivalent: `a ∪ a·a` versus `a·a`.
+#[must_use]
+pub fn trace_equal_failure_different() -> (Fsp, Fsp) {
+    let left = parse(
+        "process a-or-aa\ntrans s a t\ntrans s a u\ntrans u a v\naccept s t u v\nstart s\n",
+    );
+    let right = parse("process aa\ntrans x a y\ntrans y a z\naccept x y z\nstart x\n");
+    (left, right)
+}
+
+/// A pair of restricted observable processes that are failure equivalent but
+/// *not* observationally equivalent: `a·(b·c ∪ b·d)` versus
+/// `a·b·c ∪ a·b·d`.
+///
+/// (The paper's Fig. 2 uses unary processes; the binary-alphabet pair here
+/// exhibits the same separation and is easier to read.)
+#[must_use]
+pub fn failure_equal_observational_different() -> (Fsp, Fsp) {
+    let left = parse(
+        "process merged\ntrans p a q\ntrans q b r1\ntrans q b r2\ntrans r1 c s1\ntrans r2 d s2\n\
+         accept p q r1 r2 s1 s2\nstart p\n",
+    );
+    let right = parse(
+        "process split\ntrans u a v1\ntrans u a v2\ntrans v1 b w1\ntrans v2 b w2\n\
+         trans w1 c x1\ntrans w2 d x2\naccept u v1 v2 w1 w2 x1 x2\nstart u\n",
+    );
+    (left, right)
+}
+
+/// A pair of processes that are observationally equivalent but *not* strongly
+/// equivalent: `τ·a` versus `a`.
+#[must_use]
+pub fn observational_equal_strong_different() -> (Fsp, Fsp) {
+    let left = parse("process tau-a\ntrans p tau q\ntrans q a r\naccept p q r\nstart p\n");
+    let right = parse("process just-a\ntrans u a v\naccept u v\nstart u\n");
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_equiv::{equivalent, Equivalence};
+
+    #[test]
+    fn fig1_tree_shape_and_failures() {
+        let t = fig1_finite_tree();
+        assert!(t.profile().finite_tree);
+        assert_eq!(t.num_states(), 6);
+        let failures = ccs_equiv::failures::failures_up_to(&t, t.start(), 1);
+        let (eps, refusals) = &failures[0];
+        assert!(eps.is_empty());
+        assert_eq!(refusals.len(), 1);
+        assert_eq!(refusals[0], vec!["b".to_owned(), "c".to_owned()]);
+    }
+
+    #[test]
+    fn first_separation_trace_vs_failure() {
+        let (l, r) = trace_equal_failure_different();
+        assert!(l.profile().restricted && l.profile().observable && l.profile().unary);
+        assert!(equivalent(&l, &r, Equivalence::Language).unwrap());
+        assert!(equivalent(&l, &r, Equivalence::KObservational(1)).unwrap());
+        assert!(!equivalent(&l, &r, Equivalence::Failure).unwrap());
+        assert!(!equivalent(&l, &r, Equivalence::Observational).unwrap());
+    }
+
+    #[test]
+    fn second_separation_failure_vs_observational() {
+        let (l, r) = failure_equal_observational_different();
+        assert!(equivalent(&l, &r, Equivalence::Failure).unwrap());
+        assert!(equivalent(&l, &r, Equivalence::Language).unwrap());
+        assert!(!equivalent(&l, &r, Equivalence::Observational).unwrap());
+        assert!(!equivalent(&l, &r, Equivalence::KObservational(2)).unwrap());
+    }
+
+    #[test]
+    fn third_separation_observational_vs_strong() {
+        let (l, r) = observational_equal_strong_different();
+        assert!(equivalent(&l, &r, Equivalence::Observational).unwrap());
+        assert!(!equivalent(&l, &r, Equivalence::Strong).unwrap());
+    }
+}

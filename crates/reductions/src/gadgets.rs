@@ -1,0 +1,308 @@
+//! Reduction gadgets from Sections 4 and 5.
+
+use ccs_fsp::{ops, Fsp, Label};
+
+/// The *chaos* process of Fig. 5b: an r.o.u. process that, after every
+/// non-empty string, may either continue forever or be stuck.
+///
+/// `chaos --a--> chaos` and `chaos --a--> stuck`, all states accepting.
+#[must_use]
+pub fn chaos(action: &str) -> Fsp {
+    let mut b = Fsp::builder("chaos");
+    let c = b.state("chaos");
+    let stuck = b.state("stuck");
+    let a = b.action(action);
+    b.set_start(c);
+    b.add_transition(c, Label::Act(a), c);
+    b.add_transition(c, Label::Act(a), stuck);
+    b.mark_all_accepting();
+    b.build().expect("chaos process is non-empty")
+}
+
+/// The trivial NFA `q*` of Fig. 5d: a single accepting state with a self-loop
+/// on every action — it accepts `Σ*`.
+#[must_use]
+pub fn trivial_nfa(actions: &[&str]) -> Fsp {
+    let mut b = Fsp::builder("trivial");
+    let q = b.state("q");
+    b.set_start(q);
+    for name in actions {
+        let a = b.action(name);
+        b.add_transition(q, Label::Act(a), q);
+    }
+    b.mark_accepting(q);
+    b.build().expect("trivial process is non-empty")
+}
+
+/// The `≈ₖ → ≈ₖ₊₁` lifting gadget of Theorem 4.1(b) / Fig. 5a.
+///
+/// Given restricted observable processes `p` and `q`, returns the pair
+/// `(p′, q′) = (a·(p ∪ q), (a·p) ∪ (a·q))` such that
+/// `p ≈ₖ q  iff  p′ ≈ₖ₊₁ q′` for every `k ≥ 1`.  Applying it `k − 1` times
+/// to a PSPACE-hard `≈₁` instance proves PSPACE-hardness of `≈ₖ`.
+#[must_use]
+pub fn kobs_lift(p: &Fsp, q: &Fsp, action: &str) -> (Fsp, Fsp) {
+    let p_prime = ops::make_restricted(&ops::prefix(action, &ops::choice(p, q)));
+    let q_prime = ops::make_restricted(&ops::choice(
+        &ops::prefix(action, p),
+        &ops::prefix(action, q),
+    ));
+    (p_prime, q_prime)
+}
+
+/// The dead-state transformation of Theorem 4.1(c) / Fig. 5c.
+///
+/// Rewrites a standard observable process so that a state is accepting iff it
+/// is *dead* (no outgoing transitions), preserving the accepted language:
+/// every accepting state that still has outgoing transitions loses its
+/// acceptance and donates its incoming transitions to a fresh accepting dead
+/// state.
+///
+/// As in the paper, the construction preserves the language only when the
+/// empty string is not accepted from a live start state (`ε ∈ L(p)` can only
+/// be represented when the start state itself is dead); Theorem 4.1(c)
+/// applies it to languages of non-empty strings, where this never arises.
+#[must_use]
+pub fn dead_state_transform(fsp: &Fsp) -> Fsp {
+    let mut b = Fsp::builder(&format!("{}|dead-accept", fsp.name()));
+    // Recreate the original states.
+    let originals: Vec<_> = fsp
+        .state_ids()
+        .map(|s| b.state(&format!("o{}", s.index())))
+        .collect();
+    b.set_start(originals[fsp.start().index()]);
+    for (from, label, to) in fsp.all_transitions() {
+        let l = match label {
+            Label::Tau => Label::Tau,
+            Label::Act(a) => Label::Act(b.action(fsp.action_name(a))),
+        };
+        b.add_transition(originals[from.index()], l, originals[to.index()]);
+    }
+    for s in fsp.state_ids() {
+        if !fsp.is_accepting(s) {
+            continue;
+        }
+        if fsp.is_dead(s) {
+            // Already of the desired form.
+            b.mark_accepting(originals[s.index()]);
+            continue;
+        }
+        // Fresh accepting dead state receiving copies of s's incoming edges.
+        let fresh = b.state(&format!("acc{}", s.index()));
+        b.mark_accepting(fresh);
+        for (from, label, to) in fsp.all_transitions() {
+            if to == s {
+                let l = match label {
+                    Label::Tau => Label::Tau,
+                    Label::Act(a) => Label::Act(b.action(fsp.action_name(a))),
+                };
+                b.add_transition(originals[from.index()], l, fresh);
+            }
+        }
+    }
+    b.build().expect("transformation preserves non-emptiness")
+}
+
+/// The Theorem 5.1 gadget reducing restricted-observable language equivalence
+/// to failure equivalence.
+///
+/// Adds a fresh dead state `p_dead` reachable from *every* state (the fresh
+/// one excluded) by *every* action, and makes all states accepting.  For the
+/// resulting processes, `L(p) = L(q)  iff  p′ ≡F q′`.
+#[must_use]
+pub fn failure_gadget(fsp: &Fsp) -> Fsp {
+    let mut b = Fsp::builder(&format!("{}|failure-gadget", fsp.name()));
+    let originals: Vec<_> = fsp
+        .state_ids()
+        .map(|s| b.state(&format!("o{}", s.index())))
+        .collect();
+    b.set_start(originals[fsp.start().index()]);
+    for (from, label, to) in fsp.all_transitions() {
+        let l = match label {
+            Label::Tau => Label::Tau,
+            Label::Act(a) => Label::Act(b.action(fsp.action_name(a))),
+        };
+        b.add_transition(originals[from.index()], l, originals[to.index()]);
+    }
+    let dead = b.state("p_dead");
+    let action_names: Vec<String> = fsp.action_names().iter().map(|s| (*s).to_owned()).collect();
+    for name in &action_names {
+        let a = b.action(name);
+        for &o in &originals {
+            b.add_transition(o, Label::Act(a), dead);
+        }
+    }
+    b.mark_all_accepting();
+    b.build().expect("gadget output is non-empty")
+}
+
+/// The Lemma 4.2 / Fig. 4 gadget reducing NFA universality over `Σ = {a, b}`
+/// to restricted-observable universality (and hence to `≈₁` against the
+/// trivial process).
+///
+/// The input must be a standard *observable* process over exactly the two
+/// actions named `a` and `b`, with both an `a`- and a `b`-transition leaving
+/// every state; the output is restricted and observable, and
+/// `L(start) = Σ*` for the input iff the same holds for the output.
+///
+/// # Panics
+///
+/// Panics if the input is not observable over exactly `{a, b}` with both
+/// actions enabled at every state.
+#[must_use]
+pub fn universality_gadget(m: &Fsp) -> Fsp {
+    assert!(
+        !m.has_tau_transitions(),
+        "universality gadget needs an observable process"
+    );
+    let mut names = m.action_names();
+    names.sort_unstable();
+    assert_eq!(names, vec!["a", "b"], "universality gadget needs Σ = {{a, b}}");
+    for s in m.state_ids() {
+        assert_eq!(
+            m.enabled_actions(s).len(),
+            2,
+            "every state must have both a- and b-transitions"
+        );
+    }
+
+    let mut b = Fsp::builder(&format!("{}|lemma-4.2", m.name()));
+    let originals: Vec<_> = m
+        .state_ids()
+        .map(|s| b.state(&format!("o{}", s.index())))
+        .collect();
+    b.set_start(originals[m.start().index()]);
+    let a = b.action("a");
+    let bb = b.action("b");
+    let trap = b.state("p_trap");
+    b.add_transition(trap, Label::Act(a), trap);
+    b.add_transition(trap, Label::Act(bb), trap);
+    // Accepting states may escape to the trap on `a`.
+    for s in m.state_ids() {
+        if m.is_accepting(s) {
+            b.add_transition(originals[s.index()], Label::Act(a), trap);
+        }
+    }
+    // Each original transition (p, σ, q) becomes p --b--> p_δ --σ--> q.
+    for (idx, (from, label, to)) in m.all_transitions().enumerate() {
+        let sigma = match label {
+            Label::Act(act) => Label::Act(b.action(m.action_name(act))),
+            Label::Tau => unreachable!("observable process has no tau transitions"),
+        };
+        let mid = b.state(&format!("d{idx}"));
+        b.add_transition(originals[from.index()], Label::Act(bb), mid);
+        b.add_transition(mid, sigma, originals[to.index()]);
+    }
+    b.mark_all_accepting();
+    b.build().expect("gadget output is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_equiv::{equivalent, kobs, language, Equivalence};
+    use ccs_fsp::format;
+
+    #[test]
+    fn chaos_and_trivial_shapes() {
+        let c = chaos("a");
+        assert!(c.profile().restricted && c.profile().observable && c.profile().unary);
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.num_transitions(), 2);
+        let t = trivial_nfa(&["a", "b"]);
+        assert!(language::is_universal(&t, t.start()).holds);
+    }
+
+    #[test]
+    fn kobs_lift_preserves_equivalence_direction() {
+        // Equivalent pair stays equivalent one level up.
+        let p = format::parse("trans p a q\naccept p q").unwrap();
+        let q = format::parse("trans u a v\ntrans u a w\naccept u v w").unwrap();
+        assert!(kobs::kobs_equivalent(&p, &q, 1));
+        let (p1, q1) = kobs_lift(&p, &q, "a");
+        assert!(kobs::kobs_equivalent(&p1, &q1, 2));
+    }
+
+    #[test]
+    fn kobs_lift_preserves_inequivalence_direction() {
+        // ≈₁-inequivalent pair stays inequivalent at level 2.
+        let p = format::parse("trans p a q\naccept p q").unwrap();
+        let q = format::parse("trans u a v\ntrans v a w\naccept u v w").unwrap();
+        assert!(!kobs::kobs_equivalent(&p, &q, 1));
+        let (p1, q1) = kobs_lift(&p, &q, "a");
+        assert!(!kobs::kobs_equivalent(&p1, &q1, 2));
+        // The lifted pair is still ≈₁-equivalent (the gadget hides the
+        // difference one level down), which is what makes it a *strict* lift.
+        assert!(kobs::kobs_equivalent(&p1, &q1, 1));
+    }
+
+    #[test]
+    fn dead_state_transform_preserves_language() {
+        let m = format::parse(
+            "trans s0 a s1\ntrans s1 b s0\ntrans s1 a s2\naccept s1 s2",
+        )
+        .unwrap();
+        let t = dead_state_transform(&m);
+        // Every accepting state of the output is dead.
+        for s in t.accepting_states() {
+            assert!(t.is_dead(s));
+        }
+        assert!(equivalent(&m, &t, Equivalence::Language).unwrap());
+    }
+
+    #[test]
+    fn failure_gadget_soundness_and_completeness() {
+        // Language-equivalent inputs become failure-equivalent outputs…
+        let l1 = format::parse("trans p a q\ntrans q b p\naccept p q").unwrap();
+        let l2 =
+            format::parse("trans u a v\ntrans v b w\ntrans w a x\ntrans x b u\naccept u v w x")
+                .unwrap();
+        assert!(equivalent(&l1, &l2, Equivalence::Language).unwrap());
+        let g1 = failure_gadget(&l1);
+        let g2 = failure_gadget(&l2);
+        assert!(equivalent(&g1, &g2, Equivalence::Failure).unwrap());
+        // …and language-inequivalent inputs stay failure-inequivalent.
+        let l3 = format::parse("trans m a n\naccept m n").unwrap();
+        assert!(!equivalent(&l1, &l3, Equivalence::Language).unwrap());
+        let g3 = failure_gadget(&l3);
+        assert!(!equivalent(&g1, &g3, Equivalence::Failure).unwrap());
+    }
+
+    #[test]
+    fn universality_gadget_preserves_universality_status() {
+        // Universal input: single accepting state with both loops.
+        let universal = format::parse("trans s a s\ntrans s b s\naccept s").unwrap();
+        let gu = universality_gadget(&universal);
+        assert!(gu.profile().restricted && gu.profile().observable);
+        assert!(language::is_universal(&universal, universal.start()).holds);
+        assert!(language::is_universal(&gu, gu.start()).holds);
+
+        // Non-universal input (rejects strings reaching the non-accepting
+        // state at an odd number of `a`s): the gadget output is non-universal
+        // too.
+        let partial = format::parse(
+            "trans s a t\ntrans s b s\ntrans t a s\ntrans t b t\naccept s",
+        )
+        .unwrap();
+        assert!(!language::is_universal(&partial, partial.start()).holds);
+        let gp = universality_gadget(&partial);
+        assert!(!language::is_universal(&gp, gp.start()).holds);
+    }
+
+    #[test]
+    fn universality_iff_language_equivalent_to_trivial() {
+        // Stockmeyer–Meyer framing: L(p) = Σ* iff p ≈₁ the trivial process.
+        let universal = format::parse("trans s a s\ntrans s b s\naccept s").unwrap();
+        let gu = universality_gadget(&universal);
+        let trivial = trivial_nfa(&["a", "b"]);
+        assert!(equivalent(&gu, &trivial, Equivalence::Language).unwrap());
+        assert!(equivalent(&gu, &trivial, Equivalence::KObservational(1)).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "both a- and b-transitions")]
+    fn universality_gadget_rejects_incomplete_inputs() {
+        let bad = format::parse("trans s a s\ntrans s b t\naccept s").unwrap();
+        let _ = universality_gadget(&bad);
+    }
+}

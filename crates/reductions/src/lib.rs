@@ -1,0 +1,22 @@
+//! The hardness-reduction gadgets and example processes of
+//! Kanellakis & Smolka, as executable constructions.
+//!
+//! * [`gadgets`] — the constructions behind the lower bounds: the *chaos* and
+//!   *trivial* processes (Fig. 5b/5d), the `≈ₖ → ≈ₖ₊₁` lifting gadget of
+//!   Theorem 4.1(b) (Fig. 5a), the dead-state transformation of
+//!   Theorem 4.1(c) (Fig. 5c), the universality gadget of Lemma 4.2
+//!   (Fig. 4), and the language-equivalence → failure-equivalence gadget of
+//!   Theorem 5.1.
+//! * [`figures`] — the worked example processes of Figs. 1b and 2, with their
+//!   documented (in)equivalences.
+//!
+//! Each construction is used by the integration tests to *verify* the
+//! correctness property the paper proves for it, and by the benches to
+//! generate families of hard instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod gadgets;

@@ -1,0 +1,211 @@
+//! Deterministic structured process families with known equivalence
+//! structure.
+
+use ccs_fsp::{Fsp, Label};
+
+/// An `a`-labelled chain of `n` states (all accepting); state `i` is the
+/// start.  Every state is in its own strong-equivalence class.
+#[must_use]
+pub fn chain(n: usize, action: &str) -> Fsp {
+    assert!(n > 0, "a chain needs at least one state");
+    let mut b = Fsp::builder(&format!("chain-{n}"));
+    let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+    let a = b.action(action);
+    for w in states.windows(2) {
+        b.add_transition(w[0], Label::Act(a), w[1]);
+    }
+    b.set_start(states[0]);
+    b.mark_all_accepting();
+    b.build().expect("chain is non-empty")
+}
+
+/// An `a`-labelled cycle of `n` states (all accepting).  All states are
+/// strongly equivalent, so the whole family collapses to a single class —
+/// the best case for partition refinement.
+#[must_use]
+pub fn cycle(n: usize, action: &str) -> Fsp {
+    assert!(n > 0, "a cycle needs at least one state");
+    let mut b = Fsp::builder(&format!("cycle-{n}"));
+    let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+    let a = b.action(action);
+    for i in 0..n {
+        b.add_transition(states[i], Label::Act(a), states[(i + 1) % n]);
+    }
+    b.set_start(states[0]);
+    b.mark_all_accepting();
+    b.build().expect("cycle is non-empty")
+}
+
+/// A τ-chain of `n` states ending in a single `a`-transition: weakly
+/// equivalent to the two-state process `a`, but with a long unobservable
+/// prefix.  Stresses the saturation step of Theorem 4.1(a).
+#[must_use]
+pub fn tau_chain(n: usize) -> Fsp {
+    assert!(n > 0, "a tau chain needs at least one state");
+    let mut b = Fsp::builder(&format!("tau-chain-{n}"));
+    let states: Vec<_> = (0..=n).map(|i| b.state(&format!("s{i}"))).collect();
+    for w in states.windows(2) {
+        b.add_transition(w[0], Label::Tau, w[1]);
+    }
+    let end = b.state("end");
+    let a = b.action("a");
+    b.add_transition(states[n], Label::Act(a), end);
+    b.set_start(states[0]);
+    b.mark_all_accepting();
+    b.build().expect("tau chain is non-empty")
+}
+
+/// A complete binary tree of the given depth over actions `l` and `r`
+/// (restricted model).  Finite trees are the class for which failure
+/// equivalence is polynomial (Section 5).
+#[must_use]
+pub fn binary_tree(depth: usize) -> Fsp {
+    let mut b = Fsp::builder(&format!("btree-{depth}"));
+    let l = b.action("l");
+    let r = b.action("r");
+    // Nodes indexed 1..2^(depth+1); node i has children 2i, 2i+1.
+    let total = (1usize << (depth + 1)) - 1;
+    let states: Vec<_> = (1..=total).map(|i| b.state(&format!("n{i}"))).collect();
+    for i in 1..=total {
+        let left = 2 * i;
+        let right = 2 * i + 1;
+        if right <= total {
+            b.add_transition(states[i - 1], Label::Act(l), states[left - 1]);
+            b.add_transition(states[i - 1], Label::Act(r), states[right - 1]);
+        }
+    }
+    b.set_start(states[0]);
+    b.mark_all_accepting();
+    b.build().expect("tree is non-empty")
+}
+
+/// A `modulus`-counter over the unary alphabet `{a}` whose states `0` is
+/// accepting: deterministic, language = words whose length is divisible by
+/// `modulus`.
+#[must_use]
+pub fn counter(modulus: usize) -> Fsp {
+    assert!(modulus > 0, "counter modulus must be positive");
+    let mut b = Fsp::builder(&format!("counter-{modulus}"));
+    let states: Vec<_> = (0..modulus).map(|i| b.state(&format!("c{i}"))).collect();
+    let a = b.action("a");
+    for i in 0..modulus {
+        b.add_transition(states[i], Label::Act(a), states[(i + 1) % modulus]);
+    }
+    b.set_start(states[0]);
+    b.mark_accepting(states[0]);
+    b.build().expect("counter is non-empty")
+}
+
+/// Milner's vending machine: accepts a coin, then dispenses tea or coffee,
+/// with an internal (τ) decision about which drinks are available.
+#[must_use]
+pub fn vending_machine(internal_choice: bool) -> Fsp {
+    let mut b = Fsp::builder(if internal_choice {
+        "vending-internal"
+    } else {
+        "vending-external"
+    });
+    let idle = b.state("idle");
+    let paid = b.state("paid");
+    let tea_ready = b.state("tea-ready");
+    let coffee_ready = b.state("coffee-ready");
+    let done = b.state("done");
+    let coin = b.action("coin");
+    let tea = b.action("tea");
+    let coffee = b.action("coffee");
+    b.set_start(idle);
+    b.add_transition(idle, Label::Act(coin), paid);
+    if internal_choice {
+        b.add_transition(paid, Label::Tau, tea_ready);
+        b.add_transition(paid, Label::Tau, coffee_ready);
+        b.add_transition(tea_ready, Label::Act(tea), done);
+        b.add_transition(coffee_ready, Label::Act(coffee), done);
+    } else {
+        b.add_transition(paid, Label::Act(tea), done);
+        b.add_transition(paid, Label::Act(coffee), done);
+    }
+    b.mark_all_accepting();
+    b.build().expect("vending machine is non-empty")
+}
+
+/// A pair of processes of size `O(n)` that agree on the first `n - 1` levels
+/// of the `≃ₖ` hierarchy but differ in the limit: two `a`-chains of lengths
+/// `n` and `n + 1`.  Useful for measuring how the convergence round grows
+/// with process size.
+#[must_use]
+pub fn slow_convergence_pair(n: usize) -> (Fsp, Fsp) {
+    (chain(n + 1, "a"), chain(n + 2, "a"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_equiv::{equivalent, limited, strong, Equivalence};
+    use ccs_fsp::ops;
+
+    #[test]
+    fn chain_classes_are_all_distinct() {
+        let f = chain(6, "a");
+        assert_eq!(strong::strong_partition(&f).num_classes(), 6);
+        assert!(f.profile().finite_tree);
+    }
+
+    #[test]
+    fn cycle_collapses_to_one_class() {
+        for n in [1, 2, 5, 9] {
+            let f = cycle(n, "a");
+            assert_eq!(strong::strong_partition(&f).num_classes(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cycles_of_different_sizes_are_equivalent() {
+        assert!(equivalent(&cycle(3, "a"), &cycle(5, "a"), Equivalence::Strong).unwrap());
+        assert!(equivalent(&cycle(3, "a"), &cycle(5, "a"), Equivalence::Failure).unwrap());
+    }
+
+    #[test]
+    fn tau_chain_is_weakly_equivalent_to_a_single_action() {
+        let long = tau_chain(10);
+        let short = tau_chain(1);
+        assert!(equivalent(&long, &short, Equivalence::Observational).unwrap());
+        assert!(!equivalent(&long, &short, Equivalence::Strong).unwrap());
+    }
+
+    #[test]
+    fn binary_tree_sizes() {
+        let t = binary_tree(3);
+        assert_eq!(t.num_states(), 15);
+        assert_eq!(t.num_transitions(), 14);
+        assert!(t.profile().finite_tree);
+        // All leaves are equivalent, all depth-2 nodes are equivalent, etc.
+        assert_eq!(strong::strong_partition(&t).num_classes(), 4);
+    }
+
+    #[test]
+    fn counters_relate_by_divisibility() {
+        assert!(equivalent(&counter(2), &counter(2), Equivalence::Language).unwrap());
+        assert!(!equivalent(&counter(2), &counter(3), Equivalence::Language).unwrap());
+    }
+
+    #[test]
+    fn vending_machines_differ_observationally_but_not_by_traces() {
+        let internal = vending_machine(true);
+        let external = vending_machine(false);
+        assert!(equivalent(&internal, &external, Equivalence::Trace).unwrap());
+        assert!(!equivalent(&internal, &external, Equivalence::Observational).unwrap());
+        assert!(!equivalent(&internal, &external, Equivalence::Failure).unwrap());
+    }
+
+    #[test]
+    fn slow_convergence_pair_needs_many_rounds() {
+        let (a, b) = slow_convergence_pair(6);
+        let union = ops::disjoint_union(&a, &b);
+        let h = limited::limited_hierarchy(&union.fsp);
+        assert!(h.convergence_round() >= 6);
+        let (p, q) = ops::union_starts(&union, &a, &b);
+        assert!(!h.limit().same_block(p.index(), q.index()));
+        // At low levels the two chains are still indistinguishable.
+        assert!(h.equivalent_at(1, p, q));
+    }
+}

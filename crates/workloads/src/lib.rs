@@ -1,0 +1,22 @@
+//! Workload generators for the `ccs-equiv` benchmark harness.
+//!
+//! Two flavours of processes are produced:
+//!
+//! * [`random`] — pseudo-random processes with controllable size, alphabet,
+//!   transition density, τ-ratio and acceptance ratio, plus generators for
+//!   *pairs* of processes that are bisimilar by construction (state
+//!   duplication) or almost-surely inequivalent (single-transition
+//!   perturbation);
+//! * [`families`] — deterministic structured families (chains, cycles,
+//!   complete trees, τ-chains, counters and a small vending machine) whose
+//!   equivalence classes are known analytically, used both as test oracles
+//!   and as scaling series for the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod families;
+pub mod random;
+
+pub use random::RandomConfig;

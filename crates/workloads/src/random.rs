@@ -1,0 +1,287 @@
+//! Pseudo-random process generation.
+
+use ccs_fsp::{Fsp, Label, StateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_fsp`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomConfig {
+    /// Number of states.
+    pub states: usize,
+    /// Number of observable actions.
+    pub actions: usize,
+    /// Expected number of outgoing transitions per state.
+    pub transitions_per_state: f64,
+    /// Probability that a generated transition is labelled τ.
+    pub tau_ratio: f64,
+    /// Probability that a state is accepting.
+    pub accept_ratio: f64,
+    /// Whether to add a spanning chain so every state is reachable from the
+    /// start state.
+    pub connected: bool,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            states: 64,
+            actions: 2,
+            transitions_per_state: 2.5,
+            tau_ratio: 0.0,
+            accept_ratio: 1.0,
+            connected: true,
+            seed: 0xC55E,
+        }
+    }
+}
+
+impl RandomConfig {
+    /// Convenience constructor fixing size and seed, keeping other defaults.
+    #[must_use]
+    pub fn sized(states: usize, seed: u64) -> Self {
+        RandomConfig {
+            states,
+            seed,
+            ..RandomConfig::default()
+        }
+    }
+}
+
+/// Generates a pseudo-random process according to `config`.
+///
+/// With the default configuration the result is a restricted (all-accepting)
+/// observable process, the model most of the paper's lower bounds live in;
+/// adjust `tau_ratio`/`accept_ratio` for the general model.
+#[must_use]
+pub fn random_fsp(config: &RandomConfig) -> Fsp {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = Fsp::builder(&format!("random-{}-{}", config.states, config.seed));
+    let states: Vec<StateId> = (0..config.states)
+        .map(|i| b.state(&format!("s{i}")))
+        .collect();
+    let actions: Vec<_> = (0..config.actions.max(1))
+        .map(|i| b.action(&format!("a{i}")))
+        .collect();
+    b.set_start(states[0]);
+    if config.connected {
+        for i in 1..config.states {
+            let from = states[rng.gen_range(0..i)];
+            let label = pick_label(&mut rng, &actions, config.tau_ratio);
+            b.add_transition(from, label, states[i]);
+        }
+    }
+    let total = (config.transitions_per_state * config.states as f64).round() as usize;
+    for _ in 0..total {
+        let from = states[rng.gen_range(0..config.states)];
+        let to = states[rng.gen_range(0..config.states)];
+        let label = pick_label(&mut rng, &actions, config.tau_ratio);
+        b.add_transition(from, label, to);
+    }
+    for &s in &states {
+        if rng.gen_bool(config.accept_ratio.clamp(0.0, 1.0)) {
+            b.mark_accepting(s);
+        }
+    }
+    b.build().expect("random process has at least one state")
+}
+
+fn pick_label(rng: &mut StdRng, actions: &[ccs_fsp::ActionId], tau_ratio: f64) -> Label {
+    if tau_ratio > 0.0 && rng.gen_bool(tau_ratio.clamp(0.0, 1.0)) {
+        Label::Tau
+    } else {
+        Label::Act(actions[rng.gen_range(0..actions.len())])
+    }
+}
+
+/// Generates a complete deterministic process (the deterministic model):
+/// exactly one transition per state per action, random targets and
+/// acceptance.
+#[must_use]
+pub fn random_deterministic(states: usize, actions: usize, seed: u64) -> Fsp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Fsp::builder(&format!("random-dfa-{states}-{seed}"));
+    let ids: Vec<StateId> = (0..states).map(|i| b.state(&format!("s{i}"))).collect();
+    let acts: Vec<_> = (0..actions.max(1))
+        .map(|i| b.action(&format!("a{i}")))
+        .collect();
+    b.set_start(ids[0]);
+    for &s in &ids {
+        for &a in &acts {
+            let target = ids[rng.gen_range(0..states)];
+            b.add_transition(s, Label::Act(a), target);
+        }
+        if rng.gen_bool(0.5) {
+            b.mark_accepting(s);
+        }
+    }
+    b.build().expect("non-empty deterministic process")
+}
+
+/// Produces a process bisimilar to `fsp` by construction: every state is
+/// duplicated a random number of times (1 or 2) and each transition is
+/// redirected to a random copy of its target.  The start state of the result
+/// is a copy of the original start state, so the two processes are strongly
+/// (hence observationally, failure-, language-) equivalent.
+#[must_use]
+pub fn bisimilar_variant(fsp: &Fsp, seed: u64) -> Fsp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let copies: Vec<usize> = (0..fsp.num_states())
+        .map(|_| if rng.gen_bool(0.5) { 2 } else { 1 })
+        .collect();
+    let mut b = Fsp::builder(&format!("{}|inflated", fsp.name()));
+    // copy_ids[i][c] is the builder state for copy c of original state i.
+    let mut copy_ids: Vec<Vec<StateId>> = Vec::with_capacity(fsp.num_states());
+    for s in fsp.state_ids() {
+        let ids = (0..copies[s.index()])
+            .map(|c| b.state(&format!("{}#{c}", fsp.state_label(s))))
+            .collect::<Vec<_>>();
+        copy_ids.push(ids);
+    }
+    b.set_start(copy_ids[fsp.start().index()][0]);
+    for s in fsp.state_ids() {
+        for &copy in &copy_ids[s.index()] {
+            for var in fsp.extensions(s) {
+                b.add_extension(copy, fsp.var_name(*var));
+            }
+            for t in fsp.transitions(s) {
+                let label = match t.label {
+                    Label::Tau => Label::Tau,
+                    Label::Act(a) => Label::Act(b.action(fsp.action_name(a))),
+                };
+                let targets = &copy_ids[t.target.index()];
+                let target = targets[rng.gen_range(0..targets.len())];
+                b.add_transition(copy, label, target);
+            }
+        }
+    }
+    b.build().expect("inflation preserves non-emptiness")
+}
+
+/// Returns a copy of `fsp` with one randomly chosen transition redirected to
+/// a different random target — with high probability the result is *not*
+/// equivalent to the original under any of the paper's notions.
+///
+/// Returns `None` if the process has no transitions or only one state.
+#[must_use]
+pub fn perturbed_variant(fsp: &Fsp, seed: u64) -> Option<Fsp> {
+    if fsp.num_transitions() == 0 || fsp.num_states() < 2 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let victim = rng.gen_range(0..fsp.num_transitions());
+    let mut b = Fsp::builder(&format!("{}|perturbed", fsp.name()));
+    let ids: Vec<StateId> = fsp
+        .state_ids()
+        .map(|s| b.state(&fsp.state_label(s)))
+        .collect();
+    b.set_start(ids[fsp.start().index()]);
+    for s in fsp.state_ids() {
+        for var in fsp.extensions(s) {
+            b.add_extension(ids[s.index()], fsp.var_name(*var));
+        }
+    }
+    for (idx, (from, label, to)) in fsp.all_transitions().enumerate() {
+        let label = match label {
+            Label::Tau => Label::Tau,
+            Label::Act(a) => Label::Act(b.action(fsp.action_name(a))),
+        };
+        let mut target = to;
+        if idx == victim {
+            // Redirect to a different state.
+            let offset = rng.gen_range(1..fsp.num_states());
+            target = StateId::from_index((to.index() + offset) % fsp.num_states());
+        }
+        b.add_transition(ids[from.index()], label, ids[target.index()]);
+    }
+    Some(b.build().expect("perturbation preserves non-emptiness"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_equiv::strong;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let c = RandomConfig::sized(32, 7);
+        assert_eq!(random_fsp(&c), random_fsp(&c));
+        let other = RandomConfig::sized(32, 8);
+        assert_ne!(random_fsp(&c), random_fsp(&other));
+    }
+
+    #[test]
+    fn connected_processes_are_connected() {
+        let c = RandomConfig {
+            states: 50,
+            transitions_per_state: 1.0,
+            ..RandomConfig::default()
+        };
+        let f = random_fsp(&c);
+        assert!(ccs_fsp::reach::is_connected(&f));
+        assert_eq!(f.num_states(), 50);
+    }
+
+    #[test]
+    fn default_config_yields_restricted_observable_processes() {
+        let f = random_fsp(&RandomConfig::default());
+        let p = f.profile();
+        assert!(p.observable && p.restricted);
+    }
+
+    #[test]
+    fn tau_ratio_introduces_tau_transitions() {
+        let c = RandomConfig {
+            tau_ratio: 1.0,
+            ..RandomConfig::sized(20, 3)
+        };
+        assert!(random_fsp(&c).has_tau_transitions());
+    }
+
+    #[test]
+    fn random_deterministic_is_deterministic() {
+        let f = random_deterministic(20, 3, 11);
+        assert!(f.profile().deterministic);
+        assert_eq!(f.num_transitions(), 20 * 3);
+    }
+
+    #[test]
+    fn bisimilar_variant_is_strongly_equivalent() {
+        let f = random_fsp(&RandomConfig::sized(24, 5));
+        let g = bisimilar_variant(&f, 99);
+        assert!(g.num_states() >= f.num_states());
+        assert!(strong::strong_equivalent(&f, &g));
+    }
+
+    #[test]
+    fn bisimilar_variant_handles_tau_and_extensions() {
+        let c = RandomConfig {
+            tau_ratio: 0.3,
+            accept_ratio: 0.5,
+            ..RandomConfig::sized(16, 21)
+        };
+        let f = random_fsp(&c);
+        let g = bisimilar_variant(&f, 100);
+        assert!(ccs_equiv::weak::observationally_equivalent(&f, &g));
+    }
+
+    #[test]
+    fn perturbed_variant_changes_exactly_one_transition() {
+        let f = random_fsp(&RandomConfig::sized(12, 2));
+        let g = perturbed_variant(&f, 1).unwrap();
+        assert_eq!(f.num_states(), g.num_states());
+        // Same number of transitions unless the redirect created a duplicate.
+        assert!(g.num_transitions() <= f.num_transitions());
+        assert!(g.num_transitions() + 1 >= f.num_transitions());
+    }
+
+    #[test]
+    fn perturbed_variant_rejects_degenerate_inputs() {
+        let mut b = Fsp::builder("one");
+        b.state("only");
+        let single = b.build().unwrap();
+        assert!(perturbed_variant(&single, 0).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Star expressions: parse CCS star expressions, build their representative
+//! processes (Definition 2.3.1), decide the CCS equivalence problem, and
+//! check which regular-expression laws survive the CCS semantics.
+//!
+//! Run with `cargo run --example expression_equivalence`.
+
+use ccs_expr::{ccs_equivalent, construct, language_equivalent, laws, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pairs = [
+        ("a.b + c", "c + a.b"),
+        ("a.(b + c)", "a.b + a.c"),
+        ("(a.b)*", "(a.b)*.(a.b)*"),
+        ("a.0", "0"),
+        ("a + a", "a"),
+    ];
+
+    println!("{:<16} {:<16} {:>10} {:>10}", "left", "right", "language", "ccs");
+    for (l, r) in pairs {
+        let left = parse(l)?;
+        let right = parse(r)?;
+        println!(
+            "{:<16} {:<16} {:>10} {:>10}",
+            l,
+            r,
+            if language_equivalent(&left, &right) { "equal" } else { "differ" },
+            if ccs_equivalent(&left, &right) { "equal" } else { "differ" },
+        );
+    }
+
+    // Show the representative FSP of one expression.
+    let expr = parse("a.(b + c)*")?;
+    let fsp = construct::representative(&expr);
+    println!(
+        "\nrepresentative FSP of {expr}: {} states, {} transitions (length {})",
+        fsp.num_states(),
+        fsp.num_transitions(),
+        expr.len()
+    );
+    println!("{fsp}");
+
+    // Which regular-expression identities survive the CCS semantics?
+    let r = parse("a")?;
+    let s = parse("b.c")?;
+    let t = parse("d*")?;
+    println!("{:<28} {:>10} {:>10}", "law", "language", "ccs");
+    for law in laws::Law::ALL {
+        let verdict = laws::check(law, &r, &s, &t);
+        println!(
+            "{:<28} {:>10} {:>10}",
+            law.to_string(),
+            if verdict.language { "holds" } else { "fails" },
+            if verdict.ccs { "holds" } else { "fails" },
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! A small protocol-verification scenario: check that a sender/receiver
+//! implementation over a lossy-free channel is observationally equivalent to
+//! its one-state service specification, then break the implementation and
+//! watch the checkers disagree.
+//!
+//! Run with `cargo run --example protocol_verification`.
+
+use ccs_equiv::{equivalent, strong, weak, Equivalence};
+use ccs_fsp::{format, Fsp};
+
+/// The specification: the service alternates `send` and `deliver` forever.
+fn specification() -> Fsp {
+    format::parse(
+        "process spec
+         trans idle send full
+         trans full deliver idle
+         accept idle full",
+    )
+    .expect("spec is well-formed")
+}
+
+/// The implementation: the message is accepted, handed over an internal
+/// channel (τ), acknowledged internally (τ), then delivered.
+fn implementation(drops_ack: bool) -> Fsp {
+    let mut text = String::from(
+        "process impl
+         trans s0 send s1
+         trans s1 tau s2
+         trans s2 deliver s3
+         trans s3 tau s0
+         accept s0 s1 s2 s3",
+    );
+    if drops_ack {
+        // A bug: the internal hand-over may silently drop the message and
+        // return to the idle state without delivering.
+        text.push_str("\ntrans s1 tau s0");
+    }
+    format::parse(&text).expect("implementation is well-formed")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = specification();
+    let good = implementation(false);
+    let buggy = implementation(true);
+
+    println!("specification: {} states / implementation: {} states\n", spec.num_states(), good.num_states());
+
+    println!("-- correct implementation --");
+    for notion in [Equivalence::Trace, Equivalence::Observational, Equivalence::Strong] {
+        println!(
+            "  {notion:<16} {}",
+            if equivalent(&spec, &good, notion)? { "matches spec" } else { "VIOLATES spec" }
+        );
+    }
+    let wp = weak::weak_partition(&good);
+    println!("  weak classes of the implementation: {}", wp.num_classes());
+    println!(
+        "  minimized implementation has {} states",
+        strong::quotient(&good).num_states()
+    );
+
+    println!("\n-- buggy implementation (may drop the message) --");
+    for notion in [Equivalence::Trace, Equivalence::Failure, Equivalence::Observational] {
+        println!(
+            "  {notion:<16} {}",
+            if equivalent(&spec, &buggy, notion)? { "matches spec" } else { "VIOLATES spec" }
+        );
+    }
+    let report = ccs_equiv::failures::failure_equivalent(&spec, &buggy);
+    if let Some(pair) = report.witness {
+        println!(
+            "  bug explanation: after {:?} the buggy system may refuse {:?}",
+            pair.trace, pair.refusal
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! End-to-end pipeline tests for star expressions: parse → representative
+//! FSP → equivalence checking, exercising every crate in the workspace.
+
+use ccs_equiv::{equivalent, Equivalence};
+use ccs_expr::{ccs_equivalent, construct, language_equivalent, parse};
+
+/// The motivating property of Section 2.3: expressions equal as regular
+/// expressions need not be CCS-equivalent, but CCS equivalence always implies
+/// language equivalence.
+#[test]
+fn ccs_equivalence_refines_language_equivalence() {
+    let corpus = [
+        "0",
+        "a",
+        "a.b",
+        "a + b",
+        "a.(b + c)",
+        "a.b + a.c",
+        "(a + b)*",
+        "a*.b*",
+        "(a.b)* + a",
+        "a.0 + b",
+        "a**",
+        "(a + 0).(b + c*)",
+    ];
+    for l in corpus {
+        for r in corpus {
+            let el = parse(l).unwrap();
+            let er = parse(r).unwrap();
+            let ccs = ccs_equivalent(&el, &er);
+            let lang = language_equivalent(&el, &er);
+            if ccs {
+                assert!(lang, "{l} ~ {r} must imply language equality");
+            }
+        }
+    }
+}
+
+/// The representative FSP of every corpus expression is observable and
+/// standard (Lemma 2.3.1) and its strong quotient is still CCS-equivalent to
+/// the expression.
+#[test]
+fn representatives_are_well_formed_and_minimizable() {
+    let corpus = ["a.(b + c)*", "(a + b.c)*.(d + 0)", "a.b.c + a.b.d", "(a*)*"];
+    for text in corpus {
+        let expr = parse(text).unwrap();
+        let fsp = construct::representative(&expr);
+        assert!(fsp.profile().observable, "{text}");
+        assert!(fsp.profile().standard, "{text}");
+        let quotient = ccs_equiv::strong::quotient(&fsp);
+        assert!(
+            ccs_equiv::strong::strong_equivalent(&fsp, &quotient),
+            "{text}"
+        );
+        assert!(quotient.num_states() <= fsp.num_states(), "{text}");
+    }
+}
+
+/// The three semantics orderings on a hand-picked set of pairs: strong ⊆
+/// failure ⊆ language, as seen through star expressions.
+#[test]
+fn expression_pairs_across_the_hierarchy() {
+    // (left, right, ccs-equal?, failure-equal?, language-equal?)
+    let cases = [
+        ("a.(b + c)", "a.b + a.c", false, false, true),
+        ("a + a", "a", true, true, true),
+        ("a.b + a.b", "a.b", true, true, true),
+        ("(a.b)*", "(a.b)*.(a.b)*", true, true, true),
+        ("a.b", "a.c", false, false, false),
+        ("a.(b.x + b.y)", "a.b.x + a.b.y", false, true, true),
+    ];
+    for (l, r, want_ccs, want_failure, want_lang) in cases {
+        let el = parse(l).unwrap();
+        let er = parse(r).unwrap();
+        assert_eq!(ccs_equivalent(&el, &er), want_ccs, "ccs: {l} vs {r}");
+        assert_eq!(
+            ccs_expr::failure_equivalent(&el, &er),
+            want_failure,
+            "failure: {l} vs {r}"
+        );
+        assert_eq!(language_equivalent(&el, &er), want_lang, "language: {l} vs {r}");
+    }
+}
+
+/// Representative FSPs can be fed straight into the generic checkers: the
+/// CCS equivalence problem really is a strong-equivalence problem
+/// (Section 2.3).
+#[test]
+fn ccs_equivalence_problem_is_strong_equivalence_of_representatives() {
+    let pairs = [("a.(b + c)", "a.b + a.c"), ("a + b", "b + a"), ("a*", "a*.a*")];
+    for (l, r) in pairs {
+        let el = parse(l).unwrap();
+        let er = parse(r).unwrap();
+        let fl = construct::representative(&el);
+        let fr = construct::representative(&er);
+        assert_eq!(
+            ccs_equivalent(&el, &er),
+            equivalent(&fl, &fr, Equivalence::Strong).unwrap(),
+            "{l} vs {r}"
+        );
+    }
+}

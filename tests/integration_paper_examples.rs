@@ -1,0 +1,127 @@
+//! The worked examples of the paper (Figs. 1b and 2, Table I, the failures
+//! example of Section 2.1) as executable assertions.
+
+use ccs_equiv::{equivalent, failures, Equivalence};
+use ccs_fsp::model::ModelClass;
+use ccs_fsp::{format, ops};
+use ccs_reductions::figures;
+
+/// Table I / Fig. 1a: the model hierarchy — every specialised class is
+/// contained in the more general ones.
+#[test]
+fn model_hierarchy_inclusions() {
+    let examples = vec![
+        ("general", "trans p tau q\ntrans p a q\next q y"),
+        ("observable", "trans p a q\next q y"),
+        ("standard", "trans p tau q\naccept q"),
+        ("restricted", "trans p a q\naccept p q"),
+        ("rou", "trans p a q\ntrans q a q\naccept p q"),
+        ("deterministic", "trans p a q\ntrans q a p\naccept p q"),
+        ("tree", "trans p a q\ntrans p b r\naccept p q r"),
+    ];
+    for (name, text) in examples {
+        let fsp = format::parse(text).unwrap();
+        let profile = fsp.profile();
+        let classes = profile.classes();
+        assert!(classes.contains(&ModelClass::General), "{name}");
+        if profile.is(ModelClass::RestrictedObservableUnary) {
+            assert!(profile.is(ModelClass::RestrictedObservable), "{name}");
+            assert!(profile.is(ModelClass::Restricted), "{name}");
+            assert!(profile.is(ModelClass::Observable), "{name}");
+        }
+        if profile.is(ModelClass::Restricted) {
+            assert!(profile.is(ModelClass::Standard), "{name}");
+        }
+        if profile.is(ModelClass::Deterministic) {
+            assert!(profile.is(ModelClass::Observable), "{name}");
+        }
+        if profile.is(ModelClass::FiniteTree) {
+            assert!(profile.is(ModelClass::Restricted), "{name}");
+        }
+    }
+}
+
+/// The failures example of Section 2.1: for the finite tree of Fig. 1b the
+/// start state's failures at the empty trace are exactly the subsets of
+/// `{b, c}`.
+#[test]
+fn fig1_failures_example() {
+    let tree = figures::fig1_finite_tree();
+    let fails = failures::failures_up_to(&tree, tree.start(), 2);
+    let (eps_trace, eps_refusals) = &fails[0];
+    assert!(eps_trace.is_empty());
+    assert_eq!(eps_refusals, &vec![vec!["b".to_owned(), "c".to_owned()]]);
+    // After `a`, one derivative refuses {a} only and another refuses {a, b}:
+    // the downward closures match the paper's {a}×2^{b,c} ∪ {a}×2^{a,...}
+    // shape in that refusing everything is impossible but refusing the
+    // untaken branches is possible.
+    let after_a: Vec<_> = fails
+        .iter()
+        .filter(|(t, _)| t == &vec!["a".to_owned()])
+        .collect();
+    assert_eq!(after_a.len(), 1);
+    assert!(!after_a[0].1.is_empty());
+}
+
+/// Fig. 2: the separating examples for the equivalence hierarchy.
+#[test]
+fn fig2_separations() {
+    let (l, r) = figures::trace_equal_failure_different();
+    assert!(equivalent(&l, &r, Equivalence::KObservational(1)).unwrap());
+    assert!(!equivalent(&l, &r, Equivalence::Failure).unwrap());
+
+    let (l, r) = figures::failure_equal_observational_different();
+    assert!(equivalent(&l, &r, Equivalence::Failure).unwrap());
+    assert!(!equivalent(&l, &r, Equivalence::Observational).unwrap());
+
+    let (l, r) = figures::observational_equal_strong_different();
+    assert!(equivalent(&l, &r, Equivalence::Observational).unwrap());
+    assert!(!equivalent(&l, &r, Equivalence::Strong).unwrap());
+}
+
+/// The remark at the end of Section 4: `p ≈₂ q*` (the trivial process) iff
+/// every state reachable from `p` has outgoing transitions for every symbol.
+#[test]
+fn trivial_process_characterisation() {
+    let trivial = ccs_reductions::gadgets::trivial_nfa(&["a", "b"]);
+    // Complete process: every reachable state has both actions enabled.
+    let complete = format::parse(
+        "trans p a q\ntrans p b p\ntrans q a p\ntrans q b q\naccept p q",
+    )
+    .unwrap();
+    assert!(equivalent(&complete, &trivial, Equivalence::KObservational(2)).unwrap());
+    // Incomplete process: some reachable state is missing an action.
+    let incomplete =
+        format::parse("trans p a q\ntrans p b p\ntrans q b q\naccept p q").unwrap();
+    assert!(!equivalent(&incomplete, &trivial, Equivalence::KObservational(2)).unwrap());
+    // Both are ≈₁ (language) equivalent to the trivial process only if
+    // universal; the complete one is, the incomplete one is not over {a,b}...
+    // actually the incomplete one still traces every string? No: after `a`
+    // the state q has no `a` transition, so `aa` is not a trace.
+    assert!(equivalent(&complete, &trivial, Equivalence::Language).unwrap());
+    assert!(!equivalent(&incomplete, &trivial, Equivalence::Language).unwrap());
+}
+
+/// Lemma 4.1: `p ≈ₖ q` iff (`p ∪ q ≈ₖ p` and `p ∪ q ≈ₖ q`), checked for the
+/// star-expression-style union on restricted observable processes.
+#[test]
+fn lemma_4_1_union_characterisation() {
+    let cases = [
+        ("trans p a q\naccept p q", "trans u a v\ntrans u a w\naccept u v w", 1usize),
+        ("trans p a q\naccept p q", "trans u a v\ntrans v a w\naccept u v w", 1),
+        (
+            "trans p a q\ntrans q b r\naccept p q r",
+            "trans u a v\ntrans v c w\naccept u v w",
+            2,
+        ),
+    ];
+    for (lt, rt, k) in cases {
+        let p = format::parse(lt).unwrap();
+        let q = format::parse(rt).unwrap();
+        let union = ccs_fsp::ops::make_restricted(&ops::choice(&p, &q));
+        let lhs = ccs_equiv::kobs::kobs_equivalent(&p, &q, k);
+        let rhs = ccs_equiv::kobs::kobs_equivalent(&union, &p, k)
+            && ccs_equiv::kobs::kobs_equivalent(&union, &q, k);
+        assert_eq!(lhs, rhs, "{lt} vs {rt} at level {k}");
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end verification of the paper's reductions (Lemma 4.2,
+//! Theorem 4.1(b)(c), Theorem 5.1) on families of instances.
+
+use ccs_equiv::{kobs, language, Equivalence};
+use ccs_fsp::format;
+use ccs_reductions::gadgets;
+use ccs_workloads::{random, RandomConfig};
+
+/// Theorem 4.1(b): `p ≈ₖ q` iff `p′ ≈ₖ₊₁ q′` for the lifting gadget, checked
+/// at k = 1 and k = 2 on a mix of equivalent and inequivalent pairs.
+#[test]
+fn kobs_lifting_gadget_is_an_equivalence_preserving_reduction() {
+    let pairs = vec![
+        // ≈₁-equivalent (same prefix-closed language).
+        ("trans p a q\naccept p q", "trans u a v\ntrans u a w\naccept u v w"),
+        // ≈₁-inequivalent (different languages).
+        ("trans p a q\naccept p q", "trans u a v\ntrans v a w\naccept u v w"),
+        // ≈₁-equivalent but ≈₂-inequivalent (the classic branching pair).
+        (
+            "trans p a q\ntrans q b r\ntrans q c s\naccept p q r s",
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
+        ),
+    ];
+    for (lt, rt) in pairs {
+        let p = format::parse(lt).unwrap();
+        let q = format::parse(rt).unwrap();
+        for k in 1..=2usize {
+            let before = kobs::kobs_equivalent(&p, &q, k);
+            let (p1, q1) = gadgets::kobs_lift(&p, &q, "z");
+            let after = kobs::kobs_equivalent(&p1, &q1, k + 1);
+            assert_eq!(before, after, "{lt} vs {rt} at level {k}");
+        }
+    }
+}
+
+/// Theorem 5.1: `L(p) = L(q)` iff the gadget outputs are failure equivalent,
+/// checked on random restricted observable processes.
+#[test]
+fn failure_gadget_reduces_language_equivalence() {
+    for seed in 0..10u64 {
+        let base = random::random_fsp(&RandomConfig::sized(7, seed));
+        let other = if seed % 2 == 0 {
+            random::bisimilar_variant(&base, seed + 10)
+        } else {
+            random::random_fsp(&RandomConfig::sized(7, seed + 40))
+        };
+        let lang = language::language_equivalent(&base, &other).holds;
+        let g1 = gadgets::failure_gadget(&base);
+        let g2 = gadgets::failure_gadget(&other);
+        let fail = ccs_equiv::failures::failure_equivalent(&g1, &g2).equivalent;
+        assert_eq!(lang, fail, "seed {seed}");
+    }
+}
+
+/// Lemma 4.2 / Fig. 4: the gadget preserves universality status, and
+/// universality over the restricted observable model is `≈₁`-equivalence to
+/// the trivial process.
+#[test]
+fn universality_gadget_end_to_end() {
+    // A family of complete automata over {a, b}: counters of different
+    // moduli accepting residue 0 (universal only for modulus 1).
+    for modulus in 1..=4usize {
+        let mut b = ccs_fsp::Fsp::builder(&format!("mod-{modulus}"));
+        let states: Vec<_> = (0..modulus).map(|i| b.state(&format!("s{i}"))).collect();
+        let a = b.action("a");
+        let bb = b.action("b");
+        for i in 0..modulus {
+            b.add_transition(states[i], ccs_fsp::Label::Act(a), states[(i + 1) % modulus]);
+            b.add_transition(states[i], ccs_fsp::Label::Act(bb), states[i]);
+        }
+        b.set_start(states[0]);
+        b.mark_accepting(states[0]);
+        let m = b.build().unwrap();
+        let input_universal = language::is_universal(&m, m.start()).holds;
+        assert_eq!(input_universal, modulus == 1);
+
+        let gadget = gadgets::universality_gadget(&m);
+        assert!(gadget.profile().restricted && gadget.profile().observable);
+        let output_universal = language::is_universal(&gadget, gadget.start()).holds;
+        assert_eq!(input_universal, output_universal, "modulus {modulus}");
+
+        let trivial = gadgets::trivial_nfa(&["a", "b"]);
+        assert_eq!(
+            output_universal,
+            ccs_equiv::equivalent(&gadget, &trivial, Equivalence::KObservational(1)).unwrap(),
+            "modulus {modulus}"
+        );
+    }
+}
+
+/// Theorem 4.1(c): the dead-state transformation preserves the language while
+/// making accepting states exactly the dead states.
+#[test]
+fn dead_state_transformation_on_random_automata() {
+    for seed in 0..8u64 {
+        let cfg = RandomConfig {
+            accept_ratio: 0.5,
+            ..RandomConfig::sized(8, seed)
+        };
+        // Prefix with a fresh initial action so the empty string is never
+        // accepted — the precondition under which Theorem 4.1(c) applies the
+        // transformation (an accepting live start state cannot be represented
+        // in the "accepting iff dead" form).
+        let m = ccs_fsp::ops::prefix("init", &random::random_fsp(&cfg));
+        let t = gadgets::dead_state_transform(&m);
+        for s in t.accepting_states() {
+            assert!(t.is_dead(s), "seed {seed}");
+        }
+        assert!(
+            language::language_equivalent(&m, &t).holds,
+            "seed {seed}: language must be preserved"
+        );
+    }
+}
+
+/// The chaos process: `q ≈₂ chaos` holds for processes that can, after every
+/// non-empty string, both continue and be stuck — and fails otherwise.
+#[test]
+fn chaos_characterisation() {
+    let chaos = gadgets::chaos("a");
+    // A process with the same "may continue, may be stuck" structure.
+    let similar = format::parse(
+        "trans s a s\ntrans s a t\ntrans s a u\ntrans u a u\ntrans u a t\naccept s t u",
+    )
+    .unwrap();
+    assert!(kobs::kobs_equivalent(&chaos, &similar, 2));
+    // A process that can never get stuck is not ≈₂ chaos.
+    let always = format::parse("trans p a p\naccept p").unwrap();
+    assert!(!kobs::kobs_equivalent(&chaos, &always, 2));
+    // A process that always gets stuck after one step is not ≈₂ chaos either.
+    let once = format::parse("trans p a q\naccept p q").unwrap();
+    assert!(!kobs::kobs_equivalent(&chaos, &once, 2));
+}
