@@ -21,13 +21,9 @@ fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("ccs/construct");
     for generations in [4usize, 8, 16, 32] {
         let expr = expression_of_generation(generations);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(expr.len()),
-            &expr,
-            |b, expr| {
-                b.iter(|| construct::representative(expr));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(expr.len()), &expr, |b, expr| {
+            b.iter(|| construct::representative(expr));
+        });
     }
     group.finish();
 }
@@ -36,13 +32,9 @@ fn bench_parsing(c: &mut Criterion) {
     let mut group = c.benchmark_group("ccs/parse");
     for generations in [8usize, 32] {
         let text = expression_of_generation(generations).to_string();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(text.len()),
-            &text,
-            |b, text| {
-                b.iter(|| parse(text).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(text.len()), &text, |b, text| {
+            b.iter(|| parse(text).unwrap());
+        });
     }
     group.finish();
 }

@@ -43,9 +43,13 @@ fn bench_distributivity_counterexamples(c: &mut Criterion) {
     let s = parse("b.a*").unwrap();
     let t = parse("c + a.b").unwrap();
     for law in ccs_expr::laws::Law::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(law.to_string()), &law, |b, &law| {
-            b.iter(|| ccs_expr::laws::check(law, &r, &s, &t));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(law.to_string()),
+            &law,
+            |b, &law| {
+                b.iter(|| ccs_expr::laws::check(law, &r, &s, &t));
+            },
+        );
     }
     group.finish();
 }

@@ -21,7 +21,10 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 fn e7_partition_algorithms() {
     println!("\n== E7: generalized partitioning — naive vs Kanellakis-Smolka vs Paige-Tarjan ==");
-    println!("{:>8} {:>10} {:>12} {:>12} {:>12}", "states", "edges", "naive ms", "ks ms", "pt ms");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "states", "edges", "naive ms", "ks ms", "pt ms"
+    );
     for &n in &[64usize, 128, 256, 512, 1024] {
         let fsp = standard_process(n, 42);
         let inst = strong::to_instance(&fsp);
@@ -74,7 +77,10 @@ fn e9_observational_equivalence() {
 
 fn e10_k_observational() {
     println!("\n== E10: exact ≈k (PSPACE-complete, Theorem 4.1b) vs polynomial ≈ ==");
-    println!("{:>8} {:>12} {:>12} {:>12}", "states", "≈2 ms", "≈3 ms", "≈ ms");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "states", "≈2 ms", "≈3 ms", "≈ ms"
+    );
     for &n in &[4usize, 6, 8, 10, 12] {
         let base = standard_process(n, 11);
         let other = ccs_workloads::random::bisimilar_variant(&base, 12);

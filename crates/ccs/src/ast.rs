@@ -135,7 +135,10 @@ mod tests {
     fn star_height() {
         assert_eq!(StarExpr::action("a").star_height(), 0);
         assert_eq!(StarExpr::action("a").star().star_height(), 1);
-        let nested = StarExpr::action("a").star().union(StarExpr::action("b")).star();
+        let nested = StarExpr::action("a")
+            .star()
+            .union(StarExpr::action("b"))
+            .star();
         assert_eq!(nested.star_height(), 2);
     }
 
@@ -145,7 +148,9 @@ mod tests {
             StarExpr::Empty,
             StarExpr::action("a"),
             StarExpr::action("a").concat(StarExpr::action("b")).star(),
-            StarExpr::action("a").union(StarExpr::Empty).concat(StarExpr::action("c")),
+            StarExpr::action("a")
+                .union(StarExpr::Empty)
+                .concat(StarExpr::action("c")),
         ];
         for e in exprs {
             let reparsed = crate::parse(&e.to_string()).unwrap();

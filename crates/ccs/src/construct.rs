@@ -87,8 +87,7 @@ fn build(expr: &StarExpr) -> Rep {
             let right_start = right_start_old + offset;
             let mut transitions = rep.states[left_start].transitions.clone();
             transitions.extend(rep.states[right_start].transitions.clone());
-            let accepting =
-                rep.states[left_start].accepting || rep.states[right_start].accepting;
+            let accepting = rep.states[left_start].accepting || rep.states[right_start].accepting;
             rep.states.push(RepState {
                 accepting,
                 transitions,
@@ -159,7 +158,8 @@ pub fn representative(expr: &StarExpr) -> Fsp {
         }
     }
     b.set_start(ids[rep.start]);
-    b.build().expect("representative construction yields at least one state")
+    b.build()
+        .expect("representative construction yields at least one state")
 }
 
 #[cfg(test)]
@@ -200,8 +200,13 @@ mod tests {
     fn language_matches_the_regular_expression_reading() {
         // The representative FSP, read as an NFA, accepts exactly the regular
         // language of the expression.  Spot-check on small expressions.
-        let cases: Vec<(&str, Vec<&[&str]>, Vec<&[&str]>)> = vec![
-            ("a.b", vec![&["a", "b"]], vec![&[], &["a"], &["b"], &["a", "b", "a"]]),
+        type Words = Vec<&'static [&'static str]>;
+        let cases: Vec<(&str, Words, Words)> = vec![
+            (
+                "a.b",
+                vec![&["a", "b"]],
+                vec![&[], &["a"], &["b"], &["a", "b", "a"]],
+            ),
             ("a + b", vec![&["a"], &["b"]], vec![&[], &["a", "b"]]),
             ("a*", vec![&[], &["a"], &["a", "a", "a"]], vec![&["b"]]),
             (
@@ -210,15 +215,25 @@ mod tests {
                 vec![&["a"], &["a", "b", "a"]],
             ),
             ("a.0", vec![], vec![&[], &["a"]]),
-            ("a.b*", vec![&["a"], &["a", "b"], &["a", "b", "b"]], vec![&[], &["b"]]),
+            (
+                "a.b*",
+                vec![&["a"], &["a", "b"], &["a", "b", "b"]],
+                vec![&[], &["b"]],
+            ),
         ];
         for (text, accepted, rejected) in cases {
             let f = representative(&parse(text).unwrap());
             for w in accepted {
-                assert!(language::accepts(&f, f.start(), w), "{text} should accept {w:?}");
+                assert!(
+                    language::accepts(&f, f.start(), w),
+                    "{text} should accept {w:?}"
+                );
             }
             for w in rejected {
-                assert!(!language::accepts(&f, f.start(), w), "{text} should reject {w:?}");
+                assert!(
+                    !language::accepts(&f, f.start(), w),
+                    "{text} should reject {w:?}"
+                );
             }
         }
     }

@@ -54,7 +54,10 @@ use ccs_equiv::strong;
 /// strongly equivalent?
 #[must_use]
 pub fn ccs_equivalent(left: &StarExpr, right: &StarExpr) -> bool {
-    strong::strong_equivalent(&construct::representative(left), &construct::representative(right))
+    strong::strong_equivalent(
+        &construct::representative(left),
+        &construct::representative(right),
+    )
 }
 
 /// Language equivalence of the same expressions read as *regular*
@@ -84,7 +87,15 @@ mod tests {
 
     #[test]
     fn ccs_equivalence_is_reflexive_on_a_corpus() {
-        for text in ["0", "a", "a.b", "a + b", "(a.b)*", "a.(b + c)*", "(a + b).(c + d)"] {
+        for text in [
+            "0",
+            "a",
+            "a.b",
+            "a + b",
+            "(a.b)*",
+            "a.(b + c)*",
+            "(a + b).(c + d)",
+        ] {
             let e = parse(text).unwrap();
             assert!(ccs_equivalent(&e, &e), "{text}");
             assert!(language_equivalent(&e, &e), "{text}");

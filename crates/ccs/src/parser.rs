@@ -27,7 +27,11 @@ pub struct ExprError {
 
 impl fmt::Display for ExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -76,17 +80,12 @@ impl<'a> Parser<'a> {
 
     fn term(&mut self) -> Result<StarExpr, ExprError> {
         let mut left = self.factor()?;
-        loop {
-            match self.peek() {
-                Some(b'.') => {
-                    self.pos += 1;
-                    let right = self.factor()?;
-                    left = left.concat(right);
-                }
-                // Juxtaposition of atoms is not allowed; concatenation needs
-                // an explicit dot, matching the paper's `·`.
-                _ => break,
-            }
+        // Juxtaposition of atoms is not allowed; concatenation needs an
+        // explicit dot, matching the paper's `·`.
+        while self.peek() == Some(b'.') {
+            self.pos += 1;
+            let right = self.factor()?;
+            left = left.concat(right);
         }
         Ok(left)
     }
@@ -118,7 +117,8 @@ impl<'a> Parser<'a> {
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = self.pos;
                 while self.pos < self.input.len()
-                    && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+                    && (self.input[self.pos].is_ascii_alphanumeric()
+                        || self.input[self.pos] == b'_')
                 {
                     self.pos += 1;
                 }
@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn empty_and_identifiers() {
         assert_eq!(parse("0").unwrap(), StarExpr::Empty);
-        assert_eq!(parse("coin_inserted").unwrap(), StarExpr::action("coin_inserted"));
+        assert_eq!(
+            parse("coin_inserted").unwrap(),
+            StarExpr::action("coin_inserted")
+        );
         assert_eq!(parse("  a  ").unwrap(), StarExpr::action("a"));
     }
 
@@ -203,7 +206,9 @@ mod tests {
 
     #[test]
     fn malformed_inputs_are_rejected() {
-        for bad in ["", "+", "a +", "(a", "a)", "a..b", "a b", "*a", "a.+b", "1abc"] {
+        for bad in [
+            "", "+", "a +", "(a", "a)", "a..b", "a b", "*a", "a.+b", "1abc",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
     }

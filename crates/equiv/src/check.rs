@@ -121,10 +121,9 @@ mod tests {
         // neither failure, nor ≈₂, nor observationally, nor strongly.
         let merged =
             format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
-        let split = format::parse(
-            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
-        )
-        .unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
         assert!(equivalent(&merged, &split, Equivalence::Language).unwrap());
         assert!(equivalent(&merged, &split, Equivalence::Trace).unwrap());
         assert!(equivalent(&merged, &split, Equivalence::KObservational(1)).unwrap());
@@ -148,7 +147,10 @@ mod tests {
     fn display_names() {
         assert_eq!(Equivalence::Strong.to_string(), "strong");
         assert_eq!(Equivalence::Limited(2).to_string(), "limited-2");
-        assert_eq!(Equivalence::KObservational(3).to_string(), "k-observational-3");
+        assert_eq!(
+            Equivalence::KObservational(3).to_string(),
+            "k-observational-3"
+        );
         assert_eq!(Equivalence::Failure.to_string(), "failure");
     }
 }

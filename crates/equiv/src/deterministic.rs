@@ -47,7 +47,10 @@ pub fn to_dfa(
     for a in fsp.action_ids() {
         if !alphabet.contains(&fsp.action_name(a).to_owned()) {
             return Err(EquivError::Incomparable {
-                message: format!("action '{}' missing from the shared alphabet", fsp.action_name(a)),
+                message: format!(
+                    "action '{}' missing from the shared alphabet",
+                    fsp.action_name(a)
+                ),
             });
         }
     }
@@ -94,9 +97,20 @@ pub fn to_dfa(
 /// deterministic, or [`EquivError::Incomparable`] if their action alphabets
 /// differ (the deterministic model requires exactly one transition per action
 /// of `Σ`, so differing alphabets make the comparison ill-posed).
-pub fn deterministic_equivalent(left: &Fsp, right: &Fsp) -> Result<DeterministicResult, EquivError> {
-    let mut alphabet: Vec<String> = left.action_names().iter().map(|s| (*s).to_owned()).collect();
-    let right_names: Vec<String> = right.action_names().iter().map(|s| (*s).to_owned()).collect();
+pub fn deterministic_equivalent(
+    left: &Fsp,
+    right: &Fsp,
+) -> Result<DeterministicResult, EquivError> {
+    let mut alphabet: Vec<String> = left
+        .action_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let right_names: Vec<String> = right
+        .action_names()
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
     for name in &right_names {
         if !alphabet.contains(name) {
             alphabet.push(name.clone());
@@ -177,10 +191,7 @@ mod tests {
     #[test]
     fn alphabet_mismatch_is_rejected() {
         let unary = mod_counter(2);
-        let binary = format::parse(
-            "trans p a p\ntrans p b p\naccept p",
-        )
-        .unwrap();
+        let binary = format::parse("trans p a p\ntrans p b p\naccept p").unwrap();
         assert!(matches!(
             deterministic_equivalent(&unary, &binary),
             Err(EquivError::Incomparable { .. })

@@ -47,11 +47,10 @@ fn maximal_refusals(fsp: &Fsp, closure: &TauClosure, subset: &[usize]) -> Vec<Ve
     let mut refusals: Vec<Vec<usize>> = subset
         .iter()
         .map(|&x| {
-            let enabled: Vec<usize> =
-                weakly_enabled_actions(fsp, closure, StateId::from_index(x))
-                    .iter()
-                    .map(|a| a.index())
-                    .collect();
+            let enabled: Vec<usize> = weakly_enabled_actions(fsp, closure, StateId::from_index(x))
+                .iter()
+                .map(|a| a.index())
+                .collect();
             all_actions
                 .iter()
                 .copied()
@@ -165,7 +164,11 @@ pub fn failure_equivalent(left: &Fsp, right: &Fsp) -> FailureResult {
 /// set is the set of `(s, Z)` with `Z` a subset of one of the listed maximal
 /// refusals.
 #[must_use]
-pub fn failures_up_to(fsp: &Fsp, p: StateId, max_len: usize) -> Vec<(Vec<String>, Vec<Vec<String>>)> {
+pub fn failures_up_to(
+    fsp: &Fsp,
+    p: StateId,
+    max_len: usize,
+) -> Vec<(Vec<String>, Vec<Vec<String>>)> {
     let closure = tau_closure(fsp);
     let mut out = Vec::new();
     let mut frontier: Vec<(Subset, Vec<String>)> = vec![(closure_of(&closure, p), Vec::new())];
@@ -207,10 +210,9 @@ mod tests {
     /// trace-equivalent pair.
     #[test]
     fn internal_vs_external_choice() {
-        let split = format::parse(
-            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
-        )
-        .unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
         let merged =
             format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
         assert!(crate::traces::trace_equivalent(&split, &merged).holds);
@@ -279,8 +281,8 @@ mod tests {
     #[test]
     fn tau_introduces_refusals() {
         // a + τ.b can refuse {a} (by silently moving), a + b cannot.
-        let internal = format::parse("trans p a q\ntrans p tau r\ntrans r b s\naccept p q r s")
-            .unwrap();
+        let internal =
+            format::parse("trans p a q\ntrans p tau r\ntrans r b s\naccept p q r s").unwrap();
         let external = format::parse("trans u a v\ntrans u b w\naccept u v w").unwrap();
         assert!(crate::traces::trace_equivalent(&internal, &external).holds);
         let r = failure_equivalent(&internal, &external);
@@ -304,7 +306,10 @@ mod tests {
         assert_eq!(eps_refusals.len(), 1);
         assert_eq!(eps_refusals[0], vec!["b".to_owned(), "c".to_owned()]);
         // After `a` there are two derivative states with different refusals.
-        let after_a: Vec<_> = failures.iter().filter(|(t, _)| t == &vec!["a".to_owned()]).collect();
+        let after_a: Vec<_> = failures
+            .iter()
+            .filter(|(t, _)| t == &vec!["a".to_owned()])
+            .collect();
         assert_eq!(after_a.len(), 1);
         assert_eq!(after_a[0].1.len(), 2);
     }
@@ -314,10 +319,8 @@ mod tests {
         // Proposition 2.2.4: in the deterministic model the notions collapse.
         let a = format::parse("trans p a q\ntrans q b p\ntrans p b p\ntrans q a q\naccept p q")
             .unwrap();
-        let b = format::parse(
-            "trans u a v\ntrans v b u\ntrans u b u\ntrans v a v\naccept u v",
-        )
-        .unwrap();
+        let b = format::parse("trans u a v\ntrans v b u\ntrans u b u\ntrans v a v\naccept u v")
+            .unwrap();
         assert!(failure_equivalent(&a, &b).equivalent);
         assert!(crate::traces::trace_equivalent(&a, &b).holds);
     }

@@ -160,16 +160,13 @@ mod tests {
     fn level_one_is_language_equivalence_in_the_restricted_model() {
         // Proposition 2.2.3(b): in the restricted model, ≈₁ is language
         // equivalence.  a.b + a.c vs a.(b + c), all states accepting.
-        let split = format::parse(
-            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
-        )
-        .unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
         let merged =
             format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
         assert!(kobs_equivalent(&split, &merged, 1));
-        assert!(
-            crate::language::language_equivalent(&split, &merged).holds
-        );
+        assert!(crate::language::language_equivalent(&split, &merged).holds);
         // ...but they are NOT ≈₂-equivalent: after `a`, one side may refuse b.
         assert!(!kobs_equivalent(&split, &merged, 2));
         // And consequently not observationally equivalent either.
@@ -180,7 +177,10 @@ mod tests {
     fn kobs_agrees_with_language_equivalence_at_level_one() {
         let cases = [
             ("trans p a q\naccept p q", "trans u a u\naccept u"),
-            ("trans p a q\ntrans q a p\naccept p q", "trans u a u\naccept u"),
+            (
+                "trans p a q\ntrans q a p\naccept p q",
+                "trans u a u\naccept u",
+            ),
             ("trans p a q\naccept p", "trans u a u\naccept u"),
         ];
         for (l, r) in cases {
@@ -227,10 +227,8 @@ mod tests {
 
     #[test]
     fn partition_levels_have_sensible_sizes() {
-        let f = format::parse(
-            "trans s0 a s1\ntrans s1 a s2\ntrans s2 a s2\naccept s0 s1 s2",
-        )
-        .unwrap();
+        let f =
+            format::parse("trans s0 a s1\ntrans s1 a s2\ntrans s2 a s2\naccept s0 s1 s2").unwrap();
         // All states accepting; ≈₀ has one block.
         assert_eq!(kobs_partition(&f, 0).num_blocks(), 1);
         // s0 (can do exactly a, aa, aaa, ...), s1, s2 all have language {a}*

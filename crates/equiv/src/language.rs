@@ -77,7 +77,11 @@ pub fn language_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> Language
         if subset_accepting(fsp, &xs) != subset_accepting(fsp, &ys) {
             return LanguageResult {
                 holds: false,
-                witness: Some(word.iter().map(|&a| fsp.action_name(a).to_owned()).collect()),
+                witness: Some(
+                    word.iter()
+                        .map(|&a| fsp.action_name(a).to_owned())
+                        .collect(),
+                ),
             };
         }
         for a in fsp.action_ids() {
@@ -148,7 +152,11 @@ pub fn is_universal(fsp: &Fsp, p: StateId) -> LanguageResult {
         if !subset_accepting(fsp, &xs) {
             return LanguageResult {
                 holds: false,
-                witness: Some(word.iter().map(|&a| fsp.action_name(a).to_owned()).collect()),
+                witness: Some(
+                    word.iter()
+                        .map(|&a| fsp.action_name(a).to_owned())
+                        .collect(),
+                ),
             };
         }
         for a in fsp.action_ids() {
@@ -220,10 +228,9 @@ mod tests {
     #[test]
     fn nondeterministic_choice_is_language_equivalent_to_merged() {
         // a.b + a.c has the same language as a.(b + c).
-        let split = format::parse(
-            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y",
-        )
-        .unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
         let merged =
             format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
         assert!(language_equivalent(&split, &merged).holds);
@@ -238,10 +245,7 @@ mod tests {
         let witness = r.witness.unwrap();
         // The witness is accepted by exactly one of the two processes.
         let wa: Vec<&str> = witness.iter().map(String::as_str).collect();
-        assert_ne!(
-            accepts(&ab, ab.start(), &wa),
-            accepts(&ac, ac.start(), &wa)
-        );
+        assert_ne!(accepts(&ab, ab.start(), &wa), accepts(&ac, ac.start(), &wa));
     }
 
     #[test]
@@ -295,8 +299,14 @@ mod tests {
     #[test]
     fn equivalence_agrees_with_bounded_enumeration() {
         let cases = [
-            ("trans p a q\naccept q", "trans u a v\ntrans u a w\naccept v w"),
-            ("trans p a p\naccept p", "trans u a v\ntrans v a u\naccept u v"),
+            (
+                "trans p a q\naccept q",
+                "trans u a v\ntrans u a w\naccept v w",
+            ),
+            (
+                "trans p a p\naccept p",
+                "trans u a v\ntrans v a u\naccept u v",
+            ),
             ("trans p a q\naccept p", "trans u a v\naccept v"),
         ];
         for (l, r) in cases {
@@ -311,10 +321,7 @@ mod tests {
 
     #[test]
     fn states_within_one_process() {
-        let f = format::parse(
-            "trans p a q\ntrans r a s\ntrans x b y\naccept q s y",
-        )
-        .unwrap();
+        let f = format::parse("trans p a q\ntrans r a s\ntrans x b y\naccept q s y").unwrap();
         let p = f.state_by_name("p").unwrap();
         let r = f.state_by_name("r").unwrap();
         let x = f.state_by_name("x").unwrap();

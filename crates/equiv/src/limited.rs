@@ -147,10 +147,9 @@ mod tests {
 
     #[test]
     fn refinement_is_monotone_and_converges() {
-        let f = format::parse(
-            "trans s0 a s1\ntrans s1 a s2\ntrans s2 a s3\ntrans s3 a s3\naccept s3",
-        )
-        .unwrap();
+        let f =
+            format::parse("trans s0 a s1\ntrans s1 a s2\ntrans s2 a s3\ntrans s3 a s3\naccept s3")
+                .unwrap();
         let h = limited_hierarchy(&f);
         for w in h.levels().windows(2) {
             assert!(w[1].refines(&w[0]));

@@ -115,17 +115,21 @@ mod tests {
         )
         .unwrap();
         let sp = crate::strong::strong_partition(&f);
-        assert!(is_strong_bisimulation(&f, &partition_to_pairs(sp.partition())));
+        assert!(is_strong_bisimulation(
+            &f,
+            &partition_to_pairs(sp.partition())
+        ));
     }
 
     #[test]
     fn computed_weak_partition_is_a_weak_bisimulation() {
-        let f = format::parse(
-            "trans p tau q\ntrans q a r\ntrans s a t\ntrans t tau u\naccept r u",
-        )
-        .unwrap();
+        let f = format::parse("trans p tau q\ntrans q a r\ntrans s a t\ntrans t tau u\naccept r u")
+            .unwrap();
         let wp = crate::weak::weak_partition(&f);
-        assert!(is_weak_bisimulation(&f, &partition_to_pairs(wp.partition())));
+        assert!(is_weak_bisimulation(
+            &f,
+            &partition_to_pairs(wp.partition())
+        ));
     }
 
     #[test]

@@ -138,7 +138,8 @@ pub fn quotient(fsp: &Fsp) -> Fsp {
         }
     }
     b.set_start(class_states[sp.class_of(fsp.start())]);
-    b.build().expect("quotient of a non-empty process is non-empty")
+    b.build()
+        .expect("quotient of a non-empty process is non-empty")
 }
 
 #[cfg(test)]
@@ -151,8 +152,7 @@ mod tests {
     #[test]
     fn branching_time_distinction() {
         let left = format::parse("trans p a q\ntrans q b r\ntrans q c s").unwrap();
-        let right =
-            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y").unwrap();
+        let right = format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y").unwrap();
         assert!(!strong_equivalent(&left, &right));
     }
 
@@ -182,10 +182,9 @@ mod tests {
 
     #[test]
     fn states_within_one_process() {
-        let f = format::parse(
-            "trans p a p1\ntrans q a q1\ntrans p1 b p\ntrans q1 b q\ntrans r a r1",
-        )
-        .unwrap();
+        let f =
+            format::parse("trans p a p1\ntrans q a q1\ntrans p1 b p\ntrans q1 b q\ntrans r a r1")
+                .unwrap();
         let p = f.state_by_name("p").unwrap();
         let q = f.state_by_name("q").unwrap();
         let r = f.state_by_name("r").unwrap();

@@ -75,9 +75,7 @@ pub fn satisfies(fsp: &Fsp, state: StateId, formula: &Hml) -> bool {
                 fsp.action_id(label).map(Label::Act)
             };
             match label {
-                Some(l) => fsp
-                    .successors(state, l)
-                    .any(|t| satisfies(fsp, t, inner)),
+                Some(l) => fsp.successors(state, l).any(|t| satisfies(fsp, t, inner)),
                 None => false,
             }
         }
@@ -104,7 +102,8 @@ fn strong_rounds(fsp: &Fsp) -> Vec<Partition> {
     let mut rounds = vec![Partition::from_assignment(&assignment)];
     loop {
         let prev = rounds.last().expect("at least round 0");
-        let mut sig_to_block: HashMap<(usize, Vec<(Label, Vec<usize>)>), usize> = HashMap::new();
+        type Signature = (usize, Vec<(Label, Vec<usize>)>);
+        let mut sig_to_block: HashMap<Signature, usize> = HashMap::new();
         let mut next = vec![0usize; n];
         for s in fsp.state_ids() {
             let mut per_label: HashMap<Label, Vec<usize>> = HashMap::new();
@@ -178,7 +177,10 @@ fn distinguish(fsp: &Fsp, rounds: &[Partition], p: StateId, q: StateId) -> Hml {
                 .successors(q, t.label)
                 .map(|q2| distinguish(fsp, rounds, t.target, q2))
                 .collect();
-            return Hml::Diamond(fsp.label_name(t.label).to_owned(), Box::new(Hml::And(conjuncts)));
+            return Hml::Diamond(
+                fsp.label_name(t.label).to_owned(),
+                Box::new(Hml::And(conjuncts)),
+            );
         }
     }
     // Case B: symmetric — q has a transition p cannot match; negate.
@@ -234,8 +236,7 @@ mod tests {
     fn branching_difference_produces_a_modal_witness() {
         // a.(b + c) vs a.b + a.c.
         let merged = format::parse("trans p a q\ntrans q b r\ntrans q c s").unwrap();
-        let split =
-            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y").unwrap();
+        let split = format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y").unwrap();
         let union = ops::disjoint_union(&merged, &split);
         let (p, q) = ops::union_starts(&union, &merged, &split);
         check_witness(&union.fsp, p, q);

@@ -195,7 +195,10 @@ mod tests {
         assert!(matches!(parse("bogus x\n"), Err(FspError::Parse { .. })));
         assert!(matches!(parse("accept\n"), Err(FspError::Parse { .. })));
         assert!(matches!(parse("ext s\n"), Err(FspError::Parse { .. })));
-        assert!(matches!(parse("process a b\n"), Err(FspError::Parse { .. })));
+        assert!(matches!(
+            parse("process a b\n"),
+            Err(FspError::Parse { .. })
+        ));
         assert!(matches!(
             parse("trans p a q\nprocess late\n"),
             Err(FspError::Parse { .. })

@@ -329,13 +329,21 @@ mod tests {
 
     #[test]
     fn finite_tree_detection() {
-        let tree = build(&[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "w")], &[], true);
+        let tree = build(
+            &[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "w")],
+            &[],
+            true,
+        );
         assert!(is_finite_tree(&tree));
         // A cycle is not a tree.
         let cyc = build(&[("p", "a", "q"), ("q", "a", "p")], &[], true);
         assert!(!is_finite_tree(&cyc));
         // A DAG with two parents is not a tree.
-        let dag = build(&[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "v")], &[], true);
+        let dag = build(
+            &[("r", "a", "u"), ("r", "b", "v"), ("u", "c", "v")],
+            &[],
+            true,
+        );
         assert!(!is_finite_tree(&dag));
         // Not restricted => not a finite tree in the paper's sense.
         let not_restricted = build(&[("r", "a", "u")], &[], false);

@@ -27,10 +27,7 @@ pub struct UnionMap {
     pub right: Vec<StateId>,
 }
 
-fn remap_labels(
-    fsp: &Fsp,
-    actions: &mut Interner,
-) -> Vec<Label> {
+fn remap_labels(fsp: &Fsp, actions: &mut Interner) -> Vec<Label> {
     // Map each action index of `fsp` to a label in the combined alphabet.
     fsp.action_ids()
         .map(|a| {
@@ -358,28 +355,27 @@ pub fn synchronous_product(left: &Fsp, right: &Fsp) -> Result<Fsp, FspError> {
     let mut queue: Vec<(StateId, StateId)> = Vec::new();
     let start_pair = (left.start(), right.start());
 
-    let get_or_create =
-        |pair: (StateId, StateId),
-         states: &mut Vec<StateData>,
-         queue: &mut Vec<(StateId, StateId)>,
-         index: &mut HashMap<(StateId, StateId), StateId>| {
-            if let Some(&id) = index.get(&pair) {
-                return id;
-            }
-            let id = StateId::from_index(states.len());
-            states.push(StateData {
-                name: Some(format!(
-                    "({},{})",
-                    left.state_label(pair.0),
-                    right.state_label(pair.1)
-                )),
-                extensions: BTreeSet::new(),
-                transitions: Vec::new(),
-            });
-            index.insert(pair, id);
-            queue.push(pair);
-            id
-        };
+    let get_or_create = |pair: (StateId, StateId),
+                         states: &mut Vec<StateData>,
+                         queue: &mut Vec<(StateId, StateId)>,
+                         index: &mut HashMap<(StateId, StateId), StateId>| {
+        if let Some(&id) = index.get(&pair) {
+            return id;
+        }
+        let id = StateId::from_index(states.len());
+        states.push(StateData {
+            name: Some(format!(
+                "({},{})",
+                left.state_label(pair.0),
+                right.state_label(pair.1)
+            )),
+            extensions: BTreeSet::new(),
+            transitions: Vec::new(),
+        });
+        index.insert(pair, id);
+        queue.push(pair);
+        id
+    };
 
     let start = get_or_create(start_pair, &mut states, &mut queue, &mut index);
     let _ = start;

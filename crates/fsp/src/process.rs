@@ -259,7 +259,9 @@ impl Fsp {
     #[must_use]
     pub fn is_accepting(&self, state: StateId) -> bool {
         match self.vars.get(ACCEPT_VAR) {
-            Some(id) => self.extensions(state).contains(&VarId::from_index(id as usize)),
+            Some(id) => self
+                .extensions(state)
+                .contains(&VarId::from_index(id as usize)),
             None => false,
         }
     }
@@ -283,7 +285,9 @@ impl Fsp {
     /// Looks up an observable action by name.
     #[must_use]
     pub fn action_id(&self, name: &str) -> Option<ActionId> {
-        self.actions.get(name).map(|id| ActionId::from_index(id as usize))
+        self.actions
+            .get(name)
+            .map(|id| ActionId::from_index(id as usize))
     }
 
     /// A printable label name: the action name, or `"tau"` for `τ`.

@@ -108,13 +108,10 @@ pub fn tau_closure_matrix(fsp: &Fsp) -> Vec<Vec<bool>> {
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
-                    }
-                }
+        let via_k = reach[k].clone();
+        for row in &mut reach {
+            if row[k] {
+                row.iter_mut().zip(&via_k).for_each(|(r, &v)| *r |= v);
             }
         }
     }

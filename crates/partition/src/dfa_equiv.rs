@@ -125,7 +125,11 @@ mod tests {
         let r = equivalent(&d2, &d3);
         assert!(!r.equivalent);
         let w = r.witness.expect("witness for inequivalence");
-        assert_ne!(d2.accepts(&w), d3.accepts(&w), "witness {w:?} must distinguish");
+        assert_ne!(
+            d2.accepts(&w),
+            d3.accepts(&w),
+            "witness {w:?} must distinguish"
+        );
     }
 
     #[test]

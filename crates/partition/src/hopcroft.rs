@@ -30,13 +30,13 @@ pub fn minimize(dfa: &Dfa) -> Partition {
     let mut blocks: Vec<Vec<usize>> = Vec::new();
     {
         let mut remap = std::collections::HashMap::new();
-        for s in 0..n {
+        for (s, block) in block_of.iter_mut().enumerate() {
             let fresh = remap.len();
             let id = *remap.entry(dfa.class(s)).or_insert(fresh);
             if id == blocks.len() {
                 blocks.push(Vec::new());
             }
-            block_of[s] = id;
+            *block = id;
             blocks[id].push(s);
         }
     }
@@ -108,7 +108,11 @@ pub fn minimize(dfa: &Dfa) -> Partition {
 pub fn minimized_dfa(dfa: &Dfa) -> Dfa {
     let partition = minimize(dfa);
     let num_blocks = partition.num_blocks();
-    let mut out = Dfa::new(num_blocks, dfa.num_labels(), partition.block_of(dfa.start()));
+    let mut out = Dfa::new(
+        num_blocks,
+        dfa.num_labels(),
+        partition.block_of(dfa.start()),
+    );
     for b in 0..num_blocks {
         let representative = partition.block(b)[0];
         out.set_class(b, dfa.class(representative));

@@ -135,7 +135,8 @@ impl Instance {
         for block in partition.blocks() {
             for label in 0..self.num_labels {
                 let signature = |x: usize| {
-                    let mut hit: Vec<usize> = self.successors(label, x)
+                    let mut hit: Vec<usize> = self
+                        .successors(label, x)
                         .iter()
                         .map(|&y| partition.block_of(y))
                         .collect();
@@ -143,7 +144,9 @@ impl Instance {
                     hit.dedup();
                     hit
                 };
-                let Some(&first) = block.first() else { continue };
+                let Some(&first) = block.first() else {
+                    continue;
+                };
                 let expected = signature(first);
                 if block.iter().any(|&x| signature(x) != expected) {
                     return false;

@@ -41,7 +41,7 @@ pub fn refine(instance: &Instance) -> Partition {
     let mut q_blocks: Vec<Vec<usize>> = Vec::new();
     {
         let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
-        for x in 0..n {
+        for (x, block) in block_of.iter_mut().enumerate() {
             let sig: Vec<bool> = (0..num_labels)
                 .map(|l| !instance.successors(l, x).is_empty())
                 .collect();
@@ -51,7 +51,7 @@ pub fn refine(instance: &Instance) -> Partition {
             if id == q_blocks.len() {
                 q_blocks.push(Vec::new());
             }
-            block_of[x] = id;
+            *block = id;
             q_blocks[id].push(x);
         }
     }
@@ -148,8 +148,10 @@ pub fn refine(instance: &Instance) -> Partition {
                         _ => part3.push(x),
                     }
                 }
-                let mut parts: Vec<Vec<usize>> =
-                    [part1, part2, part3].into_iter().filter(|p| !p.is_empty()).collect();
+                let mut parts: Vec<Vec<usize>> = [part1, part2, part3]
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .collect();
                 if parts.len() < 2 {
                     continue;
                 }

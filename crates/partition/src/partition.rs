@@ -126,13 +126,21 @@ impl Partition {
     /// size-independent summary when comparing partitions.
     #[must_use]
     pub fn num_equivalent_pairs(&self) -> usize {
-        self.blocks.iter().map(|b| b.len() * (b.len() - 1) / 2).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.len() * (b.len() - 1) / 2)
+            .sum()
     }
 }
 
 impl fmt::Debug for Partition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Partition({} blocks over {} elements: ", self.num_blocks(), self.num_elements())?;
+        write!(
+            f,
+            "Partition({} blocks over {} elements: ",
+            self.num_blocks(),
+            self.num_elements()
+        )?;
         f.debug_list().entries(self.blocks.iter()).finish()?;
         write!(f, ")")
     }

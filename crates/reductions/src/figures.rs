@@ -36,9 +36,8 @@ pub fn fig1_finite_tree() -> Fsp {
 /// failure equivalent: `a ∪ a·a` versus `a·a`.
 #[must_use]
 pub fn trace_equal_failure_different() -> (Fsp, Fsp) {
-    let left = parse(
-        "process a-or-aa\ntrans s a t\ntrans s a u\ntrans u a v\naccept s t u v\nstart s\n",
-    );
+    let left =
+        parse("process a-or-aa\ntrans s a t\ntrans s a u\ntrans u a v\naccept s t u v\nstart s\n");
     let right = parse("process aa\ntrans x a y\ntrans y a z\naccept x y z\nstart x\n");
     (left, right)
 }

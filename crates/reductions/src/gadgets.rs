@@ -157,7 +157,11 @@ pub fn universality_gadget(m: &Fsp) -> Fsp {
     );
     let mut names = m.action_names();
     names.sort_unstable();
-    assert_eq!(names, vec!["a", "b"], "universality gadget needs Σ = {{a, b}}");
+    assert_eq!(
+        names,
+        vec!["a", "b"],
+        "universality gadget needs Σ = {{a, b}}"
+    );
     for s in m.state_ids() {
         assert_eq!(
             m.enabled_actions(s).len(),
@@ -238,10 +242,7 @@ mod tests {
 
     #[test]
     fn dead_state_transform_preserves_language() {
-        let m = format::parse(
-            "trans s0 a s1\ntrans s1 b s0\ntrans s1 a s2\naccept s1 s2",
-        )
-        .unwrap();
+        let m = format::parse("trans s0 a s1\ntrans s1 b s0\ntrans s1 a s2\naccept s1 s2").unwrap();
         let t = dead_state_transform(&m);
         // Every accepting state of the output is dead.
         for s in t.accepting_states() {
@@ -280,10 +281,8 @@ mod tests {
         // Non-universal input (rejects strings reaching the non-accepting
         // state at an odd number of `a`s): the gadget output is non-universal
         // too.
-        let partial = format::parse(
-            "trans s a t\ntrans s b s\ntrans t a s\ntrans t b t\naccept s",
-        )
-        .unwrap();
+        let partial =
+            format::parse("trans s a t\ntrans s b s\ntrans t a s\ntrans t b t\naccept s").unwrap();
         assert!(!language::is_universal(&partial, partial.start()).holds);
         let gp = universality_gadget(&partial);
         assert!(!language::is_universal(&gp, gp.start()).holds);

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("a + a", "a"),
     ];
 
-    println!("{:<16} {:<16} {:>10} {:>10}", "left", "right", "language", "ccs");
+    println!(
+        "{:<16} {:<16} {:>10} {:>10}",
+        "left", "right", "language", "ccs"
+    );
     for (l, r) in pairs {
         let left = parse(l)?;
         let right = parse(r)?;
@@ -23,8 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<16} {:<16} {:>10} {:>10}",
             l,
             r,
-            if language_equivalent(&left, &right) { "equal" } else { "differ" },
-            if ccs_equivalent(&left, &right) { "equal" } else { "differ" },
+            if language_equivalent(&left, &right) {
+                "equal"
+            } else {
+                "differ"
+            },
+            if ccs_equivalent(&left, &right) {
+                "equal"
+            } else {
+                "differ"
+            },
         );
     }
 

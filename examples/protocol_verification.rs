@@ -43,13 +43,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let good = implementation(false);
     let buggy = implementation(true);
 
-    println!("specification: {} states / implementation: {} states\n", spec.num_states(), good.num_states());
+    println!(
+        "specification: {} states / implementation: {} states\n",
+        spec.num_states(),
+        good.num_states()
+    );
 
     println!("-- correct implementation --");
-    for notion in [Equivalence::Trace, Equivalence::Observational, Equivalence::Strong] {
+    for notion in [
+        Equivalence::Trace,
+        Equivalence::Observational,
+        Equivalence::Strong,
+    ] {
         println!(
             "  {notion:<16} {}",
-            if equivalent(&spec, &good, notion)? { "matches spec" } else { "VIOLATES spec" }
+            if equivalent(&spec, &good, notion)? {
+                "matches spec"
+            } else {
+                "VIOLATES spec"
+            }
         );
     }
     let wp = weak::weak_partition(&good);
@@ -60,10 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n-- buggy implementation (may drop the message) --");
-    for notion in [Equivalence::Trace, Equivalence::Failure, Equivalence::Observational] {
+    for notion in [
+        Equivalence::Trace,
+        Equivalence::Failure,
+        Equivalence::Observational,
+    ] {
         println!(
             "  {notion:<16} {}",
-            if equivalent(&spec, &buggy, notion)? { "matches spec" } else { "VIOLATES spec" }
+            if equivalent(&spec, &buggy, notion)? {
+                "matches spec"
+            } else {
+                "VIOLATES spec"
+            }
         );
     }
     let report = ccs_equiv::failures::failure_equivalent(&spec, &buggy);

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Equivalence::Strong,
     ] {
         let verdict = equivalent(&merged, &split, notion)?;
-        println!("{notion:<22} {}", if verdict { "equivalent" } else { "DIFFERENT" });
+        println!(
+            "{notion:<22} {}",
+            if verdict { "equivalent" } else { "DIFFERENT" }
+        );
     }
 
     // Explain the failure-equivalence difference with a concrete failure pair.

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let internal = families::vending_machine(true);
 
     println!("external choice machine: {} states", external.num_states());
-    println!("internal choice machine: {} states\n", internal.num_states());
+    println!(
+        "internal choice machine: {} states\n",
+        internal.num_states()
+    );
 
     for notion in [
         Equivalence::Trace,
@@ -27,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let verdict = equivalent(&external, &internal, notion)?;
         println!(
             "{notion:<16} {}",
-            if verdict { "cannot tell them apart" } else { "tells them apart" }
+            if verdict {
+                "cannot tell them apart"
+            } else {
+                "tells them apart"
+            }
         );
     }
 
@@ -35,8 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let union = ops::disjoint_union(&external, &internal);
     let (p, q) = ops::union_starts(&union, &external, &internal);
     let hierarchy = limited::limited_hierarchy(&union.fsp);
-    let first_difference = (0..=hierarchy.convergence_round())
-        .find(|&k| !hierarchy.equivalent_at(k, p, q));
+    let first_difference =
+        (0..=hierarchy.convergence_round()).find(|&k| !hierarchy.equivalent_at(k, p, q));
     match first_difference {
         Some(k) => println!("\nthe machines are separated at refinement level {k}"),
         None => println!("\nthe machines are never separated"),
@@ -49,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quotient.num_states(),
         internal.num_states()
     );
-    println!("\nGraphviz of the internal-choice machine:\n{}", dot::to_dot(&internal));
+    println!(
+        "\nGraphviz of the internal-choice machine:\n{}",
+        dot::to_dot(&internal)
+    );
     Ok(())
 }

@@ -78,7 +78,11 @@ fn expression_pairs_across_the_hierarchy() {
             want_failure,
             "failure: {l} vs {r}"
         );
-        assert_eq!(language_equivalent(&el, &er), want_lang, "language: {l} vs {r}");
+        assert_eq!(
+            language_equivalent(&el, &er),
+            want_lang,
+            "language: {l} vs {r}"
+        );
     }
 }
 
@@ -87,7 +91,11 @@ fn expression_pairs_across_the_hierarchy() {
 /// (Section 2.3).
 #[test]
 fn ccs_equivalence_problem_is_strong_equivalence_of_representatives() {
-    let pairs = [("a.(b + c)", "a.b + a.c"), ("a + b", "b + a"), ("a*", "a*.a*")];
+    let pairs = [
+        ("a.(b + c)", "a.b + a.c"),
+        ("a + b", "b + a"),
+        ("a*", "a*.a*"),
+    ];
     for (l, r) in pairs {
         let el = parse(l).unwrap();
         let er = parse(r).unwrap();

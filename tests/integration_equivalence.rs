@@ -26,7 +26,10 @@ fn implication_hierarchy_on_random_restricted_pairs() {
             assert!(weak, "seed {seed}: ~ must imply ≈");
         }
         if weak {
-            assert!(failure, "seed {seed}: ≈ must imply ≡F on restricted processes");
+            assert!(
+                failure,
+                "seed {seed}: ≈ must imply ≡F on restricted processes"
+            );
         }
         if failure {
             assert!(language, "seed {seed}: ≡F must imply ≈₁");
@@ -63,7 +66,10 @@ fn deterministic_collapse() {
         }
         // Strong equivalence may be finer in general, but for deterministic
         // *complete* processes it coincides with language equivalence too.
-        assert_eq!(equivalent(&left, &right, Equivalence::Strong).unwrap(), fast);
+        assert_eq!(
+            equivalent(&left, &right, Equivalence::Strong).unwrap(),
+            fast
+        );
     }
 }
 
@@ -97,7 +103,11 @@ fn quotient_round_trip() {
     ];
     for fsp in candidates {
         let q = ccs_equiv::strong::quotient(&fsp);
-        assert!(ccs_equiv::strong::strong_equivalent(&fsp, &q), "{}", fsp.name());
+        assert!(
+            ccs_equiv::strong::strong_equivalent(&fsp, &q),
+            "{}",
+            fsp.name()
+        );
         assert_eq!(
             q.num_states(),
             ccs_equiv::strong::strong_partition(&fsp)

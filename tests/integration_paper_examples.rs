@@ -85,14 +85,11 @@ fn fig2_separations() {
 fn trivial_process_characterisation() {
     let trivial = ccs_reductions::gadgets::trivial_nfa(&["a", "b"]);
     // Complete process: every reachable state has both actions enabled.
-    let complete = format::parse(
-        "trans p a q\ntrans p b p\ntrans q a p\ntrans q b q\naccept p q",
-    )
-    .unwrap();
+    let complete =
+        format::parse("trans p a q\ntrans p b p\ntrans q a p\ntrans q b q\naccept p q").unwrap();
     assert!(equivalent(&complete, &trivial, Equivalence::KObservational(2)).unwrap());
     // Incomplete process: some reachable state is missing an action.
-    let incomplete =
-        format::parse("trans p a q\ntrans p b p\ntrans q b q\naccept p q").unwrap();
+    let incomplete = format::parse("trans p a q\ntrans p b p\ntrans q b q\naccept p q").unwrap();
     assert!(!equivalent(&incomplete, &trivial, Equivalence::KObservational(2)).unwrap());
     // Both are ≈₁ (language) equivalent to the trivial process only if
     // universal; the complete one is, the incomplete one is not over {a,b}...
@@ -107,8 +104,16 @@ fn trivial_process_characterisation() {
 #[test]
 fn lemma_4_1_union_characterisation() {
     let cases = [
-        ("trans p a q\naccept p q", "trans u a v\ntrans u a w\naccept u v w", 1usize),
-        ("trans p a q\naccept p q", "trans u a v\ntrans v a w\naccept u v w", 1),
+        (
+            "trans p a q\naccept p q",
+            "trans u a v\ntrans u a w\naccept u v w",
+            1usize,
+        ),
+        (
+            "trans p a q\naccept p q",
+            "trans u a v\ntrans v a w\naccept u v w",
+            1,
+        ),
         (
             "trans p a q\ntrans q b r\naccept p q r",
             "trans u a v\ntrans v c w\naccept u v w",

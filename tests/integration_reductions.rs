@@ -12,9 +12,15 @@ use ccs_workloads::{random, RandomConfig};
 fn kobs_lifting_gadget_is_an_equivalence_preserving_reduction() {
     let pairs = vec![
         // ≈₁-equivalent (same prefix-closed language).
-        ("trans p a q\naccept p q", "trans u a v\ntrans u a w\naccept u v w"),
+        (
+            "trans p a q\naccept p q",
+            "trans u a v\ntrans u a w\naccept u v w",
+        ),
         // ≈₁-inequivalent (different languages).
-        ("trans p a q\naccept p q", "trans u a v\ntrans v a w\naccept u v w"),
+        (
+            "trans p a q\naccept p q",
+            "trans u a v\ntrans v a w\naccept u v w",
+        ),
         // ≈₁-equivalent but ≈₂-inequivalent (the classic branching pair).
         (
             "trans p a q\ntrans q b r\ntrans q c s\naccept p q r s",

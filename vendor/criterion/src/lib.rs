@@ -1,0 +1,331 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no network access to a crate
+//! registry, so this vendored stub provides the surface the workspace's
+//! benches use: [`Criterion`] with `sample_size` / `warm_up_time` /
+//! `measurement_time`, benchmark groups with `bench_with_input` and
+//! `bench_function`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is simple mean wall-clock timing (no outlier analysis, no
+//! saved baselines, no HTML report). `cargo bench -- --test` is honoured the
+//! same way real criterion honours it: every benchmark body runs exactly once
+//! so CI can smoke-test benches without paying for measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: a function name, a parameter,
+/// or both.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier made of a function name and a parameter, rendered as
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier made of a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock time.
+    ///
+    /// In `--test` mode the routine runs exactly once and nothing is timed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.measurement_time || iterations < self.sample_size as u64 {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iterations += 1;
+        }
+        self.mean_secs = total.as_secs_f64() / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// A named collection of related benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.criterion.sample_size,
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            mean_secs: 0.0,
+            iterations: 0,
+        };
+        if self.criterion.test_mode {
+            print!("Testing {full_id} ... ");
+            f(&mut bencher);
+            println!("ok");
+        } else {
+            f(&mut bencher);
+            println!(
+                "{full_id:<50} time: {:>12}   ({} iterations)",
+                format_secs(bencher.mean_secs),
+                bencher.iterations
+            );
+        }
+    }
+
+    /// Benchmarks `f`, handing it a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Finishes the group. (No summary output in this stub.)
+    pub fn finish(self) {}
+}
+
+fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Sets the duration of the untimed warm-up phase.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the target duration of the timed phase.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Applies the harness command line: `--test` switches to run-once smoke
+    /// mode (as under `cargo bench -- --test`), a positional argument filters
+    /// benchmarks by substring, and flags criterion would accept are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Flags with a value we don't use; skip the value if the
+                    // form was `--flag value` rather than `--flag=value`.
+                    if arg == "--bench" {
+                        continue;
+                    }
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                positional => self.filter = Some(positional.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `f` as a standalone (group-less) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let name = name.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run(&name, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            warm_up_time: Duration::ZERO,
+            measurement_time: Duration::ZERO,
+            mean_secs: 0.0,
+            iterations: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iterations >= 3);
+        assert_eq!(count, b.iterations);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(1),
+            mean_secs: 0.0,
+            iterations: 0,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("hopcroft", 64).id, "hopcroft/64");
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &41, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,635 @@
+//! Offline drop-in subset of the [`proptest`](https://docs.rs/proptest/1)
+//! crate.
+//!
+//! The build environment for this workspace has no network access to a crate
+//! registry, so this vendored stub provides the surface the workspace's
+//! property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`arbitrary::any`], [`collection::vec`], and [`strategy::Union`]
+//!   (via [`prop_oneof!`]);
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`], and
+//!   [`prop_assert_ne!`] macros with `#![proptest_config(..)]` support.
+//!
+//! Semantics differ from real proptest in one important way: failing cases
+//! are **not shrunk**. A failure panics with the generated inputs (which are
+//! deterministic in the test name and case number), so reproduction is still
+//! exact.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and errors.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Returns a configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given explanation.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic source of randomness handed to [`Strategy::sample`].
+    ///
+    /// [`Strategy::sample`]: crate::strategy::Strategy::sample
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from `name` (stable across runs).
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name: distinct tests get distinct streams.
+            let mut hash = 0xCBF2_9CE4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(hash),
+            }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinator strategies.
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use rand::{Rng, SampleUniform};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply samples a value from a deterministic RNG.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy producing `f(v)` for generated `v`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            O: Debug,
+            F: Fn(Self::Value) -> O + Clone,
+        {
+            Map { source: self, f }
+        }
+
+        /// Returns a strategy sampling from the strategy `f(v)` built from a
+        /// generated `v`.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            S: Strategy,
+            F: Fn(Self::Value) -> S + Clone,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Returns a strategy generating recursive structures, using `self`
+        /// for leaves and `recurse` to wrap an inner strategy, nesting at most
+        /// `depth` levels.
+        ///
+        /// `desired_size` and `expected_branch_size` are accepted for API
+        /// compatibility but ignored: depth alone bounds the output here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let grown = recurse(current.clone()).boxed();
+                current = Union::new(vec![base.clone(), grown]).boxed();
+            }
+            current
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe sampling, used by [`BoxedStrategy`].
+    trait SampleObj {
+        type Value;
+        fn sample_obj(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> SampleObj for S {
+        type Value = S::Value;
+        fn sample_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn SampleObj<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V: Debug + 'static> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample_obj(rng)
+        }
+    }
+
+    /// Strategy that always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + Clone,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies with the same value type.
+    ///
+    /// Built by the [`prop_oneof!`](crate::prop_oneof) macro.
+    #[derive(Debug)]
+    pub struct Union<V> {
+        variants: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                variants: self.variants.clone(),
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `variants` (must be non-empty).
+        #[must_use]
+        pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union { variants }
+        }
+    }
+
+    impl<V: Debug + 'static> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let ix = rng.rng.gen_range(0..self.variants.len());
+            self.variants[ix].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + Debug + 'static,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// Strategies for standard types, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<A> Debug for Any<A> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Any")
+        }
+    }
+
+    impl<A: Arbitrary + Debug> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    #[must_use]
+    pub fn any<A: Arbitrary + Debug>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification: either exact or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+///
+/// Must be used inside a [`proptest!`] body; expands to an early `return` of
+/// a [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless the two expressions compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the subset of proptest syntax used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, ys in proptest::collection::vec(any::<bool>(), 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let mut described = ::std::string::String::new();
+                    $(
+                        let value = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                        described.push_str(&format!(
+                            "\n    {} = {:?}",
+                            stringify!($pat),
+                            &value
+                        ));
+                        let $pat = value;
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs:{}",
+                            case + 1,
+                            config.cases,
+                            err,
+                            described
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("sampling");
+        let strat = (1usize..5, 0usize..3).prop_flat_map(|(n, k)| {
+            let items = crate::collection::vec(0..n, 1..10);
+            (Just(n), Just(k), items)
+        });
+        for _ in 0..200 {
+            let (n, k, items) = strat.sample(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!(k < 3);
+            assert!(!items.is_empty() && items.len() < 10);
+            assert!(items.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = TestRng::deterministic("union");
+        let strat = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = TestRng::deterministic("recursive");
+        for _ in 0..200 {
+            assert!(depth(&strat.sample(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flip, flip);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}
