@@ -19,28 +19,50 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// A named generator of scaling instances for the E7 solver matrix.
+type InstanceFamily = (&'static str, fn(usize) -> ccs_partition::Instance);
+
 fn e7_partition_algorithms() {
-    println!("\n== E7: generalized partitioning — naive vs Kanellakis-Smolka vs Paige-Tarjan ==");
+    println!("\n== E7: generalized partitioning on the CSR core — solver matrix per family ==");
+    println!("   (ks-both = both-halves baseline, ks-small = smaller-half upgrade)");
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12}",
-        "states", "edges", "naive ms", "ks ms", "pt ms"
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "family", "states", "edges", "naive ms", "ks-both ms", "ks-small ms", "pt ms"
     );
-    for &n in &[64usize, 128, 256, 512, 1024] {
-        let fsp = standard_process(n, 42);
-        let inst = strong::to_instance(&fsp);
-        let (p_naive, t_naive) = time_ms(|| solve(&inst, Algorithm::Naive));
-        let (p_ks, t_ks) = time_ms(|| solve(&inst, Algorithm::KanellakisSmolka));
-        let (p_pt, t_pt) = time_ms(|| solve(&inst, Algorithm::PaigeTarjan));
-        assert_eq!(p_naive, p_ks);
-        assert_eq!(p_ks, p_pt);
-        println!(
-            "{:>8} {:>10} {:>12.2} {:>12.2} {:>12.2}",
-            n,
-            inst.num_edges(),
-            t_naive,
-            t_ks,
-            t_pt
-        );
+    let families: [InstanceFamily; 4] = [
+        ("random", |n| strong::to_instance(&standard_process(n, 42))),
+        ("chain", ccs_workloads::instances::chain),
+        ("cycle", ccs_workloads::instances::cycle),
+        ("tree", |n| {
+            // Complete binary tree with roughly n nodes.
+            let depth = n.ilog2() as usize;
+            ccs_workloads::instances::binary_tree(depth.saturating_sub(1))
+        }),
+    ];
+    for (family, make) in families {
+        for &n in &[64usize, 128, 256, 512, 1024] {
+            let inst = make(n);
+            // Force the lazy CSR build so the first timed solver does not
+            // get charged for it.
+            let _ = inst.num_edges();
+            let (p_naive, t_naive) = time_ms(|| solve(&inst, Algorithm::Naive));
+            let (p_both, t_both) = time_ms(|| solve(&inst, Algorithm::KanellakisSmolkaBothHalves));
+            let (p_ks, t_ks) = time_ms(|| solve(&inst, Algorithm::KanellakisSmolka));
+            let (p_pt, t_pt) = time_ms(|| solve(&inst, Algorithm::PaigeTarjan));
+            assert_eq!(p_naive, p_both);
+            assert_eq!(p_naive, p_ks);
+            assert_eq!(p_ks, p_pt);
+            println!(
+                "{:>8} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                family,
+                inst.num_elements(),
+                inst.num_edges(),
+                t_naive,
+                t_both,
+                t_ks,
+                t_pt
+            );
+        }
     }
 }
 

@@ -50,11 +50,17 @@ impl StrongPartition {
 /// Builds the Lemma 3.1 generalized-partitioning instance for a process:
 /// one relation per label (τ included if present), initial partition by
 /// extension set.
+///
+/// The transition relations go straight from [`Fsp::all_transitions`] into
+/// the instance's flat CSR edge list — there is no intermediate per-state
+/// adjacency structure; the builder sorts, deduplicates, and lays out the
+/// arrays once, on the solver's first adjacency query.
 #[must_use]
 pub fn to_instance(fsp: &Fsp) -> Instance {
     let has_tau = fsp.has_tau_transitions();
     let num_labels = fsp.num_actions() + usize::from(has_tau);
     let mut inst = Instance::new(fsp.num_states(), num_labels.max(1));
+    inst.reserve_edges(fsp.num_transitions());
     // Initial partition: states with equal extension sets share a block.
     let mut ext_blocks: std::collections::HashMap<Vec<usize>, usize> =
         std::collections::HashMap::new();

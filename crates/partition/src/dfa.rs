@@ -119,6 +119,7 @@ impl Dfa {
     #[must_use]
     pub fn to_instance(&self) -> crate::Instance {
         let mut inst = crate::Instance::new(self.num_states(), self.num_labels);
+        inst.reserve_edges(self.num_states() * self.num_labels);
         for s in 0..self.num_states() {
             inst.set_initial_block(s, self.class[s]);
             for l in 0..self.num_labels {

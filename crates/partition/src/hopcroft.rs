@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use crate::graph::GraphBuilder;
 use crate::{Dfa, Partition};
 
 /// Computes the coarsest partition of a complete DFA's states that is
@@ -17,29 +18,18 @@ pub fn minimize(dfa: &Dfa) -> Partition {
         return Partition::from_assignment(&[]);
     }
 
-    // Predecessor lists per label.
-    let mut pred: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; k];
+    // Flat CSR predecessor lists per label.
+    let mut builder = GraphBuilder::with_edge_capacity(n, k, n * k);
     for s in 0..n {
         for l in 0..k {
-            pred[l][dfa.step(s, l)].push(s);
+            builder.add_edge(l, s, dfa.step(s, l));
         }
     }
+    let graph = builder.build();
 
     // Initial partition by output class.
-    let mut block_of: Vec<usize> = vec![0; n];
-    let mut blocks: Vec<Vec<usize>> = Vec::new();
-    {
-        let mut remap = std::collections::HashMap::new();
-        for (s, block) in block_of.iter_mut().enumerate() {
-            let fresh = remap.len();
-            let id = *remap.entry(dfa.class(s)).or_insert(fresh);
-            if id == blocks.len() {
-                blocks.push(Vec::new());
-            }
-            *block = id;
-            blocks[id].push(s);
-        }
-    }
+    let classes: Vec<usize> = (0..n).map(|s| dfa.class(s)).collect();
+    let (mut block_of, mut blocks) = Partition::from_raw_assignment(&classes);
 
     // Worklist of (block id, label) pairs.  Starting with every pair is
     // simpler than Hopcroft's "all but the largest" and has the same
@@ -50,19 +40,23 @@ pub fn minimize(dfa: &Dfa) -> Partition {
             worklist.push_back((b, l));
         }
     }
-    let mut marked = vec![false; n];
+    // Epoch-stamped scratch: preimage membership per state, touched marker
+    // per block (one epoch per worklist pop).
+    let mut marked: Vec<u64> = vec![0; n];
+    let mut touched_stamp: Vec<u64> = vec![0; blocks.len()];
+    let mut epoch: u64 = 0;
 
     while let Some((a, l)) = worklist.pop_front() {
+        epoch += 1;
         // X = pre_l(A) for the current contents of A.
-        let mut x_set: Vec<usize> = Vec::new();
         let mut touched: Vec<usize> = Vec::new();
         for &y in &blocks[a] {
-            for &p in &pred[l][y] {
-                if !marked[p] {
-                    marked[p] = true;
-                    x_set.push(p);
+            for &p in graph.predecessors(l, y) {
+                if marked[p] != epoch {
+                    marked[p] = epoch;
                     let b = block_of[p];
-                    if !touched.contains(&b) {
+                    if touched_stamp[b] != epoch {
+                        touched_stamp[b] = epoch;
                         touched.push(b);
                     }
                 }
@@ -70,13 +64,15 @@ pub fn minimize(dfa: &Dfa) -> Partition {
         }
         for &d in &touched {
             let (inside, outside): (Vec<usize>, Vec<usize>) =
-                blocks[d].iter().partition(|&&s| marked[s]);
+                blocks[d].iter().partition(|&&s| marked[s] == epoch);
             if inside.is_empty() || outside.is_empty() {
                 continue;
             }
             let new_id = blocks.len();
             // Keep the larger part in place; the smaller part gets the new id
-            // (so re-processing enqueues the smaller half, Hopcroft's trick).
+            // (so re-processing enqueues the smaller half, Hopcroft's trick —
+            // sound here, unlike in the relational case, because the fₗ are
+            // functions).
             let (keep, moved) = if inside.len() >= outside.len() {
                 (inside, outside)
             } else {
@@ -87,15 +83,13 @@ pub fn minimize(dfa: &Dfa) -> Partition {
             }
             blocks[d] = keep;
             blocks.push(moved);
+            touched_stamp.push(0);
             for label in 0..k {
                 // If (d, label) is still pending it will be processed with its
                 // new (smaller) contents, and we add the new block as well;
                 // otherwise adding the smaller of the two halves suffices.
                 worklist.push_back((new_id, label));
             }
-        }
-        for &s in &x_set {
-            marked[s] = false;
         }
     }
 

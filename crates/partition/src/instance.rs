@@ -1,8 +1,19 @@
+use std::sync::OnceLock;
+
+use crate::graph::{GraphBuilder, LabeledGraph};
+
 /// An instance of the generalized partitioning problem (Section 3).
 ///
 /// The ground set is `0..num_elements()`; the `k` functions `fₗ : S → 2^S`
 /// are given as labelled edge sets (`fₗ(x) = {y | (x, y) ∈ Eₗ}`); the initial
 /// partition `π` is a block assignment (all elements default to block `0`).
+///
+/// Internally the relations live in a flat CSR [`LabeledGraph`] built once —
+/// lazily, on the first adjacency query after the last mutation — by a
+/// [`GraphBuilder`] that sorts and deduplicates parallel edges.  Successor
+/// and predecessor queries are therefore slice views into contiguous
+/// storage, and [`Instance::num_edges`] / [`Instance::max_fanout`] are `O(1)`
+/// field reads of builder-computed values.
 ///
 /// ```
 /// use ccs_partition::Instance;
@@ -10,20 +21,17 @@
 /// inst.set_initial_block(2, 1);    // element 2 starts in its own block
 /// inst.add_edge(0, 0, 1);          // f₀(0) ∋ 1
 /// inst.add_edge(1, 1, 2);          // f₁(1) ∋ 2
+/// inst.add_edge(0, 0, 1);          // parallel duplicate: ignored
 /// assert_eq!(inst.num_edges(), 2);
 /// assert_eq!(inst.successors(0, 0), &[1]);
 /// assert_eq!(inst.predecessors(1, 2), &[1]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Instance {
-    num_elements: usize,
-    num_labels: usize,
     initial_block: Vec<usize>,
-    /// Per label, per element: successor list.
-    succ: Vec<Vec<Vec<usize>>>,
-    /// Per label, per element: predecessor list.
-    pred: Vec<Vec<Vec<usize>>>,
-    num_edges: usize,
+    builder: GraphBuilder,
+    /// CSR layout of `builder`, (re)built on first query after a mutation.
+    graph: OnceLock<LabeledGraph>,
 }
 
 impl Instance {
@@ -32,31 +40,41 @@ impl Instance {
     #[must_use]
     pub fn new(num_elements: usize, num_labels: usize) -> Self {
         Instance {
-            num_elements,
-            num_labels,
             initial_block: vec![0; num_elements],
-            succ: vec![vec![Vec::new(); num_elements]; num_labels],
-            pred: vec![vec![Vec::new(); num_elements]; num_labels],
-            num_edges: 0,
+            builder: GraphBuilder::new(num_elements, num_labels),
+            graph: OnceLock::new(),
+        }
+    }
+
+    /// Wraps an already-populated [`GraphBuilder`], with every element
+    /// initially in block `0`.
+    #[must_use]
+    pub fn from_builder(builder: GraphBuilder) -> Self {
+        Instance {
+            initial_block: vec![0; builder.num_elements()],
+            builder,
+            graph: OnceLock::new(),
         }
     }
 
     /// Number of elements `n = |S|`.
     #[must_use]
     pub fn num_elements(&self) -> usize {
-        self.num_elements
+        self.builder.num_elements()
     }
 
     /// Number of relations (functions) `k`.
     #[must_use]
     pub fn num_labels(&self) -> usize {
-        self.num_labels
+        self.builder.num_labels()
     }
 
-    /// Total number of edges `m` over all relations.
+    /// Number of distinct edges `m = |E|` over all relations.  Parallel
+    /// duplicates passed to [`Instance::add_edge`] are removed by the builder
+    /// and do not count.
     #[must_use]
     pub fn num_edges(&self) -> usize {
-        self.num_edges
+        self.graph().num_edges()
     }
 
     /// Places `element` into initial block `block`.
@@ -65,7 +83,7 @@ impl Instance {
     ///
     /// Panics if `element` is out of range.
     pub fn set_initial_block(&mut self, element: usize, block: usize) {
-        assert!(element < self.num_elements, "element out of range");
+        assert!(element < self.num_elements(), "element out of range");
         self.initial_block[element] = block;
     }
 
@@ -75,43 +93,49 @@ impl Instance {
         &self.initial_block
     }
 
-    /// Adds `to` to `f_label(from)`.  Duplicate edges are allowed and treated
-    /// as a single edge by the solvers (the `fₗ` are set-valued), but they do
-    /// count toward [`Instance::num_edges`].
+    /// Adds `to` to `f_label(from)`.  The `fₗ` are set-valued, so duplicate
+    /// parallel edges are deduplicated by the builder.
     ///
     /// # Panics
     ///
     /// Panics if `label`, `from` or `to` is out of range.
     pub fn add_edge(&mut self, label: usize, from: usize, to: usize) {
-        assert!(label < self.num_labels, "label out of range");
-        assert!(from < self.num_elements, "source element out of range");
-        assert!(to < self.num_elements, "target element out of range");
-        self.succ[label][from].push(to);
-        self.pred[label][to].push(from);
-        self.num_edges += 1;
+        self.builder.add_edge(label, from, to);
+        self.graph.take();
     }
 
-    /// The successor list `fₗ(x)` (unsorted, possibly with duplicates).
+    /// Reserves room for at least `additional` further edges.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.builder.reserve_edges(additional);
+    }
+
+    /// The flat CSR view of the relations, building it if a mutation
+    /// invalidated the previous one.
+    #[must_use]
+    pub fn graph(&self) -> &LabeledGraph {
+        self.graph.get_or_init(|| self.builder.clone().build())
+    }
+
+    /// The successor list `fₗ(x)`, sorted and duplicate-free — a slice into
+    /// the flat CSR target array.
     #[must_use]
     pub fn successors(&self, label: usize, element: usize) -> &[usize] {
-        &self.succ[label][element]
+        self.graph().successors(label, element)
     }
 
-    /// The predecessor list `{y | x ∈ fₗ(y)}`.
+    /// The predecessor list `{y | x ∈ fₗ(y)}`, sorted and duplicate-free — a
+    /// slice into the flat CSR source array.
     #[must_use]
     pub fn predecessors(&self, label: usize, element: usize) -> &[usize] {
-        &self.pred[label][element]
+        self.graph().predecessors(label, element)
     }
 
     /// Maximum fan-out `c = max |fₗ(x)|`, the parameter of the
-    /// Kanellakis–Smolka `O(c²·n·log n)` bound.
+    /// Kanellakis–Smolka `O(c²·n·log n)` bound.  `O(1)`: the value is
+    /// computed by the builder, not by a rescan.
     #[must_use]
     pub fn max_fanout(&self) -> usize {
-        self.succ
-            .iter()
-            .flat_map(|per_label| per_label.iter().map(Vec::len))
-            .max()
-            .unwrap_or(0)
+        self.graph().max_fanout()
     }
 
     /// Verifies that `partition` (given as a block assignment over the same
@@ -123,7 +147,7 @@ impl Instance {
     /// coarseness).
     #[must_use]
     pub fn is_consistent_stable(&self, partition: &crate::Partition) -> bool {
-        if partition.num_elements() != self.num_elements {
+        if partition.num_elements() != self.num_elements() {
             return false;
         }
         // (1) consistency with the initial partition.
@@ -133,7 +157,7 @@ impl Instance {
         }
         // (2) stability: within a block, all elements hit the same set of blocks.
         for block in partition.blocks() {
-            for label in 0..self.num_labels {
+            for label in 0..self.num_labels() {
                 let signature = |x: usize| {
                     let mut hit: Vec<usize> = self
                         .successors(label, x)
@@ -156,6 +180,17 @@ impl Instance {
         true
     }
 }
+
+impl PartialEq for Instance {
+    /// Two instances are equal iff they have the same ground set, initial
+    /// partition, and edge *sets* (duplicates and insertion order are
+    /// canonicalized away by the CSR build).
+    fn eq(&self, other: &Self) -> bool {
+        self.initial_block == other.initial_block && self.graph() == other.graph()
+    }
+}
+
+impl Eq for Instance {}
 
 #[cfg(test)]
 mod tests {
@@ -185,6 +220,47 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_parallel_edges_count_once() {
+        // Regression test: `num_edges` used to count parallel duplicates
+        // toward `m`; with builder-time dedup it reports the true `|E|`.
+        let mut inst = Instance::new(3, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(1, 0, 1);
+        assert_eq!(inst.num_edges(), 2);
+        assert_eq!(inst.successors(0, 0), &[1]);
+        assert_eq!(inst.predecessors(0, 1), &[0]);
+        assert_eq!(inst.max_fanout(), 1);
+    }
+
+    #[test]
+    fn mutation_after_query_rebuilds_the_graph() {
+        let mut inst = Instance::new(3, 1);
+        inst.add_edge(0, 0, 1);
+        assert_eq!(inst.num_edges(), 1);
+        assert_eq!(inst.max_fanout(), 1);
+        inst.add_edge(0, 0, 2);
+        assert_eq!(inst.num_edges(), 2);
+        assert_eq!(inst.successors(0, 0), &[1, 2]);
+        assert_eq!(inst.max_fanout(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_duplicates_and_insertion_order() {
+        let mut a = Instance::new(3, 1);
+        a.add_edge(0, 0, 2);
+        a.add_edge(0, 0, 1);
+        let mut b = Instance::new(3, 1);
+        b.add_edge(0, 0, 1);
+        b.add_edge(0, 0, 2);
+        b.add_edge(0, 0, 2);
+        assert_eq!(a, b);
+        b.add_edge(0, 1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
     #[should_panic(expected = "label out of range")]
     fn add_edge_checks_label() {
         let mut inst = Instance::new(2, 1);
@@ -204,6 +280,18 @@ mod tests {
         assert_eq!(inst.initial_blocks(), &[0, 0, 0]);
         inst.set_initial_block(1, 4);
         assert_eq!(inst.initial_blocks(), &[0, 4, 0]);
+    }
+
+    #[test]
+    fn from_builder_round_trip() {
+        let mut b = crate::GraphBuilder::new(3, 1);
+        b.add_edge(0, 0, 1);
+        b.add_edge(0, 1, 2);
+        let inst = Instance::from_builder(b);
+        assert_eq!(inst.num_elements(), 3);
+        assert_eq!(inst.num_edges(), 2);
+        assert_eq!(inst.initial_blocks(), &[0, 0, 0]);
+        assert_eq!(inst.successors(0, 1), &[2]);
     }
 
     #[test]

@@ -1,52 +1,237 @@
 //! The Kanellakis–Smolka splitter-worklist algorithm for generalized
-//! partitioning.
+//! partitioning, in both of the paper's variants.
 //!
-//! This is the algorithm presented in the PODC 1983 version of the paper (and
-//! in Smolka's 1984 dissertation): maintain a worklist of *splitter* blocks;
-//! to process a splitter `S` and a relation `fₗ`, compute the preimage
+//! The PODC 1983 paper (and Smolka's 1984 dissertation) presents the
+//! splitter-worklist scheme: maintain a worklist of *splitter* blocks; to
+//! process a splitter `S` and a relation `fₗ`, compute the preimage
 //! `pre_ℓ(S) = {x | fₗ(x) ∩ S ≠ ∅}` and split every block `D` into
-//! `D ∩ pre_ℓ(S)` and `D \ pre_ℓ(S)`; whenever a block splits, both halves
-//! become splitters again.
+//! `D ∩ pre_ℓ(S)` and `D \ pre_ℓ(S)`.  Re-enqueueing both halves of every
+//! split gives the `O(n·m)` worst case — that version is kept here as
+//! [`refine_both_halves`], the measured baseline of the `partition_core`
+//! bench.
 //!
-//! The worst-case running time is `O(n·m)`; when the fan-out of every
-//! element is bounded by a constant `c` the original paper sharpens this to
-//! `O(c²·n·log n)` by always processing the smaller half.  The
-//! [`paige_tarjan`](crate::paige_tarjan) module removes the bounded-fanout
-//! assumption.
+//! # The smaller-half argument (Section 3 of the paper)
+//!
+//! [`refine`] implements the sharpened algorithm behind the paper's
+//! `O(c²·n·log n)` bound for transition fan-out bounded by `c`, which adapts
+//! Hopcroft's "process the smaller half" to set-valued functions.  Plainly
+//! enqueueing only the smaller half of a two-way split is *unsound* for
+//! relations: an element can reach both halves of an old splitter, so
+//! stability with respect to `D` and `D₁ ⊆ D` does not imply stability with
+//! respect to `D \ D₁` (that implication only holds in the deterministic
+//! case, which is why [`hopcroft`](crate::hopcroft) may use the plain rule).
+//! The fix is to keep split siblings together in a pending *splitter group*
+//! and, when a group is popped, extract only its smaller fragment `B` as the
+//! active splitter, splitting every block three ways in a single pass:
+//!
+//! 1. elements with `fₗ`-successors in `B` only,
+//! 2. elements with successors in both `B` and the still-pending co-fragment
+//!    `S \ B`,
+//! 3. elements with successors in `S \ B` only (or none) — never touched.
+//!
+//! Whether a predecessor of `B` also reaches `S \ B` is decided by scanning
+//! its at most `c` successors — never by scanning `S \ B` itself.  Every
+//! element therefore lands in an extracted smaller fragment `O(log n)`
+//! times; each landing is charged `O(c)` incoming edges, each doing an
+//! `O(c)` successor scan, giving the paper's `O(c²·n·log n)` total (and a
+//! sound `O(c·m·log n)` in general).  Paige–Tarjan (1987) later removed the
+//! bounded-fanout assumption by replacing the successor scan with edge
+//! counters — see [`paige_tarjan`](crate::paige_tarjan).
+//!
+//! Both variants replace the former linear `touched_blocks.contains` scan
+//! per preimage edge with epoch-stamped markers: scratch arrays stamped with
+//! a per-(splitter, label) epoch make the duplicate checks `O(1)`.
+
+use std::collections::HashMap;
 
 use crate::{Instance, Partition};
 
-/// Runs the splitter-worklist algorithm and returns the coarsest consistent
-/// stable partition.
+/// Runs the smaller-half splitter-worklist algorithm and returns the
+/// coarsest consistent stable partition.
+///
+/// Only the smaller fragment of a pending splitter group is ever extracted
+/// and scanned; its co-fragment stays queued in the group, and membership in
+/// it is decided by fan-out-bounded successor scans (see the module docs for
+/// the paper's Section 3 complexity argument).
 #[must_use]
 pub fn refine(instance: &Instance) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
         return Partition::from_assignment(&[]);
     }
+    let num_labels = instance.num_labels();
+    // Hoist the CSR view out of the hot loops: querying through `Instance`
+    // would repeat the lazy-init check on every adjacency lookup.
+    let graph = instance.graph();
 
-    // Live partition state.
+    // --- Fine partition: the initial partition refined by the per-label
+    // "has at least one successor" signature, so that it starts out stable
+    // with respect to the single initial splitter group (the whole set).
     let mut block_of: Vec<usize> = vec![0; n];
     let mut blocks: Vec<Vec<usize>> = Vec::new();
     {
-        let mut remap = std::collections::HashMap::new();
-        for (x, &raw) in instance.initial_blocks().iter().enumerate() {
-            let fresh = remap.len();
-            let id = *remap.entry(raw).or_insert(fresh);
+        let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
+        for (x, block) in block_of.iter_mut().enumerate() {
+            let sig: Vec<bool> = (0..num_labels)
+                .map(|l| !graph.successors(l, x).is_empty())
+                .collect();
+            let key = (instance.initial_blocks()[x], sig);
+            let fresh = sig_to_block.len();
+            let id = *sig_to_block.entry(key).or_insert(fresh);
             if id == blocks.len() {
                 blocks.push(Vec::new());
             }
-            block_of[x] = id;
+            *block = id;
             blocks[id].push(x);
         }
     }
+
+    // --- Splitter groups: unions of blocks (split siblings stay together).
+    // Invariant: the partition is stable with respect to every group; a
+    // compound group (≥ 2 blocks) is pending splitter work.
+    let mut group_of: Vec<usize> = vec![0; blocks.len()];
+    let mut groups: Vec<Vec<usize>> = vec![(0..blocks.len()).collect()];
+    let mut worklist: Vec<usize> = Vec::new();
+    let mut on_worklist: Vec<bool> = vec![false];
+    if groups[0].len() >= 2 {
+        worklist.push(0);
+        on_worklist[0] = true;
+    }
+
+    // --- Epoch-stamped scratch (one epoch per (splitter, label) round):
+    // per-element preimage class and per-block touched marker.
+    let mut elem_stamp: Vec<u64> = vec![0; n];
+    let mut elem_in_rest: Vec<bool> = vec![false; n];
+    let mut touched_stamp: Vec<u64> = vec![0; blocks.len()];
+    let mut epoch: u64 = 0;
+
+    while let Some(s) = worklist.pop() {
+        on_worklist[s] = false;
+        if groups[s].len() < 2 {
+            continue;
+        }
+        // Extract the smaller of the group's first two blocks as the active
+        // splitter B; the co-fragment (the rest of the group) remains
+        // pending, so |B| ≤ |group|/2 — the smaller half.
+        let (pos, b) = {
+            let b0 = groups[s][0];
+            let b1 = groups[s][1];
+            if blocks[b0].len() <= blocks[b1].len() {
+                (0, b0)
+            } else {
+                (1, b1)
+            }
+        };
+        groups[s].swap_remove(pos);
+        let own_group = groups.len();
+        groups.push(vec![b]);
+        on_worklist.push(false);
+        group_of[b] = own_group;
+        if groups[s].len() >= 2 {
+            on_worklist[s] = true;
+            worklist.push(s);
+        }
+
+        // Snapshot: splits below may refine B itself; its fragments all stay
+        // in `own_group`, which is re-enqueued when it turns compound.
+        let splitter_elems = blocks[b].clone();
+        for label in 0..num_labels {
+            epoch += 1;
+            // Classify every predecessor x of B: does x also reach the
+            // co-fragment S \ B?  Decided by scanning x's ≤ c successors —
+            // the co-fragment itself is never scanned.
+            let mut touched: Vec<usize> = Vec::new();
+            for &y in &splitter_elems {
+                for &x in graph.predecessors(label, y) {
+                    if elem_stamp[x] == epoch {
+                        continue;
+                    }
+                    elem_stamp[x] = epoch;
+                    elem_in_rest[x] = graph
+                        .successors(label, x)
+                        .iter()
+                        .any(|&z| group_of[block_of[z]] == s);
+                    let d = block_of[x];
+                    if touched_stamp[d] != epoch {
+                        touched_stamp[d] = epoch;
+                        touched.push(d);
+                    }
+                }
+            }
+            // Three-way split of every touched block.
+            for &d in &touched {
+                let mut only_b: Vec<usize> = Vec::new();
+                let mut both: Vec<usize> = Vec::new();
+                let mut rest: Vec<usize> = Vec::new();
+                for &x in &blocks[d] {
+                    if elem_stamp[x] != epoch {
+                        rest.push(x);
+                    } else if elem_in_rest[x] {
+                        both.push(x);
+                    } else {
+                        only_b.push(x);
+                    }
+                }
+                let mut parts: Vec<Vec<usize>> = [only_b, both, rest]
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if parts.len() < 2 {
+                    continue;
+                }
+                // The first part keeps the old id; the remaining fragments
+                // get fresh ids in the same group as their sibling.
+                let home = group_of[d];
+                blocks[d] = parts.remove(0);
+                for part in parts {
+                    let new_id = blocks.len();
+                    for &x in &part {
+                        block_of[x] = new_id;
+                    }
+                    blocks.push(part);
+                    group_of.push(home);
+                    touched_stamp.push(0);
+                    groups[home].push(new_id);
+                }
+                // The group that gained fragments is compound again.
+                if !on_worklist[home] {
+                    on_worklist[home] = true;
+                    worklist.push(home);
+                }
+            }
+        }
+    }
+
+    Partition::from_assignment(&block_of)
+}
+
+/// Runs the plain both-halves splitter-worklist algorithm (`O(n·m)` worst
+/// case) and returns the coarsest consistent stable partition.
+///
+/// Every split re-enqueues both halves.  This is the paper's baseline
+/// formulation, kept as a measured reference point for [`refine`]; the
+/// `partition_core` bench and the `report` binary compare the two head to
+/// head.
+#[must_use]
+pub fn refine_both_halves(instance: &Instance) -> Partition {
+    let n = instance.num_elements();
+    if n == 0 {
+        return Partition::from_assignment(&[]);
+    }
+    let graph = instance.graph();
+
+    // Live partition state, seeded from the raw initial assignment.
+    let (mut block_of, mut blocks) = Partition::from_raw_assignment(instance.initial_blocks());
 
     // Worklist of splitter block ids (content is read at pop time).
     let mut worklist: Vec<usize> = (0..blocks.len()).collect();
     let mut on_worklist = vec![true; blocks.len()];
 
-    // Scratch: for each element, whether it is in the current preimage.
-    let mut marked = vec![false; n];
+    // Epoch-stamped scratch: preimage membership per element, touched marker
+    // per block (one epoch per (splitter, label) round).
+    let mut marked: Vec<u64> = vec![0; n];
+    let mut touched_stamp: Vec<u64> = vec![0; blocks.len()];
+    let mut epoch: u64 = 0;
 
     while let Some(splitter) = worklist.pop() {
         on_worklist[splitter] = false;
@@ -55,17 +240,17 @@ pub fn refine(instance: &Instance) -> Partition {
         // block that is itself (re-)enqueued, so using the snapshot is sound.
         let splitter_elems = blocks[splitter].clone();
         for label in 0..instance.num_labels() {
+            epoch += 1;
             // pre_ℓ(splitter)
             let mut touched_blocks: Vec<usize> = Vec::new();
-            let mut pre: Vec<usize> = Vec::new();
             for &y in &splitter_elems {
-                for &x in instance.predecessors(label, y) {
-                    if !marked[x] {
-                        marked[x] = true;
-                        pre.push(x);
-                        let b = block_of[x];
-                        if !touched_blocks.contains(&b) {
-                            touched_blocks.push(b);
+                for &x in graph.predecessors(label, y) {
+                    if marked[x] != epoch {
+                        marked[x] = epoch;
+                        let d = block_of[x];
+                        if touched_stamp[d] != epoch {
+                            touched_stamp[d] = epoch;
+                            touched_blocks.push(d);
                         }
                     }
                 }
@@ -73,7 +258,7 @@ pub fn refine(instance: &Instance) -> Partition {
             // Split every touched block D into D ∩ pre and D \ pre.
             for &d in &touched_blocks {
                 let (inside, outside): (Vec<usize>, Vec<usize>) =
-                    blocks[d].iter().partition(|&&x| marked[x]);
+                    blocks[d].iter().partition(|&&x| marked[x] == epoch);
                 if inside.is_empty() || outside.is_empty() {
                     continue;
                 }
@@ -85,17 +270,15 @@ pub fn refine(instance: &Instance) -> Partition {
                 blocks[d] = inside;
                 blocks.push(outside);
                 on_worklist.push(false);
-                // Re-enqueue both halves (simple, correct; the smaller-half
-                // refinement is what Paige–Tarjan formalises).
+                touched_stamp.push(0);
+                // Re-enqueue both halves — the simple, always-sound rule;
+                // `refine` is the smaller-half upgrade.
                 for id in [d, new_id] {
                     if !on_worklist[id] {
                         on_worklist[id] = true;
                         worklist.push(id);
                     }
                 }
-            }
-            for &x in &pre {
-                marked[x] = false;
             }
         }
     }
@@ -108,10 +291,22 @@ mod tests {
     use super::*;
     use crate::naive;
 
+    /// Runs both variants, checks they agree with each other and with the
+    /// naive method, and returns the partition.
+    fn cross_check(inst: &Instance) -> Partition {
+        let smaller = refine(inst);
+        let both = refine_both_halves(inst);
+        assert_eq!(smaller, both, "smaller-half vs both-halves");
+        assert_eq!(smaller, naive::refine(inst), "kanellakis-smolka vs naive");
+        assert!(inst.is_consistent_stable(&smaller));
+        smaller
+    }
+
     #[test]
     fn empty_instance() {
         let inst = Instance::new(0, 2);
         assert_eq!(refine(&inst).num_elements(), 0);
+        assert_eq!(refine_both_halves(&inst).num_elements(), 0);
     }
 
     #[test]
@@ -120,8 +315,7 @@ mod tests {
         for i in 0..5 {
             inst.add_edge(0, i, i + 1);
         }
-        assert_eq!(refine(&inst), naive::refine(&inst));
-        assert_eq!(refine(&inst).num_blocks(), 6);
+        assert_eq!(cross_check(&inst).num_blocks(), 6);
     }
 
     #[test]
@@ -131,10 +325,9 @@ mod tests {
         inst.add_edge(0, 2, 3);
         inst.set_initial_block(1, 1);
         // 1 and 3 would be equivalent (both dead) but start in different blocks.
-        let p = refine(&inst);
+        let p = cross_check(&inst);
         assert!(!p.same_block(1, 3));
         assert!(!p.same_block(0, 2));
-        assert!(inst.is_consistent_stable(&p));
     }
 
     #[test]
@@ -144,7 +337,7 @@ mod tests {
         inst.add_edge(0, 1, 0);
         inst.add_edge(0, 2, 3);
         inst.add_edge(0, 3, 2);
-        assert_eq!(refine(&inst).num_blocks(), 1);
+        assert_eq!(cross_check(&inst).num_blocks(), 1);
     }
 
     #[test]
@@ -154,10 +347,24 @@ mod tests {
         inst.add_edge(0, 0, 1);
         inst.add_edge(1, 0, 2);
         inst.add_edge(0, 3, 1);
-        let p = refine(&inst);
+        let p = cross_check(&inst);
         assert!(!p.same_block(0, 3));
         assert!(p.same_block(1, 2));
-        assert_eq!(p, naive::refine(&inst));
+    }
+
+    #[test]
+    fn elements_reaching_both_halves_are_handled() {
+        // The instance family the plain smaller-half rule gets wrong: 0 has
+        // successors in both halves {2} and {3} of an old splitter, 1 only in
+        // one — the three-way split must separate them.
+        let mut inst = Instance::new(5, 1);
+        inst.add_edge(0, 0, 2);
+        inst.add_edge(0, 0, 3);
+        inst.add_edge(0, 1, 2);
+        inst.add_edge(0, 2, 4);
+        inst.add_edge(0, 4, 2);
+        let p = cross_check(&inst);
+        assert!(!p.same_block(0, 1));
     }
 
     #[test]
@@ -170,8 +377,36 @@ mod tests {
         inst.add_edge(1, 4, 5);
         inst.add_edge(0, 5, 6);
         inst.add_edge(1, 6, 3);
-        let p = refine(&inst);
+        let p = cross_check(&inst);
         assert!(inst.is_consistent_stable(&p));
-        assert_eq!(p, naive::refine(&inst));
+    }
+
+    #[test]
+    fn random_instances_agree_across_variants() {
+        let mut seed: u64 = 0x853C_49E6_748F_EA9B;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..40 {
+            let n = 2 + (next() % 16) as usize;
+            let labels = 1 + (next() % 3) as usize;
+            let edges = (next() % (4 * n as u64)) as usize;
+            let mut inst = Instance::new(n, labels);
+            for _ in 0..edges {
+                let l = (next() % labels as u64) as usize;
+                let from = (next() % n as u64) as usize;
+                let to = (next() % n as u64) as usize;
+                inst.add_edge(l, from, to);
+            }
+            if case % 3 == 0 {
+                for x in 0..n {
+                    inst.set_initial_block(x, x % 2);
+                }
+            }
+            cross_check(&inst);
+        }
     }
 }

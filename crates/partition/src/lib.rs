@@ -12,20 +12,35 @@
 //! reduces to this problem in linear time (Lemma 3.1), which is why this
 //! crate sits at the bottom of the `ccs-equiv` stack.
 //!
-//! Three solvers are provided, in increasing order of sophistication:
+//! # The flat CSR transition core
+//!
+//! All solvers share one transition representation: the compressed-sparse-row
+//! [`LabeledGraph`] (see [`graph`]), which stores every relation's successor
+//! and predecessor lists back to back in four contiguous arrays indexed by
+//! per-`(label, element)` offset tables.  An [`Instance`] wraps a
+//! [`GraphBuilder`] that sorts and deduplicates parallel edges and lays the
+//! CSR out once; `successors`/`predecessors` are slice views into the flat
+//! arrays, and `num_edges`/`max_fanout` are `O(1)` builder-computed values.
+//!
+//! Four solvers are provided for the generalized problem:
 //!
 //! * [`naive`] — the paper's *naive method* (Lemma 3.2): repeatedly split
 //!   blocks by successor-block signatures until stable; `O(n·m)`-ish with an
 //!   extra logarithmic factor from sorting.
-//! * [`kanellakis_smolka`] — the splitter-worklist algorithm of
-//!   Kanellakis & Smolka (1983): `O(n·m)` worst case, `O(c²·n·log n)` for
-//!   transition fan-out bounded by `c`.
+//! * [`kanellakis_smolka::refine_both_halves`] — the splitter-worklist
+//!   algorithm of Kanellakis & Smolka (1983) with both halves of every split
+//!   re-enqueued: `O(n·m)` worst case.
+//! * [`kanellakis_smolka::refine`] — the paper's sharpened smaller-half
+//!   variant: only the smaller fragment of a pending splitter group is
+//!   extracted and scanned, giving `O(c²·n·log n)` for fan-out bounded by
+//!   `c` (the module docs spell out the Section 3 argument).
 //! * [`paige_tarjan`] — the Paige–Tarjan (1987) "process the smaller half"
 //!   algorithm with compound blocks and edge counts, `O(m log n + n)`
 //!   (Theorem 3.1), generalized to labelled relations.
 //!
-//! All three produce the same (canonical) partition; the test-suites and the
-//! `partition_refinement` bench cross-check them against each other.
+//! All of them produce the same (canonical) partition; the test-suites, the
+//! root property tests, and the `partition_refinement`/`partition_core`
+//! benches cross-check them against each other.
 //!
 //! The crate also contains the two classical deterministic-case tools the
 //! paper mentions in Section 3: [`hopcroft`] DFA minimization
@@ -54,6 +69,7 @@
 
 pub mod dfa;
 pub mod dfa_equiv;
+pub mod graph;
 pub mod hopcroft;
 mod instance;
 pub mod kanellakis_smolka;
@@ -63,17 +79,22 @@ mod partition;
 mod union_find;
 
 pub use dfa::Dfa;
+pub use graph::{GraphBuilder, LabeledGraph};
 pub use instance::Instance;
 pub use partition::Partition;
 pub use union_find::UnionFind;
 
-/// Selects one of the three generalized-partitioning solvers.
+/// Selects one of the generalized-partitioning solvers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum Algorithm {
     /// The naive refinement method of Lemma 3.2.
     Naive,
-    /// The Kanellakis–Smolka splitter-worklist algorithm.
+    /// The Kanellakis–Smolka splitter-worklist algorithm with both halves of
+    /// every split re-enqueued (`O(n·m)` — the measured baseline).
+    KanellakisSmolkaBothHalves,
+    /// The Kanellakis–Smolka smaller-half algorithm (`O(c²·n·log n)` for
+    /// fan-out bounded by `c`).
     KanellakisSmolka,
     /// The Paige–Tarjan smaller-half algorithm (Theorem 3.1).
     PaigeTarjan,
@@ -81,8 +102,9 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All available algorithms, useful for cross-checking loops.
-    pub const ALL: [Algorithm; 3] = [
+    pub const ALL: [Algorithm; 4] = [
         Algorithm::Naive,
+        Algorithm::KanellakisSmolkaBothHalves,
         Algorithm::KanellakisSmolka,
         Algorithm::PaigeTarjan,
     ];
@@ -92,6 +114,7 @@ impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
             Algorithm::Naive => "naive",
+            Algorithm::KanellakisSmolkaBothHalves => "ks-both-halves",
             Algorithm::KanellakisSmolka => "kanellakis-smolka",
             Algorithm::PaigeTarjan => "paige-tarjan",
         };
@@ -105,6 +128,7 @@ impl std::fmt::Display for Algorithm {
 pub fn solve(instance: &Instance, algorithm: Algorithm) -> Partition {
     match algorithm {
         Algorithm::Naive => naive::refine(instance),
+        Algorithm::KanellakisSmolkaBothHalves => kanellakis_smolka::refine_both_halves(instance),
         Algorithm::KanellakisSmolka => kanellakis_smolka::refine(instance),
         Algorithm::PaigeTarjan => paige_tarjan::refine(instance),
     }
@@ -117,9 +141,13 @@ mod tests {
     #[test]
     fn algorithm_display_names() {
         assert_eq!(Algorithm::Naive.to_string(), "naive");
+        assert_eq!(
+            Algorithm::KanellakisSmolkaBothHalves.to_string(),
+            "ks-both-halves"
+        );
         assert_eq!(Algorithm::KanellakisSmolka.to_string(), "kanellakis-smolka");
         assert_eq!(Algorithm::PaigeTarjan.to_string(), "paige-tarjan");
-        assert_eq!(Algorithm::ALL.len(), 3);
+        assert_eq!(Algorithm::ALL.len(), 4);
     }
 
     #[test]

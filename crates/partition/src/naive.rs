@@ -21,8 +21,9 @@ pub fn refine(instance: &Instance) -> Partition {
     if n == 0 {
         return Partition::from_assignment(&[]);
     }
-    let mut block_of: Vec<usize> = normalize(instance.initial_blocks());
-    let mut num_blocks = count_blocks(&block_of);
+    let graph = instance.graph();
+    let (mut block_of, initial_blocks) = Partition::from_raw_assignment(instance.initial_blocks());
+    let mut num_blocks = initial_blocks.len();
 
     loop {
         // Signature of x: (current block, for each label the sorted set of
@@ -32,7 +33,7 @@ pub fn refine(instance: &Instance) -> Partition {
         for x in 0..n {
             let mut per_label = Vec::with_capacity(instance.num_labels());
             for l in 0..instance.num_labels() {
-                let mut hit: Vec<usize> = instance
+                let mut hit: Vec<usize> = graph
                     .successors(l, x)
                     .iter()
                     .map(|&y| block_of[y])
@@ -54,24 +55,6 @@ pub fn refine(instance: &Instance) -> Partition {
         num_blocks = new_count;
     }
     Partition::from_assignment(&block_of)
-}
-
-fn normalize(assignment: &[usize]) -> Vec<usize> {
-    let mut remap = HashMap::new();
-    assignment
-        .iter()
-        .map(|&b| {
-            let fresh = remap.len();
-            *remap.entry(b).or_insert(fresh)
-        })
-        .collect()
-}
-
-fn count_blocks(assignment: &[usize]) -> usize {
-    let mut seen: Vec<usize> = assignment.to_vec();
-    seen.sort_unstable();
-    seen.dedup();
-    seen.len()
 }
 
 #[cfg(test)]

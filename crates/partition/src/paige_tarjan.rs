@@ -33,6 +33,8 @@ pub fn refine(instance: &Instance) -> Partition {
         return Partition::from_assignment(&[]);
     }
     let num_labels = instance.num_labels();
+    // Hoist the CSR view out of the hot loops.
+    let graph = instance.graph();
 
     // --- Initial fine partition Q: the initial partition refined by the
     // per-label "has at least one outgoing edge" signature, so that Q is
@@ -43,7 +45,7 @@ pub fn refine(instance: &Instance) -> Partition {
         let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
         for (x, block) in block_of.iter_mut().enumerate() {
             let sig: Vec<bool> = (0..num_labels)
-                .map(|l| !instance.successors(l, x).is_empty())
+                .map(|l| !graph.successors(l, x).is_empty())
                 .collect();
             let key = (instance.initial_blocks()[x], sig);
             let fresh = sig_to_block.len();
@@ -65,7 +67,7 @@ pub fn refine(instance: &Instance) -> Partition {
     let mut counts: HashMap<(usize, usize, usize), usize> = HashMap::new();
     for l in 0..num_labels {
         for x in 0..n {
-            let d = instance.successors(l, x).len();
+            let d = graph.successors(l, x).len();
             if d > 0 {
                 counts.insert((l, x, 0), d);
             }
@@ -79,6 +81,11 @@ pub fn refine(instance: &Instance) -> Partition {
         worklist.push(0);
         on_worklist[0] = true;
     }
+
+    // Epoch-stamped "Q-block already marked affected" scratch, one epoch per
+    // (splitter, label) round.
+    let mut affected_stamp: Vec<u64> = vec![0; q_blocks.len()];
+    let mut epoch: u64 = 0;
 
     while let Some(s) = worklist.pop() {
         on_worklist[s] = false;
@@ -108,11 +115,12 @@ pub fn refine(instance: &Instance) -> Partition {
 
         let b_elems = q_blocks[b].clone();
         for label in 0..num_labels {
+            epoch += 1;
             // Count, for every predecessor x of B under `label`, how many of
             // its successors lie in B.
             let mut cnt_b: HashMap<usize, usize> = HashMap::new();
             for &y in &b_elems {
-                for &x in instance.predecessors(label, y) {
+                for &x in graph.predecessors(label, y) {
                     *cnt_b.entry(x).or_insert(0) += 1;
                 }
             }
@@ -132,7 +140,8 @@ pub fn refine(instance: &Instance) -> Partition {
                 let group = if into_b == into_s { 1 } else { 2 };
                 group_of.insert(x, group);
                 let d = block_of[x];
-                if !affected_blocks.contains(&d) {
+                if affected_stamp[d] != epoch {
+                    affected_stamp[d] = epoch;
                     affected_blocks.push(d);
                 }
             }
@@ -166,6 +175,7 @@ pub fn refine(instance: &Instance) -> Partition {
                     }
                     q_blocks.push(part);
                     x_of_q.push(home_x);
+                    affected_stamp.push(0);
                     x_blocks[home_x].push(new_q);
                 }
                 // The X-block that gained Q-blocks is now compound.

@@ -18,24 +18,33 @@ impl Partition {
     /// is canonicalized.
     #[must_use]
     pub fn from_assignment(assignment: &[usize]) -> Self {
-        let n = assignment.len();
-        // Renumber blocks in order of first appearance of their smallest element.
-        let mut first_seen: Vec<Option<usize>> = Vec::new();
+        let (block_of, blocks) = Partition::from_raw_assignment(assignment);
+        Partition { block_of, blocks }
+    }
+
+    /// Remaps an arbitrary block-index assignment to dense block ids numbered
+    /// by first appearance, returning the dense assignment and the
+    /// element lists of each block (each sorted, since elements are visited
+    /// in increasing order).
+    ///
+    /// This is the shared seed step of every refinement solver: it turns the
+    /// raw initial blocks of an instance (or the output classes of a DFA)
+    /// into the live `block_of` / `blocks` state the solver then refines.
+    #[must_use]
+    pub fn from_raw_assignment(assignment: &[usize]) -> (Vec<usize>, Vec<Vec<usize>>) {
         let mut remap = std::collections::HashMap::new();
-        let mut block_of = vec![0usize; n];
+        let mut block_of = vec![0usize; assignment.len()];
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
         for (elem, &raw) in assignment.iter().enumerate() {
-            let next = remap.len();
-            let id = *remap.entry(raw).or_insert(next);
-            if id == first_seen.len() {
-                first_seen.push(Some(elem));
+            let fresh = remap.len();
+            let id = *remap.entry(raw).or_insert(fresh);
+            if id == blocks.len() {
+                blocks.push(Vec::new());
             }
             block_of[elem] = id;
+            blocks[id].push(elem);
         }
-        let mut blocks = vec![Vec::new(); remap.len()];
-        for (elem, &b) in block_of.iter().enumerate() {
-            blocks[b].push(elem);
-        }
-        Partition { block_of, blocks }
+        (block_of, blocks)
     }
 
     /// The discrete partition: every element in its own block.
@@ -199,6 +208,16 @@ mod tests {
         assert_eq!(p.block(1), &[1, 3]);
         assert_eq!(p.blocks().len(), 2);
         assert_eq!(p.assignment(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn raw_assignment_remap_is_dense_and_first_appearance_ordered() {
+        let (block_of, blocks) = Partition::from_raw_assignment(&[7, 7, 3, 9, 3]);
+        assert_eq!(block_of, vec![0, 0, 1, 2, 1]);
+        assert_eq!(blocks, vec![vec![0, 1], vec![2, 4], vec![3]]);
+        let (empty_of, empty_blocks) = Partition::from_raw_assignment(&[]);
+        assert!(empty_of.is_empty());
+        assert!(empty_blocks.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Workload generators for the `ccs-equiv` benchmark harness.
 //!
-//! Two flavours of processes are produced:
+//! Three flavours of inputs are produced:
 //!
 //! * [`random`] — pseudo-random processes with controllable size, alphabet,
 //!   transition density, τ-ratio and acceptance ratio, plus generators for
@@ -10,13 +10,17 @@
 //! * [`families`] — deterministic structured families (chains, cycles,
 //!   complete trees, τ-chains, counters and a small vending machine) whose
 //!   equivalence classes are known analytically, used both as test oracles
-//!   and as scaling series for the benches.
+//!   and as scaling series for the benches;
+//! * [`instances`] — the same topologies emitted directly as
+//!   generalized-partitioning instances through the `ccs-partition` graph
+//!   builder, feeding the solver-kernel benches and property tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod families;
+pub mod instances;
 pub mod random;
 
 pub use random::RandomConfig;

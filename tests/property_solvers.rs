@@ -1,0 +1,83 @@
+//! Cross-crate property tests: on random `ccs_workloads` inputs, all four
+//! generalized-partitioning solvers (naive, Kanellakis–Smolka in both the
+//! both-halves and smaller-half variants, Paige–Tarjan) produce identical
+//! partitions that pass the `is_consistent_stable` oracle, both on raw
+//! instances and through the Lemma 3.1 reduction from processes; on the
+//! deterministic special case Hopcroft agrees as well.
+
+use ccs_equiv::strong;
+use ccs_partition::{hopcroft, solve, Algorithm, Dfa, Instance, Partition};
+use ccs_workloads::{instances, random, RandomConfig};
+use proptest::prelude::*;
+
+/// Checks that every [`Algorithm`] produces the same partition and that the
+/// result is consistent and stable; returns the agreed partition.
+fn solvers_agree(inst: &Instance) -> Result<Partition, TestCaseError> {
+    let reference = solve(inst, Algorithm::Naive);
+    for alg in Algorithm::ALL {
+        let p = solve(inst, alg);
+        prop_assert!(p == reference, "{alg} disagrees with naive");
+    }
+    prop_assert!(inst.is_consistent_stable(&reference));
+    Ok(reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solvers_agree_on_random_instances(
+        n in 1usize..40,
+        labels in 1usize..4,
+        density in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let inst = instances::random(n, labels, density * n, seed);
+        solvers_agree(&inst)?;
+    }
+
+    #[test]
+    fn solvers_agree_on_random_processes(
+        states in 1usize..32,
+        seed in 0u64..1_000,
+        tau in 0usize..2,
+    ) {
+        // Through the Lemma 3.1 reduction: random process -> instance.
+        let config = RandomConfig {
+            tau_ratio: 0.3 * tau as f64,
+            accept_ratio: 0.6,
+            ..RandomConfig::sized(states, seed)
+        };
+        let inst = strong::to_instance(&random::random_fsp(&config));
+        let p = solvers_agree(&inst)?;
+        prop_assert_eq!(p.num_elements(), states);
+    }
+
+    #[test]
+    fn hopcroft_agrees_on_the_deterministic_case(
+        n in 1usize..32,
+        labels in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let inst = instances::complete_deterministic(n, labels, seed);
+        let mut dfa = Dfa::new(n, labels, 0);
+        for s in 0..n {
+            dfa.set_class(s, inst.initial_blocks()[s]);
+            for l in 0..labels {
+                dfa.set_transition(s, l, inst.successors(l, s)[0]);
+            }
+        }
+        let via_hopcroft = hopcroft::minimize(&dfa);
+        let reference = solvers_agree(&inst)?;
+        prop_assert_eq!(via_hopcroft, reference);
+    }
+
+    #[test]
+    fn smaller_half_matches_both_halves_on_families(n in 1usize..64) {
+        for inst in [instances::chain(n), instances::cycle(n)] {
+            let small = solve(&inst, Algorithm::KanellakisSmolka);
+            let both = solve(&inst, Algorithm::KanellakisSmolkaBothHalves);
+            prop_assert_eq!(small, both);
+        }
+    }
+}
