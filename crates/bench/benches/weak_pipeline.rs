@@ -1,0 +1,81 @@
+//! Experiment WP: batched observational-equivalence queries — the per-query
+//! free-function loop (`m` full Theorem 4.1(a) pipelines: τ-closure,
+//! saturation, refinement) against one `EquivSession` that builds every
+//! artifact once and answers the batch from a single memoized partition.
+
+use std::time::Duration;
+
+use ccs_equiv::{weak, EquivSession, Equivalence};
+use ccs_workloads::queries;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const PAIRS: usize = 32;
+const SIZES: [usize; 3] = [32, 64, 128];
+
+fn bench_per_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak-pipeline/per-query");
+    for &n in &SIZES {
+        let batch = queries::weak_query_batch(n, PAIRS, 29);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                batch
+                    .pairs
+                    .iter()
+                    .map(|&(p, q)| weak::observationally_equivalent_states(&batch.fsp, p, q))
+                    .filter(|&eq| eq)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak-pipeline/session");
+    for &n in &SIZES {
+        let batch = queries::weak_query_batch(n, PAIRS, 29);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                let mut session = EquivSession::for_process(&batch.fsp);
+                session
+                    .equivalent_pairs(Equivalence::Observational, &batch.pairs)
+                    .iter()
+                    .filter(|&&eq| eq)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A session interrogated under several notions amortizes the τ-closure and
+/// saturated CSR across them; the one-shot loop rebuilds per notion.
+fn bench_multi_notion_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak-pipeline/multi-notion");
+    for &n in &SIZES {
+        let batch = queries::weak_query_batch(n, PAIRS, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                let mut session = EquivSession::for_process(&batch.fsp);
+                let strong = session.equivalent_pairs(Equivalence::Strong, &batch.pairs);
+                let weak = session.equivalent_pairs(Equivalence::Observational, &batch.pairs);
+                (strong, weak)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_per_query, bench_session, bench_multi_notion_session
+}
+criterion_main!(benches);

@@ -1,0 +1,235 @@
+//! Diffs two `report` outputs for performance regressions on the tracked
+//! tables (E7 solver matrix and the WP weak-pipeline table).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p ccs-bench --bin compare_report -- \
+//!     crates/bench/baselines/report-e7-wp.txt report.txt \
+//!     [--threshold 1.25] [--floor-ms 5.0]
+//! ```
+//!
+//! Every timing row of the baseline's E7/WP sections is looked up in the
+//! current report; a timing counts as a regression when the baseline value
+//! is at least `floor-ms` (rows below the floor are measurement noise) and
+//! the current value exceeds `baseline × threshold` (default 1.25, i.e. a
+//! slowdown of more than 25%).  Exit code 1 signals regressions or rows
+//! missing from the current report, so the scheduled CI job fails loudly.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Timing columns of one tracked table row, keyed by a section-qualified
+/// row identifier.
+type Rows = BTreeMap<String, Vec<(String, f64)>>;
+
+/// Which tracked section a report line belongs to, if any.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    E7,
+    Wp,
+}
+
+/// Extracts the tracked tables from a report dump.
+///
+/// E7 rows are `family states edges naive ks-both ks-small pt` (timings in
+/// the last four columns); WP rows are `family states pairs per-query
+/// session speedup` (timings in columns 3–4, the speedup ratio is derived
+/// and not compared).
+fn parse_report(text: &str) -> Rows {
+    let mut rows = Rows::new();
+    let mut section = Section::None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("== ") {
+            section = if trimmed.contains("E7:") {
+                Section::E7
+            } else if trimmed.contains("WP:") {
+                Section::Wp
+            } else {
+                Section::None
+            };
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        let numeric = |t: &str| t.parse::<f64>().is_ok();
+        match section {
+            Section::E7 if tokens.len() == 7 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("e7/{}/{}", tokens[0], tokens[1]);
+                let cols = ["naive", "ks-both", "ks-small", "pt"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[3..7])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Wp if tokens.len() == 6 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("wp/{}/{}/{}", tokens[0], tokens[1], tokens[2]);
+                let cols = ["per-query", "session"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[3..5])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+struct Options {
+    baseline: String,
+    current: String,
+    threshold: f64,
+    floor_ms: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut threshold = 1.25;
+    let mut floor_ms = 5.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a number")?;
+            }
+            "--floor-ms" => {
+                floor_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--floor-ms needs a number")?;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(
+            "usage: compare_report <baseline> <current> [--threshold X] [--floor-ms Y]".to_owned(),
+        );
+    }
+    let mut positional = positional.into_iter();
+    Ok(Options {
+        baseline: positional.next().expect("checked length"),
+        current: positional.next().expect("checked length"),
+        threshold,
+        floor_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = parse_report(&read(&opts.baseline));
+    let current = parse_report(&read(&opts.current));
+    if baseline.is_empty() {
+        eprintln!("no tracked rows found in baseline {}", opts.baseline);
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    let mut missing = 0usize;
+    for (key, base_timings) in &baseline {
+        let Some(cur_timings) = current.get(key) else {
+            println!("MISSING  {key}: row not present in current report");
+            missing += 1;
+            continue;
+        };
+        for ((col, base), (_, cur)) in base_timings.iter().zip(cur_timings) {
+            if *base < opts.floor_ms {
+                continue;
+            }
+            compared += 1;
+            let ratio = cur / base;
+            if ratio > opts.threshold {
+                println!(
+                    "REGRESSION  {key} [{col}]: {base:.2} ms -> {cur:.2} ms ({:.0}% slower)",
+                    (ratio - 1.0) * 100.0
+                );
+                regressions += 1;
+            }
+        }
+    }
+    println!(
+        "compared {compared} timings over {} rows: {regressions} regression(s), {missing} missing \
+         row(s) (threshold {:.0}%, floor {} ms)",
+        baseline.len(),
+        (opts.threshold - 1.0) * 100.0,
+        opts.floor_ms
+    );
+    if regressions > 0 || missing > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+ccs-equiv experiment report (wall-clock, release recommended)
+
+== E7: generalized partitioning on the CSR core — solver matrix per family ==
+   (ks-both = both-halves baseline, ks-small = smaller-half upgrade)
+  family   states      edges     naive ms   ks-both ms  ks-small ms        pt ms
+  random       64        160         1.00         2.00         3.00         4.00
+   chain     1024       1023        90.00        12.00         6.00         8.00
+
+== WP: weak pipeline — per-query free functions vs EquivSession batched ==
+   (m pair queries: ...)
+  family   states    pairs   per-query ms   session ms   speedup
+ general      256       32         120.00         10.00      12.0
+
+== E8: strong equivalence, equivalent pairs (Theorem 3.1) ==
+  states     check ms      classes
+     256        10.00           17
+";
+
+    #[test]
+    fn parses_only_tracked_sections() {
+        let rows = parse_report(SAMPLE);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows["e7/chain/1024"],
+            vec![
+                ("naive".to_owned(), 90.0),
+                ("ks-both".to_owned(), 12.0),
+                ("ks-small".to_owned(), 6.0),
+                ("pt".to_owned(), 8.0),
+            ]
+        );
+        assert_eq!(
+            rows["wp/general/256/32"],
+            vec![
+                ("per-query".to_owned(), 120.0),
+                ("session".to_owned(), 10.0),
+            ]
+        );
+        // The untracked E8 row is ignored.
+        assert!(!rows.keys().any(|k| k.contains("e8")));
+    }
+
+    #[test]
+    fn header_lines_are_not_rows() {
+        let rows = parse_report("== E7: x ==\nfamily states edges a b c d\n");
+        assert!(rows.is_empty());
+    }
+}

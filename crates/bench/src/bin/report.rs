@@ -3,15 +3,19 @@
 //! `DESIGN.md`).
 //!
 //! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]`
-//! where `experiment` is one of `e7 e8 e9 e10 e13 e14 e4` (default: all).
+//! where `experiment` is one of `e7 e8 e9 e10 e13 e14 e4 wp` (default: all).
+//!
+//! The E7 and WP tables are additionally tracked for regressions: the
+//! scheduled CI job diffs them against the committed snapshot under
+//! `crates/bench/baselines/` with the `compare_report` binary.
 
 use std::time::Instant;
 
 use ccs_bench::{equivalent_pair, general_process, standard_process};
-use ccs_equiv::{failures, kobs, strong, weak};
+use ccs_equiv::{failures, kobs, strong, weak, EquivSession, Equivalence};
 use ccs_expr::{construct, parse};
 use ccs_partition::{dfa_equiv, hopcroft, solve, Algorithm, Dfa};
-use ccs_workloads::families;
+use ccs_workloads::{families, queries};
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -63,6 +67,39 @@ fn e7_partition_algorithms() {
                 t_pt
             );
         }
+    }
+}
+
+fn wp_weak_pipeline() {
+    println!("\n== WP: weak pipeline — per-query free functions vs EquivSession batched ==");
+    println!("   (m pair queries: m full saturate+refine pipelines vs one shared pipeline)");
+    println!(
+        "{:>8} {:>8} {:>8} {:>14} {:>12} {:>9}",
+        "family", "states", "pairs", "per-query ms", "session ms", "speedup"
+    );
+    for &n in &[256usize, 512] {
+        let batch = queries::weak_query_batch(n, 32, 29);
+        let (per_query, t_loop) = time_ms(|| {
+            batch
+                .pairs
+                .iter()
+                .map(|&(p, q)| weak::observationally_equivalent_states(&batch.fsp, p, q))
+                .collect::<Vec<bool>>()
+        });
+        let (batched, t_session) = time_ms(|| {
+            let mut session = EquivSession::for_process(&batch.fsp);
+            session.equivalent_pairs(Equivalence::Observational, &batch.pairs)
+        });
+        assert_eq!(per_query, batched, "session disagrees with per-query loop");
+        println!(
+            "{:>8} {:>8} {:>8} {:>14.2} {:>12.2} {:>9.1}",
+            "general",
+            n,
+            batch.pairs.len(),
+            t_loop,
+            t_session,
+            t_loop / t_session
+        );
     }
 }
 
@@ -190,6 +227,9 @@ fn main() {
     println!("ccs-equiv experiment report (wall-clock, release recommended)");
     if want("e7") {
         e7_partition_algorithms();
+    }
+    if want("wp") {
+        wp_weak_pipeline();
     }
     if want("e8") {
         e8_strong_equivalence();

@@ -1,10 +1,12 @@
 //! One-stop dispatch over the equivalence notions of Table II.
 
 use std::fmt;
+use std::str::FromStr;
 
 use ccs_fsp::{ops, Fsp, StateId};
 
-use crate::{failures, kobs, language, limited, strong, traces, weak, EquivError};
+use crate::session::EquivSession;
+use crate::EquivError;
 
 /// The equivalence notions of the paper's Table II (plus plain trace
 /// equivalence), selectable at run time.
@@ -43,8 +45,43 @@ impl fmt::Display for Equivalence {
     }
 }
 
+/// Parses the [`Display`](fmt::Display) form back into a notion
+/// (`"strong"`, `"observational"`, `"limited-2"`, `"k-observational-1"`,
+/// `"language"`, `"trace"`, `"failure"`), so the report binary and CLIs can
+/// select notions by name.
+impl FromStr for Equivalence {
+    type Err = EquivError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let unknown = || EquivError::UnknownNotion { name: s.to_owned() };
+        match s {
+            "strong" => return Ok(Equivalence::Strong),
+            "observational" => return Ok(Equivalence::Observational),
+            "language" => return Ok(Equivalence::Language),
+            "trace" => return Ok(Equivalence::Trace),
+            "failure" => return Ok(Equivalence::Failure),
+            _ => {}
+        }
+        if let Some(k) = s.strip_prefix("limited-") {
+            return k.parse().map(Equivalence::Limited).map_err(|_| unknown());
+        }
+        if let Some(k) = s.strip_prefix("k-observational-") {
+            return k
+                .parse()
+                .map(Equivalence::KObservational)
+                .map_err(|_| unknown());
+        }
+        Err(unknown())
+    }
+}
+
 /// Tests whether the start states of two processes are related by the chosen
 /// equivalence.
+///
+/// The two processes are combined with a disjoint union (merging the
+/// alphabets by name) and the question is answered by a throwaway
+/// [`EquivSession`] over the union — callers with several questions about
+/// the same state space should hold a session themselves.
 ///
 /// # Errors
 ///
@@ -53,23 +90,14 @@ impl fmt::Display for Equivalence {
 /// [`deterministic`](crate::deterministic) for the deterministic fast path,
 /// which is exposed separately because it *does* have requirements).
 pub fn equivalent(left: &Fsp, right: &Fsp, notion: Equivalence) -> Result<bool, EquivError> {
-    Ok(match notion {
-        Equivalence::Strong => strong::strong_equivalent(left, right),
-        Equivalence::Observational => weak::observationally_equivalent(left, right),
-        Equivalence::Limited(k) => {
-            let union = ops::disjoint_union(left, right);
-            let (p, q) = ops::union_starts(&union, left, right);
-            limited::limited_equivalent_at(&union.fsp, p, q, k)
-        }
-        Equivalence::KObservational(k) => kobs::kobs_equivalent(left, right, k),
-        Equivalence::Language => language::language_equivalent(left, right).holds,
-        Equivalence::Trace => traces::trace_equivalent(left, right).holds,
-        Equivalence::Failure => failures::failure_equivalent(left, right).equivalent,
-    })
+    let union = ops::disjoint_union(left, right);
+    let (p, q) = ops::union_starts(&union, left, right);
+    let mut session = EquivSession::new(union.fsp);
+    Ok(session.equivalent_states(p, q, notion))
 }
 
 /// Tests whether two states of the same process are related by the chosen
-/// equivalence.
+/// equivalence, through a throwaway [`EquivSession`].
 ///
 /// # Errors
 ///
@@ -80,15 +108,8 @@ pub fn equivalent_states(
     q: StateId,
     notion: Equivalence,
 ) -> Result<bool, EquivError> {
-    Ok(match notion {
-        Equivalence::Strong => strong::strong_equivalent_states(fsp, p, q),
-        Equivalence::Observational => weak::observationally_equivalent_states(fsp, p, q),
-        Equivalence::Limited(k) => limited::limited_equivalent_at(fsp, p, q, k),
-        Equivalence::KObservational(k) => kobs::kobs_equivalent_states(fsp, p, q, k),
-        Equivalence::Language => language::language_equivalent_states(fsp, p, q).holds,
-        Equivalence::Trace => traces::trace_equivalent_states(fsp, p, q).holds,
-        Equivalence::Failure => failures::failure_equivalent_states(fsp, p, q).equivalent,
-    })
+    let mut session = EquivSession::for_process(fsp);
+    Ok(session.equivalent_states(p, q, notion))
 }
 
 #[cfg(test)]
@@ -152,5 +173,42 @@ mod tests {
             "k-observational-3"
         );
         assert_eq!(Equivalence::Failure.to_string(), "failure");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for notion in ALL {
+            let parsed: Equivalence = notion.to_string().parse().unwrap();
+            assert_eq!(parsed, notion, "{notion}");
+        }
+        assert_eq!(
+            "limited-17".parse::<Equivalence>().unwrap(),
+            Equivalence::Limited(17)
+        );
+        assert_eq!(
+            "k-observational-0".parse::<Equivalence>().unwrap(),
+            Equivalence::KObservational(0)
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        for bad in [
+            "",
+            "weak",
+            "Strong",
+            "limited-",
+            "limited-x",
+            "limited-2 ",
+            "k-observational-",
+            "k-observational--1",
+        ] {
+            let err = bad.parse::<Equivalence>().unwrap_err();
+            assert!(
+                matches!(&err, crate::EquivError::UnknownNotion { name } if name == bad),
+                "{bad:?} gave {err:?}"
+            );
+            assert!(err.to_string().contains("unknown equivalence notion"));
+        }
     }
 }

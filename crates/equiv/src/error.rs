@@ -22,6 +22,12 @@ pub enum EquivError {
         /// Description of the mismatch.
         message: String,
     },
+    /// A string did not name an equivalence notion (see the `FromStr` impl
+    /// of [`Equivalence`](crate::Equivalence)).
+    UnknownNotion {
+        /// The string that failed to parse.
+        name: String,
+    },
 }
 
 impl fmt::Display for EquivError {
@@ -33,6 +39,13 @@ impl fmt::Display for EquivError {
             EquivError::Fsp(e) => write!(f, "process error: {e}"),
             EquivError::Incomparable { message } => {
                 write!(f, "processes cannot be compared: {message}")
+            }
+            EquivError::UnknownNotion { name } => {
+                write!(
+                    f,
+                    "unknown equivalence notion {name:?} (expected one of: strong, \
+                     observational, limited-<k>, k-observational-<k>, language, trace, failure)"
+                )
             }
         }
     }

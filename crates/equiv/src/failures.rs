@@ -16,10 +16,10 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use ccs_fsp::saturate::{tau_closure, weakly_enabled_actions, TauClosure};
+use ccs_fsp::saturate::{tau_closure, SaturatedView};
 use ccs_fsp::{ops, Fsp, StateId};
 
-use crate::language::{closure_of, subset_step, Subset};
+use crate::language::{closure_of_view, subset_step_view, Subset};
 
 /// A single failure pair `(trace, refusal)`, with action names spelled out.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,13 +42,16 @@ pub struct FailureResult {
 
 /// The maximal refusal sets of a subset state: for each member `p′`, its
 /// refusal `Σ \ {a | p′ ⇒a}`; the antichain keeps only ⊆-maximal sets.
-fn maximal_refusals(fsp: &Fsp, closure: &TauClosure, subset: &[usize]) -> Vec<Vec<usize>> {
-    let all_actions: Vec<usize> = (0..fsp.num_actions()).collect();
+///
+/// Weak enabledness is read off the [`SaturatedView`]'s CSR columns —
+/// `|Σ|` slice-emptiness checks per member instead of a τ-closure walk.
+fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Vec<usize>> {
+    let all_actions: Vec<usize> = (0..view.num_actions()).collect();
     let mut refusals: Vec<Vec<usize>> = subset
         .iter()
         .map(|&x| {
-            let enabled: Vec<usize> = weakly_enabled_actions(fsp, closure, StateId::from_index(x))
-                .iter()
+            let enabled: Vec<usize> = view
+                .weakly_enabled(StateId::from_index(x))
                 .map(|a| a.index())
                 .collect();
             all_actions
@@ -98,7 +101,20 @@ fn distinguishing_refusal(left: &[Vec<usize>], right: &[Vec<usize>]) -> Option<V
 #[must_use]
 pub fn failure_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> FailureResult {
     let closure = tau_closure(fsp);
-    let start = (closure_of(&closure, p), closure_of(&closure, q));
+    let view = SaturatedView::build(fsp, &closure);
+    failure_equivalent_states_with(fsp, &view, p, q)
+}
+
+/// [`failure_equivalent_states`] against a caller-provided saturated view —
+/// used by the [`session`](crate::session) layer so repeated queries share
+/// one weak transition relation.
+pub(crate) fn failure_equivalent_states_with(
+    fsp: &Fsp,
+    view: &SaturatedView,
+    p: StateId,
+    q: StateId,
+) -> FailureResult {
+    let start = (closure_of_view(view, p), closure_of_view(view, q));
     let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
     let mut queue: VecDeque<((Subset, Subset), Vec<String>)> = VecDeque::new();
     seen.insert(start.clone());
@@ -117,8 +133,8 @@ pub fn failure_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> FailureRe
         if xs.is_empty() {
             continue;
         }
-        let rx = maximal_refusals(fsp, &closure, &xs);
-        let ry = maximal_refusals(fsp, &closure, &ys);
+        let rx = maximal_refusals(view, &xs);
+        let ry = maximal_refusals(view, &ys);
         if rx != ry {
             let refusal = distinguishing_refusal(&rx, &ry)
                 .or_else(|| distinguishing_refusal(&ry, &rx))
@@ -132,8 +148,8 @@ pub fn failure_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> FailureRe
             };
         }
         for a in fsp.action_ids() {
-            let nx = subset_step(fsp, &closure, &xs, a);
-            let ny = subset_step(fsp, &closure, &ys, a);
+            let nx = subset_step_view(view, &xs, a);
+            let ny = subset_step_view(view, &ys, a);
             if nx.is_empty() && ny.is_empty() {
                 continue;
             }
@@ -170,12 +186,13 @@ pub fn failures_up_to(
     max_len: usize,
 ) -> Vec<(Vec<String>, Vec<Vec<String>>)> {
     let closure = tau_closure(fsp);
+    let view = SaturatedView::build(fsp, &closure);
     let mut out = Vec::new();
-    let mut frontier: Vec<(Subset, Vec<String>)> = vec![(closure_of(&closure, p), Vec::new())];
+    let mut frontier: Vec<(Subset, Vec<String>)> = vec![(closure_of_view(&view, p), Vec::new())];
     for len in 0..=max_len {
         let mut next_frontier = Vec::new();
         for (subset, trace) in &frontier {
-            let refusals = maximal_refusals(fsp, &closure, subset)
+            let refusals = maximal_refusals(&view, subset)
                 .iter()
                 .map(|r| name_set(fsp, r))
                 .collect();
@@ -184,7 +201,7 @@ pub fn failures_up_to(
                 continue;
             }
             for a in fsp.action_ids() {
-                let nx = subset_step(fsp, &closure, subset, a);
+                let nx = subset_step_view(&view, subset, a);
                 if nx.is_empty() {
                     continue;
                 }

@@ -16,13 +16,14 @@
 //! each level is computed from the previous one without assuming
 //! refinement.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
-use ccs_fsp::saturate::{tau_closure, TauClosure};
-use ccs_fsp::{ops, Fsp, StateId};
+use ccs_fsp::saturate::{tau_closure, SaturatedView};
+use ccs_fsp::{ops, ActionId, Fsp, StateId};
 use ccs_partition::Partition;
 
-use crate::language::{closure_of, subset_step, Subset};
+use crate::language::{closure_of_view, subset_step_view, Subset};
+use crate::strong::extension_assignment;
 
 /// Computes the partition of all states into `≈ₖ`-classes.
 ///
@@ -32,9 +33,10 @@ use crate::language::{closure_of, subset_step, Subset};
 #[must_use]
 pub fn kobs_partition(fsp: &Fsp, k: usize) -> Partition {
     let closure = tau_closure(fsp);
-    let mut current = extension_partition(fsp);
+    let view = SaturatedView::build(fsp, &closure);
+    let mut current = Partition::from_assignment(&extension_assignment(fsp));
     for _ in 0..k {
-        current = next_level(fsp, &closure, &current);
+        current = refine_level(&view, &current);
     }
     current
 }
@@ -46,8 +48,12 @@ pub fn kobs_equivalent_states(fsp: &Fsp, p: StateId, q: StateId, k: usize) -> bo
         return fsp.same_extensions(p, q);
     }
     let closure = tau_closure(fsp);
-    let prev = kobs_partition(fsp, k - 1);
-    pair_equivalent(fsp, &closure, &prev, p, q)
+    let view = SaturatedView::build(fsp, &closure);
+    let mut prev = Partition::from_assignment(&extension_assignment(fsp));
+    for _ in 0..k - 1 {
+        prev = refine_level(&view, &prev);
+    }
+    pair_equivalent(&view, &prev, p, q)
 }
 
 /// Tests whether the start states of two processes are `≈ₖ`-equivalent.
@@ -58,30 +64,20 @@ pub fn kobs_equivalent(left: &Fsp, right: &Fsp, k: usize) -> bool {
     kobs_equivalent_states(&union.fsp, p, q, k)
 }
 
-fn extension_partition(fsp: &Fsp) -> Partition {
-    let mut ext_blocks: HashMap<Vec<usize>, usize> = HashMap::new();
-    let assignment: Vec<usize> = fsp
-        .state_ids()
-        .map(|s| {
-            let key: Vec<usize> = fsp.extensions(s).iter().map(|v| v.index()).collect();
-            let fresh = ext_blocks.len();
-            *ext_blocks.entry(key).or_insert(fresh)
-        })
-        .collect();
-    Partition::from_assignment(&assignment)
-}
-
 /// Builds level `k+1` from level `k` by grouping states with pairwise-equal
 /// class-set behaviour (the relation is transitive, so comparing against one
-/// representative per group is sound).
-fn next_level(fsp: &Fsp, closure: &TauClosure, prev: &Partition) -> Partition {
-    let n = fsp.num_states();
+/// representative per group is sound).  All weak moves are slice lookups in
+/// the shared [`SaturatedView`]; this is also the step the
+/// [`session`](crate::session) layer iterates when it memoizes the `≈ₖ`
+/// levels.
+pub(crate) fn refine_level(view: &SaturatedView, prev: &Partition) -> Partition {
+    let n = view.num_states();
     let mut assignment = vec![usize::MAX; n];
     let mut representatives: Vec<StateId> = Vec::new();
-    for s in fsp.state_ids() {
+    for s in (0..n).map(StateId::from_index) {
         let mut found = None;
         for (class, &rep) in representatives.iter().enumerate() {
-            if pair_equivalent(fsp, closure, prev, s, rep) {
+            if pair_equivalent(view, prev, s, rep) {
                 found = Some(class);
                 break;
             }
@@ -108,14 +104,8 @@ fn class_set(prev: &Partition, subset: &[usize]) -> Vec<usize> {
 
 /// Decides whether `p` and `q` are related at the level *above* `prev`:
 /// for every `s ∈ Σ*`, the class-sets of their `s`-derivatives agree.
-fn pair_equivalent(
-    fsp: &Fsp,
-    closure: &TauClosure,
-    prev: &Partition,
-    p: StateId,
-    q: StateId,
-) -> bool {
-    let start = (closure_of(closure, p), closure_of(closure, q));
+fn pair_equivalent(view: &SaturatedView, prev: &Partition, p: StateId, q: StateId) -> bool {
+    let start = (closure_of_view(view, p), closure_of_view(view, q));
     let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
     let mut queue: VecDeque<(Subset, Subset)> = VecDeque::new();
     seen.insert(start.clone());
@@ -124,9 +114,9 @@ fn pair_equivalent(
         if class_set(prev, &xs) != class_set(prev, &ys) {
             return false;
         }
-        for a in fsp.action_ids() {
-            let nx = subset_step(fsp, closure, &xs, a);
-            let ny = subset_step(fsp, closure, &ys, a);
+        for a in (0..view.num_actions()).map(ActionId::from_index) {
+            let nx = subset_step_view(view, &xs, a);
+            let ny = subset_step_view(view, &ys, a);
             if nx.is_empty() && ny.is_empty() {
                 continue;
             }

@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use ccs_fsp::saturate::{tau_closure, TauClosure};
+use ccs_fsp::saturate::{tau_closure, SaturatedView, TauClosure};
 use ccs_fsp::{ops, ActionId, Fsp, Label, StateId};
 
 /// Outcome of a language-equivalence (or universality) test, with a witness
@@ -55,6 +55,33 @@ pub(crate) fn subset_step(
     out
 }
 
+/// Like [`closure_of`], reading the ε column of a prebuilt
+/// [`SaturatedView`] instead of walking a [`TauClosure`].
+pub(crate) fn closure_of_view(view: &SaturatedView, p: StateId) -> Subset {
+    view.epsilon_successors(p)
+        .iter()
+        .map(|s| s.index())
+        .collect()
+}
+
+/// Like [`subset_step`], but each member's weak `a`-successor set is a
+/// single slice lookup in a prebuilt [`SaturatedView`] (the view's columns
+/// already fold in the leading and trailing ε-closures, which is equivalent
+/// on ε-closed subsets).
+pub(crate) fn subset_step_view(view: &SaturatedView, subset: &[usize], action: ActionId) -> Subset {
+    let mut out: Vec<usize> = Vec::new();
+    for &x in subset {
+        out.extend(
+            view.successors(StateId::from_index(x), action)
+                .iter()
+                .map(|s| s.index()),
+        );
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// Whether a subset state contains an accepting state.
 pub(crate) fn subset_accepting(fsp: &Fsp, subset: &[usize]) -> bool {
     subset
@@ -67,7 +94,19 @@ pub(crate) fn subset_accepting(fsp: &Fsp, subset: &[usize]) -> bool {
 #[must_use]
 pub fn language_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> LanguageResult {
     let closure = tau_closure(fsp);
-    let start = (closure_of(&closure, p), closure_of(&closure, q));
+    language_equivalent_states_with(fsp, &closure, p, q)
+}
+
+/// [`language_equivalent_states`] against a caller-provided τ-closure — the
+/// entry point the [`session`](crate::session) layer uses so repeated
+/// queries share one closure.
+pub(crate) fn language_equivalent_states_with(
+    fsp: &Fsp,
+    closure: &TauClosure,
+    p: StateId,
+    q: StateId,
+) -> LanguageResult {
+    let start = (closure_of(closure, p), closure_of(closure, q));
     let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
     // Queue holds the pair plus the word that reached it.
     let mut queue: VecDeque<((Subset, Subset), Vec<ActionId>)> = VecDeque::new();
@@ -85,8 +124,8 @@ pub fn language_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> Language
             };
         }
         for a in fsp.action_ids() {
-            let nx = subset_step(fsp, &closure, &xs, a);
-            let ny = subset_step(fsp, &closure, &ys, a);
+            let nx = subset_step(fsp, closure, &xs, a);
+            let ny = subset_step(fsp, closure, &ys, a);
             if nx.is_empty() && ny.is_empty() {
                 continue;
             }

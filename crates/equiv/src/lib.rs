@@ -20,6 +20,24 @@
 //! inequivalence, and the language/failures checkers return distinguishing
 //! words and failure pairs.
 //!
+//! # One-shot functions vs the session engine
+//!
+//! Every notion is available two ways:
+//!
+//! * **Free functions** (`strong::strong_equivalent`,
+//!   `weak::weak_partition`, …) answer a single question and recompute every
+//!   derived artifact.  They now delegate to a throwaway session, so their
+//!   behaviour is unchanged but they share the streaming saturation path.
+//! * **[`EquivSession`]** owns one process and computes each artifact *once*
+//!   — the τ-closure, the saturated weak relation (streamed directly into
+//!   the `ccs-partition` CSR, never materialized as a second process), and
+//!   one memoized partition per `(Equivalence, Algorithm)` — then answers
+//!   batches of pair queries ([`EquivSession::equivalent_pairs`]) or
+//!   classifies the whole state space ([`EquivSession::classify_all`]) from
+//!   that shared state.  See the [`session`] module docs for the
+//!   artifact-sharing graph and the amortized-cost argument
+//!   (Theorem 4.1(a)).
+//!
 //! # Quick example
 //!
 //! ```
@@ -49,6 +67,7 @@ pub mod kobs;
 pub mod language;
 pub mod limited;
 pub mod relation;
+pub mod session;
 pub mod strong;
 pub mod traces;
 pub mod weak;
@@ -56,3 +75,4 @@ pub mod witness;
 
 pub use check::{equivalent, equivalent_states, Equivalence};
 pub use error::EquivError;
+pub use session::EquivSession;

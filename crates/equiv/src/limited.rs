@@ -14,8 +14,11 @@
 
 use std::collections::HashMap;
 
-use ccs_fsp::{ops, saturate, Fsp, StateId};
+use ccs_fsp::saturate::{tau_closure, SaturatedView};
+use ccs_fsp::{ops, ActionId, Fsp, StateId};
 use ccs_partition::Partition;
+
+use crate::strong::extension_assignment;
 
 /// The refinement sequence `≃₀, ≃₁, …` of a process, computed until it
 /// converges (the last element is `≃` = `≈`).
@@ -69,37 +72,51 @@ pub fn limited_hierarchy(fsp: &Fsp) -> LimitedHierarchy {
 /// or at convergence, whichever comes first.
 #[must_use]
 pub fn limited_hierarchy_up_to(fsp: &Fsp, max_rounds: usize) -> LimitedHierarchy {
-    let n = fsp.num_states();
-    let saturated = saturate::saturate(fsp);
-    let sat = &saturated.fsp;
+    let closure = tau_closure(fsp);
+    let view = SaturatedView::build(fsp, &closure);
+    hierarchy_from_view(fsp, &view, max_rounds)
+}
 
+/// The refinement loop behind [`limited_hierarchy_up_to`], reading the weak
+/// transition relation from a prebuilt [`SaturatedView`] — also the entry
+/// point the [`session`](crate::session) layer uses, so one view serves all
+/// levels.
+pub(crate) fn hierarchy_from_view(
+    fsp: &Fsp,
+    view: &SaturatedView,
+    max_rounds: usize,
+) -> LimitedHierarchy {
+    let n = fsp.num_states();
     // Level 0: equal extension sets.
-    let mut ext_blocks: HashMap<Vec<usize>, usize> = HashMap::new();
-    let mut assignment: Vec<usize> = Vec::with_capacity(n);
-    for s in fsp.state_ids() {
-        let key: Vec<usize> = fsp.extensions(s).iter().map(|v| v.index()).collect();
-        let fresh = ext_blocks.len();
-        assignment.push(*ext_blocks.entry(key).or_insert(fresh));
-    }
-    let mut levels = vec![Partition::from_assignment(&assignment)];
+    let mut levels = vec![Partition::from_assignment(&extension_assignment(fsp))];
 
     for _ in 0..max_rounds {
         let prev = levels.last().expect("at least level 0");
-        // Signature: (previous block, for each weak label the set of previous
-        // blocks reachable by one weak move).
+        // Signature: (previous block, for each weak column — every
+        // observable action plus ε — the set of previous blocks reachable by
+        // one weak move).
         let mut sig_to_block: HashMap<(usize, Vec<Vec<usize>>), usize> = HashMap::new();
         let mut next: Vec<usize> = vec![0; n];
-        for s in sat.state_ids() {
-            let mut per_label: Vec<Vec<usize>> = Vec::with_capacity(sat.num_actions());
-            for a in sat.action_ids() {
-                let mut hit: Vec<usize> = sat
-                    .successors(s, ccs_fsp::Label::Act(a))
+        for s in fsp.state_ids() {
+            let mut per_label: Vec<Vec<usize>> = Vec::with_capacity(view.num_actions() + 1);
+            for a in (0..view.num_actions()).map(ActionId::from_index) {
+                let mut hit: Vec<usize> = view
+                    .successors(s, a)
+                    .iter()
                     .map(|t| prev.block_of(t.index()))
                     .collect();
                 hit.sort_unstable();
                 hit.dedup();
                 per_label.push(hit);
             }
+            let mut eps_hit: Vec<usize> = view
+                .epsilon_successors(s)
+                .iter()
+                .map(|t| prev.block_of(t.index()))
+                .collect();
+            eps_hit.sort_unstable();
+            eps_hit.dedup();
+            per_label.push(eps_hit);
             let key = (prev.block_of(s.index()), per_label);
             let fresh = sig_to_block.len();
             next[s.index()] = *sig_to_block.entry(key).or_insert(fresh);

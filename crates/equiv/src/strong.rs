@@ -47,6 +47,21 @@ impl StrongPartition {
     }
 }
 
+/// The initial block assignment shared by every notion in the paper: states
+/// with equal extension sets `E(q)` start in the same block (the base case
+/// `≈₀` / `≃₀` of Definition 2.2.1 and the initial partition of Lemma 3.1).
+pub(crate) fn extension_assignment(fsp: &Fsp) -> Vec<usize> {
+    let mut ext_blocks: std::collections::HashMap<Vec<usize>, usize> =
+        std::collections::HashMap::new();
+    fsp.state_ids()
+        .map(|s| {
+            let key: Vec<usize> = fsp.extensions(s).iter().map(|v| v.index()).collect();
+            let fresh = ext_blocks.len();
+            *ext_blocks.entry(key).or_insert(fresh)
+        })
+        .collect()
+}
+
 /// Builds the Lemma 3.1 generalized-partitioning instance for a process:
 /// one relation per label (τ included if present), initial partition by
 /// extension set.
@@ -61,14 +76,8 @@ pub fn to_instance(fsp: &Fsp) -> Instance {
     let num_labels = fsp.num_actions() + usize::from(has_tau);
     let mut inst = Instance::new(fsp.num_states(), num_labels.max(1));
     inst.reserve_edges(fsp.num_transitions());
-    // Initial partition: states with equal extension sets share a block.
-    let mut ext_blocks: std::collections::HashMap<Vec<usize>, usize> =
-        std::collections::HashMap::new();
-    for s in fsp.state_ids() {
-        let key: Vec<usize> = fsp.extensions(s).iter().map(|v| v.index()).collect();
-        let fresh = ext_blocks.len();
-        let block = *ext_blocks.entry(key).or_insert(fresh);
-        inst.set_initial_block(s.index(), block);
+    for (s, block) in extension_assignment(fsp).into_iter().enumerate() {
+        inst.set_initial_block(s, block);
     }
     for (from, label, to) in fsp.all_transitions() {
         let l = match label {

@@ -8,7 +8,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use ccs_fsp::saturate::tau_closure;
+use ccs_fsp::saturate::{tau_closure, TauClosure};
 use ccs_fsp::{ops, Fsp, StateId};
 
 use crate::language::{closure_of, subset_step, LanguageResult, Subset};
@@ -48,7 +48,19 @@ pub fn traces_up_to(fsp: &Fsp, p: StateId, max_len: usize) -> Vec<Vec<String>> {
 #[must_use]
 pub fn trace_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> LanguageResult {
     let closure = tau_closure(fsp);
-    let start = (closure_of(&closure, p), closure_of(&closure, q));
+    trace_equivalent_states_with(fsp, &closure, p, q)
+}
+
+/// [`trace_equivalent_states`] against a caller-provided τ-closure — used by
+/// the [`session`](crate::session) layer so repeated queries share one
+/// closure.
+pub(crate) fn trace_equivalent_states_with(
+    fsp: &Fsp,
+    closure: &TauClosure,
+    p: StateId,
+    q: StateId,
+) -> LanguageResult {
+    let start = (closure_of(closure, p), closure_of(closure, q));
     let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
     let mut queue: VecDeque<((Subset, Subset), Vec<String>)> = VecDeque::new();
     seen.insert(start.clone());
@@ -64,8 +76,8 @@ pub fn trace_equivalent_states(fsp: &Fsp, p: StateId, q: StateId) -> LanguageRes
             continue;
         }
         for a in fsp.action_ids() {
-            let nx = subset_step(fsp, &closure, &xs, a);
-            let ny = subset_step(fsp, &closure, &ys, a);
+            let nx = subset_step(fsp, closure, &xs, a);
+            let ny = subset_step(fsp, closure, &ys, a);
             if nx.is_empty() && ny.is_empty() {
                 continue;
             }

@@ -15,10 +15,11 @@
 //! the paper's polynomial bound (their statement, `O(n²m log n + m n^{2.376})`,
 //! uses matrix products for the closure).
 
-use ccs_fsp::{ops, saturate, Fsp, StateId};
+use ccs_fsp::{ops, Fsp, StateId};
 use ccs_partition::{Algorithm, Partition};
 
-use crate::strong;
+use crate::session::EquivSession;
+use crate::Equivalence;
 
 /// The partition of a process's states into observational-equivalence
 /// classes.
@@ -55,12 +56,18 @@ impl WeakPartition {
 
 /// Computes the observational-equivalence partition with the chosen
 /// partition-refinement algorithm.
+///
+/// Delegates to a throwaway [`EquivSession`], which streams the weak
+/// transition relation straight into the partition core's CSR builder — the
+/// classical saturated process of [`ccs_fsp::saturate::saturate`] is never
+/// materialized on this path.
 #[must_use]
 pub fn weak_partition_with(fsp: &Fsp, algorithm: Algorithm) -> WeakPartition {
-    let saturated = saturate::saturate(fsp);
-    let sp = strong::strong_partition_with(&saturated.fsp, algorithm);
+    let mut session = EquivSession::for_process(fsp);
     WeakPartition {
-        partition: sp.partition().clone(),
+        partition: session
+            .partition_with(Equivalence::Observational, algorithm)
+            .clone(),
     }
 }
 

@@ -10,13 +10,21 @@
 //! and consecutive lists of the same label — on the same cache lines, which
 //! is where the refinement solvers spend almost all of their time.
 //!
-//! Graphs are built once, through a [`GraphBuilder`] that records a flat
-//! edge list and, at [`GraphBuilder::build`] time, sorts it, removes
-//! duplicate parallel edges (the `fₗ` are set-valued, so parallel edges
-//! carry no information), and lays out both CSR directions in `O(m log m)`.
-//! The builder also records the maximum fan-out `c = max |fₗ(x)|` so that
-//! [`LabeledGraph::max_fanout`] — the parameter of the Kanellakis–Smolka
-//! `O(c²·n·log n)` bound — is an `O(1)` field read instead of a rescan.
+//! Graphs are built through a [`GraphBuilder`] that records a flat edge
+//! list — one edge at a time with [`GraphBuilder::add_edge`] or in bulk with
+//! [`GraphBuilder::extend_edges`] — and, at [`GraphBuilder::build`] time,
+//! sorts it, removes duplicate parallel edges (the `fₗ` are set-valued, so
+//! parallel edges carry no information), and lays out both CSR directions in
+//! `O(m log m)`.  The builder also records the maximum fan-out
+//! `c = max |fₗ(x)|` so that [`LabeledGraph::max_fanout`] — the parameter of
+//! the Kanellakis–Smolka `O(c²·n·log n)` bound — is an `O(1)` field read
+//! instead of a rescan.
+//!
+//! A built graph is not a dead end: [`LabeledGraph::merged_with`] folds a
+//! batch of new edges into an existing layout by a sorted two-way merge in
+//! `O(m + p log p)` (for `p` new edges), which is what makes incremental
+//! [`Instance::add_edge`](crate::Instance::add_edge)/solve interleavings
+//! cheap — the full edge list is never re-sorted.
 
 /// An immutable flat CSR representation of `k` labelled relations over the
 /// ground set `0..n`.
@@ -104,6 +112,127 @@ impl LabeledGraph {
         let s = self.slot(label, element);
         &self.pred_targets[self.pred_offsets[s]..self.pred_offsets[s + 1]]
     }
+
+    /// Iterates over every edge as `(label, from, to)`, in sorted order.
+    ///
+    /// This walks the successor CSR directly, so it is allocation-free and
+    /// the edges come out exactly in the canonical `(label, from, to)` order
+    /// the builder sorted them into — which is what lets
+    /// [`LabeledGraph::merged_with`] fold new edges in with a linear merge.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let n = self.num_elements;
+        // With n == 0 the range is empty, so the divisions below never run.
+        (0..self.num_labels * n).flat_map(move |slot| {
+            let (label, from) = (slot / n, slot % n);
+            self.succ_targets[self.succ_offsets[slot]..self.succ_offsets[slot + 1]]
+                .iter()
+                .map(move |&to| (label, from, to))
+        })
+    }
+
+    /// Returns a new graph containing this graph's edges plus `extra`,
+    /// deduplicated, without re-sorting the existing edge list: `extra` is
+    /// sorted (`O(p log p)`) and then merged with the already-sorted CSR walk
+    /// (`O(m + p)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extra edge mentions an out-of-range label or element.
+    #[must_use]
+    pub fn merged_with(&self, extra: &[(usize, usize, usize)]) -> LabeledGraph {
+        for &(l, from, to) in extra {
+            assert!(l < self.num_labels, "label out of range");
+            assert!(from < self.num_elements, "source element out of range");
+            assert!(to < self.num_elements, "target element out of range");
+        }
+        let mut fresh: Vec<(usize, usize, usize)> = extra.to_vec();
+        fresh.sort_unstable();
+        fresh.dedup();
+        let mut merged = Vec::with_capacity(self.num_edges + fresh.len());
+        let mut old = self.edges().peekable();
+        let mut new = fresh.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        merged.push(a);
+                        old.next();
+                    } else if b < a {
+                        merged.push(b);
+                        new.next();
+                    } else {
+                        merged.push(a);
+                        old.next();
+                        new.next();
+                    }
+                }
+                (Some(&a), None) => {
+                    merged.push(a);
+                    old.next();
+                }
+                (None, Some(&b)) => {
+                    merged.push(b);
+                    new.next();
+                }
+                (None, None) => break,
+            }
+        }
+        layout(self.num_elements, self.num_labels, &merged)
+    }
+}
+
+/// Lays out a sorted, duplicate-free edge list as a [`LabeledGraph`] in
+/// `O(m + k·n)`.  Shared by [`GraphBuilder::build`] (which sorts first) and
+/// [`LabeledGraph::merged_with`] (which merges two sorted streams).
+fn layout(n: usize, k: usize, edges: &[(usize, usize, usize)]) -> LabeledGraph {
+    debug_assert!(
+        edges.windows(2).all(|w| w[0] < w[1]),
+        "edges sorted+deduped"
+    );
+    let slots = k * n;
+
+    // Successors: edges are sorted by (label, from, to), so the target
+    // column *is* the flat successor array once per-slot counts are
+    // prefix-summed into offsets.
+    let mut succ_offsets = vec![0usize; slots + 1];
+    for &(l, from, _) in edges {
+        succ_offsets[l * n + from + 1] += 1;
+    }
+    let mut max_fanout = 0;
+    for i in 0..slots {
+        max_fanout = max_fanout.max(succ_offsets[i + 1]);
+        succ_offsets[i + 1] += succ_offsets[i];
+    }
+    let succ_targets: Vec<usize> = edges.iter().map(|&(_, _, to)| to).collect();
+
+    // Predecessors: count per (label, to) slot, prefix-sum, then place
+    // sources with a moving cursor.  Scanning the sorted edge list keeps
+    // each predecessor list sorted by source.
+    let mut pred_offsets = vec![0usize; slots + 1];
+    for &(l, _, to) in edges {
+        pred_offsets[l * n + to + 1] += 1;
+    }
+    for i in 0..slots {
+        pred_offsets[i + 1] += pred_offsets[i];
+    }
+    let mut cursor = pred_offsets.clone();
+    let mut pred_targets = vec![0usize; edges.len()];
+    for &(l, from, to) in edges {
+        let s = l * n + to;
+        pred_targets[cursor[s]] = from;
+        cursor[s] += 1;
+    }
+
+    LabeledGraph {
+        num_elements: n,
+        num_labels: k,
+        succ_offsets,
+        num_edges: succ_targets.len(),
+        succ_targets,
+        pred_offsets,
+        pred_targets,
+        max_fanout,
+    }
 }
 
 /// Accumulates a flat edge list and lays it out as a [`LabeledGraph`].
@@ -185,6 +314,25 @@ impl GraphBuilder {
         self.edges.push((label, from, to));
     }
 
+    /// Records a whole batch of `(label, from, to)` edges — the streaming
+    /// entry point used by saturation and the incremental `Instance` path,
+    /// so edge producers never materialize an intermediate per-element
+    /// adjacency structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge mentions an out-of-range label or element.
+    pub fn extend_edges<I>(&mut self, edges: I)
+    where
+        I: IntoIterator<Item = (usize, usize, usize)>,
+    {
+        let iter = edges.into_iter();
+        self.edges.reserve(iter.size_hint().0);
+        for (label, from, to) in iter {
+            self.add_edge(label, from, to);
+        }
+    }
+
     /// Sorts and deduplicates the edge list and lays out both CSR
     /// directions.
     #[must_use]
@@ -196,50 +344,7 @@ impl GraphBuilder {
         } = self;
         edges.sort_unstable();
         edges.dedup();
-        let slots = k * n;
-
-        // Successors: edges are sorted by (label, from, to), so the target
-        // column *is* the flat successor array once per-slot counts are
-        // prefix-summed into offsets.
-        let mut succ_offsets = vec![0usize; slots + 1];
-        for &(l, from, _) in &edges {
-            succ_offsets[l * n + from + 1] += 1;
-        }
-        let mut max_fanout = 0;
-        for i in 0..slots {
-            max_fanout = max_fanout.max(succ_offsets[i + 1]);
-            succ_offsets[i + 1] += succ_offsets[i];
-        }
-        let succ_targets: Vec<usize> = edges.iter().map(|&(_, _, to)| to).collect();
-
-        // Predecessors: count per (label, to) slot, prefix-sum, then place
-        // sources with a moving cursor.  Scanning the sorted edge list keeps
-        // each predecessor list sorted by source.
-        let mut pred_offsets = vec![0usize; slots + 1];
-        for &(l, _, to) in &edges {
-            pred_offsets[l * n + to + 1] += 1;
-        }
-        for i in 0..slots {
-            pred_offsets[i + 1] += pred_offsets[i];
-        }
-        let mut cursor = pred_offsets.clone();
-        let mut pred_targets = vec![0usize; edges.len()];
-        for &(l, from, to) in &edges {
-            let s = l * n + to;
-            pred_targets[cursor[s]] = from;
-            cursor[s] += 1;
-        }
-
-        LabeledGraph {
-            num_elements: n,
-            num_labels: k,
-            succ_offsets,
-            num_edges: succ_targets.len(),
-            succ_targets,
-            pred_offsets,
-            pred_targets,
-            max_fanout,
-        }
+        layout(n, k, &edges)
     }
 }
 
@@ -315,6 +420,49 @@ mod tests {
     fn builder_checks_source() {
         let mut b = GraphBuilder::new(2, 1);
         b.add_edge(0, 2, 0);
+    }
+
+    #[test]
+    fn edges_iterates_in_sorted_order() {
+        let mut b = GraphBuilder::new(4, 2);
+        b.extend_edges([(1, 3, 0), (0, 0, 2), (0, 0, 1), (0, 0, 2)]);
+        let g = b.build();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 0, 1), (0, 0, 2), (1, 3, 0)]);
+        assert!(LabeledGraph::empty(0, 3).edges().next().is_none());
+    }
+
+    #[test]
+    fn merged_with_agrees_with_a_full_rebuild() {
+        let mut b = GraphBuilder::new(5, 2);
+        b.extend_edges([(0, 0, 1), (0, 2, 3), (1, 4, 0)]);
+        let base = b.build();
+        let extra = [(0, 0, 1), (0, 0, 4), (1, 1, 1), (0, 0, 4), (0, 2, 2)];
+        let merged = base.merged_with(&extra);
+
+        let mut full = GraphBuilder::new(5, 2);
+        full.extend_edges(base.edges());
+        full.extend_edges(extra);
+        assert_eq!(merged, full.build());
+        assert_eq!(merged.num_edges(), 6); // duplicates collapse
+        assert_eq!(merged.successors(0, 0), &[1, 4]);
+        assert_eq!(merged.predecessors(0, 4), &[0]);
+        assert_eq!(merged.max_fanout(), 2);
+    }
+
+    #[test]
+    fn merged_with_empty_batch_is_identity() {
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 0, 2);
+        let g = b.build();
+        assert_eq!(g.merged_with(&[]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "target element out of range")]
+    fn merged_with_checks_ranges() {
+        let g = LabeledGraph::empty(2, 1);
+        let _ = g.merged_with(&[(0, 0, 2)]);
     }
 
     #[test]

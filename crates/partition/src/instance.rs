@@ -8,12 +8,16 @@ use crate::graph::{GraphBuilder, LabeledGraph};
 /// are given as labelled edge sets (`fₗ(x) = {y | (x, y) ∈ Eₗ}`); the initial
 /// partition `π` is a block assignment (all elements default to block `0`).
 ///
-/// Internally the relations live in a flat CSR [`LabeledGraph`] built once —
-/// lazily, on the first adjacency query after the last mutation — by a
-/// [`GraphBuilder`] that sorts and deduplicates parallel edges.  Successor
-/// and predecessor queries are therefore slice views into contiguous
-/// storage, and [`Instance::num_edges`] / [`Instance::max_fanout`] are `O(1)`
-/// field reads of builder-computed values.
+/// Internally the relations live in a flat CSR [`LabeledGraph`]: a *base*
+/// layout plus a small list of *pending* edges recorded since the base was
+/// built.  A query sees `base ∪ pending` — computed lazily by the sorted
+/// merge of [`LabeledGraph::merged_with`] (`O(m + p log p)` for `p` pending
+/// edges) and folded back into the base on the next mutation, so
+/// interleaving [`Instance::add_edge`] with solver queries never re-sorts
+/// the full edge list.  Successor and predecessor queries are slice views
+/// into contiguous storage, and [`Instance::num_edges`] /
+/// [`Instance::max_fanout`] are `O(1)` field reads of layout-computed
+/// values.
 ///
 /// ```
 /// use ccs_partition::Instance;
@@ -29,9 +33,12 @@ use crate::graph::{GraphBuilder, LabeledGraph};
 #[derive(Clone, Debug)]
 pub struct Instance {
     initial_block: Vec<usize>,
-    builder: GraphBuilder,
-    /// CSR layout of `builder`, (re)built on first query after a mutation.
-    graph: OnceLock<LabeledGraph>,
+    /// Edges already laid out as a CSR graph.
+    base: LabeledGraph,
+    /// Edges recorded since `base` was laid out (duplicates allowed).
+    pending: Vec<(usize, usize, usize)>,
+    /// Lazily merged `base ∪ pending`; folded into `base` on mutation.
+    merged: OnceLock<LabeledGraph>,
 }
 
 impl Instance {
@@ -39,34 +46,40 @@ impl Instance {
     /// relations, with every element initially in block `0` and no edges.
     #[must_use]
     pub fn new(num_elements: usize, num_labels: usize) -> Self {
-        Instance {
-            initial_block: vec![0; num_elements],
-            builder: GraphBuilder::new(num_elements, num_labels),
-            graph: OnceLock::new(),
-        }
+        Instance::from_graph(LabeledGraph::empty(num_elements, num_labels))
     }
 
     /// Wraps an already-populated [`GraphBuilder`], with every element
     /// initially in block `0`.
     #[must_use]
     pub fn from_builder(builder: GraphBuilder) -> Self {
+        Instance::from_graph(builder.build())
+    }
+
+    /// Adopts an already-built CSR graph without any edge-list round-trip —
+    /// the zero-copy entry point for producers (saturation, workload
+    /// generators) that stream their edges straight into a
+    /// [`GraphBuilder`] and build once.  Every element starts in block `0`.
+    #[must_use]
+    pub fn from_graph(graph: LabeledGraph) -> Self {
         Instance {
-            initial_block: vec![0; builder.num_elements()],
-            builder,
-            graph: OnceLock::new(),
+            initial_block: vec![0; graph.num_elements()],
+            base: graph,
+            pending: Vec::new(),
+            merged: OnceLock::new(),
         }
     }
 
     /// Number of elements `n = |S|`.
     #[must_use]
     pub fn num_elements(&self) -> usize {
-        self.builder.num_elements()
+        self.base.num_elements()
     }
 
     /// Number of relations (functions) `k`.
     #[must_use]
     pub fn num_labels(&self) -> usize {
-        self.builder.num_labels()
+        self.base.num_labels()
     }
 
     /// Number of distinct edges `m = |E|` over all relations.  Parallel
@@ -94,26 +107,44 @@ impl Instance {
     }
 
     /// Adds `to` to `f_label(from)`.  The `fₗ` are set-valued, so duplicate
-    /// parallel edges are deduplicated by the builder.
+    /// parallel edges are deduplicated by the CSR layout.
+    ///
+    /// Repeated `add_edge`/solve interleavings stay cheap: if a query has
+    /// already merged the pending edges, that merged layout becomes the new
+    /// base (an `O(1)` move), so each query pays one sorted merge over the
+    /// edges added since the previous query — never a full re-sort.
     ///
     /// # Panics
     ///
     /// Panics if `label`, `from` or `to` is out of range.
     pub fn add_edge(&mut self, label: usize, from: usize, to: usize) {
-        self.builder.add_edge(label, from, to);
-        self.graph.take();
+        assert!(label < self.num_labels(), "label out of range");
+        assert!(from < self.num_elements(), "source element out of range");
+        assert!(to < self.num_elements(), "target element out of range");
+        if let Some(merged) = self.merged.take() {
+            // A query materialized base ∪ pending; promote it so the
+            // already-merged edges are never merged again.
+            self.base = merged;
+            self.pending.clear();
+        }
+        self.pending.push((label, from, to));
     }
 
     /// Reserves room for at least `additional` further edges.
     pub fn reserve_edges(&mut self, additional: usize) {
-        self.builder.reserve_edges(additional);
+        self.pending.reserve(additional);
     }
 
-    /// The flat CSR view of the relations, building it if a mutation
-    /// invalidated the previous one.
+    /// The flat CSR view of the relations: the base layout when nothing is
+    /// pending, otherwise the lazily merged `base ∪ pending`.
     #[must_use]
     pub fn graph(&self) -> &LabeledGraph {
-        self.graph.get_or_init(|| self.builder.clone().build())
+        if self.pending.is_empty() {
+            &self.base
+        } else {
+            self.merged
+                .get_or_init(|| self.base.merged_with(&self.pending))
+        }
     }
 
     /// The successor list `fₗ(x)`, sorted and duplicate-free — a slice into
@@ -244,6 +275,54 @@ mod tests {
         assert_eq!(inst.num_edges(), 2);
         assert_eq!(inst.successors(0, 0), &[1, 2]);
         assert_eq!(inst.max_fanout(), 2);
+    }
+
+    /// Regression test for the incremental build path: interleaving
+    /// `add_edge` with solver queries must go through the merge (not a full
+    /// rebuild) and still agree — on `num_edges` and on the solved partition
+    /// — with a fresh instance given all edges up front.
+    #[test]
+    fn interleaved_add_edge_and_solve_matches_batch_construction() {
+        use crate::{solve, Algorithm};
+        let n = 12;
+        let mut inst = Instance::new(n, 2);
+        let mut edges_so_far: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..n - 1 {
+            let label = i % 2;
+            inst.add_edge(label, i, i + 1);
+            inst.add_edge(label, i, i + 1); // parallel duplicate
+            inst.add_edge(label, n - 1, i);
+            edges_so_far.push((label, i, i + 1));
+            edges_so_far.push((label, n - 1, i));
+
+            let mut fresh = Instance::new(n, 2);
+            for &(l, f, t) in &edges_so_far {
+                fresh.add_edge(l, f, t);
+            }
+            let merged = solve(&inst, Algorithm::PaigeTarjan);
+            assert_eq!(inst.num_edges(), edges_so_far.len(), "round {i}");
+            assert_eq!(inst.graph(), fresh.graph(), "round {i}");
+            assert_eq!(merged, solve(&fresh, Algorithm::PaigeTarjan), "round {i}");
+            assert_eq!(
+                merged,
+                solve(&inst, Algorithm::KanellakisSmolka),
+                "round {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_graph_adopts_a_prebuilt_layout() {
+        let mut b = crate::GraphBuilder::new(4, 1);
+        b.extend_edges([(0, 0, 1), (0, 1, 2), (0, 2, 3)]);
+        let graph = b.build();
+        let mut inst = Instance::from_graph(graph.clone());
+        assert_eq!(inst.graph(), &graph);
+        assert_eq!(inst.num_edges(), 3);
+        // Mutation after adoption still works through the merge path.
+        inst.add_edge(0, 3, 0);
+        assert_eq!(inst.num_edges(), 4);
+        assert_eq!(inst.successors(0, 3), &[0]);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   and as scaling series for the benches;
 //! * [`instances`] — the same topologies emitted directly as
 //!   generalized-partitioning instances through the `ccs-partition` graph
-//!   builder, feeding the solver-kernel benches and property tests.
+//!   builder, feeding the solver-kernel benches and property tests;
+//! * [`queries`] — batched-query workloads (a shared process plus a list of
+//!   state pairs), the input shape of the `EquivSession` engine and the
+//!   `weak_pipeline` bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 
 pub mod families;
 pub mod instances;
+pub mod queries;
 pub mod random;
 
 pub use random::RandomConfig;

@@ -473,6 +473,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
 }
 
 /// Fails the current case unless the two expressions compare unequal.
@@ -485,6 +498,18 @@ macro_rules! prop_assert_ne {
                 "assertion failed: `{}` != `{}`\n  both: {:?}",
                 stringify!($left),
                 stringify!($right),
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`: {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
                 left
             )));
         }
