@@ -1,0 +1,66 @@
+//! The `partition_par` family: the sharded parallel smaller-half engine
+//! (`Algorithm::KanellakisSmolkaParallel`) against the sequential engine at
+//! 1/2/4 workers, on the instance families where refinement time is
+//! dominated by the per-splitter preimage scans the engine shards.
+//!
+//! Two regimes are measured per family: a point below the sequential
+//! fallback threshold (where the parallel algorithm must track the
+//! sequential engine — the fallback's overhead is one env read and a
+//! branch) and points above it (where the scoped-thread pool is actually
+//! exercised).  Bench IDs carry the worker count (`ks-parallel:N`).
+
+use std::time::Duration;
+
+use ccs_partition::{solve, Algorithm, Instance};
+use ccs_workloads::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Forces the lazy CSR build so measured iterations see only solver time.
+fn prebuilt(inst: Instance) -> Instance {
+    let _ = inst.num_edges();
+    inst
+}
+
+fn bench_parallel_family(c: &mut Criterion, family: &str, make: impl Fn(usize) -> Instance) {
+    let mut group = c.benchmark_group(format!("partition_par/{family}"));
+    // 256 sits below the default fallback threshold, the rest above it.
+    for &n in &[256usize, 1024, 2048] {
+        let inst = prebuilt(make(n));
+        group.bench_with_input(
+            BenchmarkId::new("kanellakis-smolka", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| solve(inst, Algorithm::KanellakisSmolka));
+            },
+        );
+        for threads in [1usize, 2, 4] {
+            let alg = Algorithm::KanellakisSmolkaParallel { threads };
+            group.bench_with_input(BenchmarkId::new(alg.to_string(), n), &inst, |b, inst| {
+                b.iter(|| solve(inst, alg));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    bench_parallel_family(c, "random", |n| instances::random(n, 2, 3 * n, 42));
+}
+
+fn bench_dense(c: &mut Criterion) {
+    bench_parallel_family(c, "dense", |n| instances::dense_random(n, 4, 8, 16, 42));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_random, bench_dense
+}
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
-//! tables (E7 solver matrix and the WP weak-pipeline table).
+//! tables (E7 solver matrix, WP weak-pipeline table, and the PAR
+//! parallel-refinement table).
 //!
 //! Usage:
 //!
@@ -29,6 +30,7 @@ enum Section {
     None,
     E7,
     Wp,
+    Par,
 }
 
 /// Extracts the tracked tables from a report dump.
@@ -36,7 +38,9 @@ enum Section {
 /// E7 rows are `family states edges naive ks-both ks-small pt` (timings in
 /// the last four columns); WP rows are `family states pairs per-query
 /// session speedup` (timings in columns 3–4, the speedup ratio is derived
-/// and not compared).
+/// and not compared); PAR rows are `family states edges ks-small par-1
+/// par-2 par-4 speedup4` (timings in columns 3–6, the speedup ratio again
+/// derived and not compared).
 fn parse_report(text: &str) -> Rows {
     let mut rows = Rows::new();
     let mut section = Section::None;
@@ -47,6 +51,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::E7
             } else if trimmed.contains("WP:") {
                 Section::Wp
+            } else if trimmed.contains("PAR:") {
+                Section::Par
             } else {
                 Section::None
             };
@@ -71,6 +77,16 @@ fn parse_report(text: &str) -> Rows {
                 let timings = cols
                     .iter()
                     .zip(&tokens[3..5])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Par if tokens.len() == 8 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("par/{}/{}", tokens[0], tokens[1]);
+                let cols = ["ks-small", "par-1", "par-2", "par-4"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[3..7])
                     .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
                     .collect();
                 rows.insert(key, timings);
@@ -198,6 +214,11 @@ ccs-equiv experiment report (wall-clock, release recommended)
   family   states    pairs   per-query ms   session ms   speedup
  general      256       32         120.00         10.00      12.0
 
+== PAR: sharded parallel smaller-half — worklist sharding across threads ==
+   (par-N = Algorithm::KanellakisSmolkaParallel at N workers ...)
+  family   states      edges  ks-small ms     par-1 ms     par-2 ms     par-4 ms  speedup4
+   dense     4096      98304        40.00        44.00        24.00        14.00      2.86
+
 == E8: strong equivalence, equivalent pairs (Theorem 3.1) ==
   states     check ms      classes
      256        10.00           17
@@ -206,7 +227,16 @@ ccs-equiv experiment report (wall-clock, release recommended)
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows["par/dense/4096"],
+            vec![
+                ("ks-small".to_owned(), 40.0),
+                ("par-1".to_owned(), 44.0),
+                ("par-2".to_owned(), 24.0),
+                ("par-4".to_owned(), 14.0),
+            ]
+        );
         assert_eq!(
             rows["e7/chain/1024"],
             vec![

@@ -3,15 +3,16 @@
 //! `DESIGN.md`).
 //!
 //! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]`
-//! where `experiment` is one of `e7 e8 e9 e10 e13 e14 e4 wp` (default: all).
+//! where `experiment` is one of `e7 par e8 e9 e10 e13 e14 e4 wp`
+//! (default: all).
 //!
-//! The E7 and WP tables are additionally tracked for regressions: the
+//! The E7, WP and PAR tables are additionally tracked for regressions: the
 //! scheduled CI job diffs them against the committed snapshot under
 //! `crates/bench/baselines/` with the `compare_report` binary.
 
 use std::time::Instant;
 
-use ccs_bench::{equivalent_pair, general_process, standard_process};
+use ccs_bench::{equivalent_pair, general_process, standard_process, PAR_REPORT_SIZES};
 use ccs_equiv::{failures, kobs, strong, weak, EquivSession, Equivalence};
 use ccs_expr::{construct, parse};
 use ccs_partition::{dfa_equiv, hopcroft, solve, Algorithm, Dfa};
@@ -65,6 +66,52 @@ fn e7_partition_algorithms() {
                 t_both,
                 t_ks,
                 t_pt
+            );
+        }
+    }
+}
+
+fn par_parallel_refinement() {
+    println!("\n== PAR: sharded parallel smaller-half — worklist sharding across threads ==");
+    println!(
+        "   (par-N = Algorithm::KanellakisSmolkaParallel at N workers; states below the \
+         fallback threshold ({}) run sequentially; speedup4 = ks-small / par-4)",
+        ccs_partition::par::sequential_threshold()
+    );
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "family", "states", "edges", "ks-small ms", "par-1 ms", "par-2 ms", "par-4 ms", "speedup4"
+    );
+    let families: [InstanceFamily; 2] = [
+        ("random", |n| {
+            ccs_workloads::instances::random(n, 2, 3 * n, 42)
+        }),
+        ("dense", |n| {
+            ccs_workloads::instances::dense_random(n, 4, 8, 16, 42)
+        }),
+    ];
+    for (family, make) in families {
+        for &n in &PAR_REPORT_SIZES {
+            let inst = make(n);
+            let _ = inst.num_edges();
+            let (p_seq, t_seq) = time_ms(|| solve(&inst, Algorithm::KanellakisSmolka));
+            let mut t_par = [0.0f64; 3];
+            for (slot, threads) in [1usize, 2, 4].into_iter().enumerate() {
+                let (p_par, t) =
+                    time_ms(|| solve(&inst, Algorithm::KanellakisSmolkaParallel { threads }));
+                assert_eq!(p_par, p_seq, "parallel ({threads} threads) diverged");
+                t_par[slot] = t;
+            }
+            println!(
+                "{:>8} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>9.2}",
+                family,
+                inst.num_elements(),
+                inst.num_edges(),
+                t_seq,
+                t_par[0],
+                t_par[1],
+                t_par[2],
+                t_seq / t_par[2]
             );
         }
     }
@@ -227,6 +274,9 @@ fn main() {
     println!("ccs-equiv experiment report (wall-clock, release recommended)");
     if want("e7") {
         e7_partition_algorithms();
+    }
+    if want("par") {
+        par_parallel_refinement();
     }
     if want("wp") {
         wp_weak_pipeline();

@@ -85,6 +85,11 @@ pub struct EquivSession {
     /// `(rounds it was computed with, hierarchy)` — see `ensure_limited`.
     limited: Option<(usize, LimitedHierarchy)>,
     partitions: HashMap<(Equivalence, Algorithm), Partition>,
+    /// Solver used by [`EquivSession::classify_all`] and the batched APIs
+    /// when the caller does not name one — e.g.
+    /// [`Algorithm::KanellakisSmolkaParallel`] to run the session's one big
+    /// refinement sharded across threads.
+    default_algorithm: Algorithm,
 }
 
 impl EquivSession {
@@ -99,7 +104,32 @@ impl EquivSession {
             weak_instance: None,
             limited: None,
             partitions: HashMap::new(),
+            default_algorithm: Algorithm::PaigeTarjan,
         }
+    }
+
+    /// Creates a session owning `fsp` whose default solver is `algorithm` —
+    /// every [`EquivSession::classify_all`] / batched query then runs its
+    /// refinement with it (e.g. sharded across threads with
+    /// [`Algorithm::KanellakisSmolkaParallel`]).
+    #[must_use]
+    pub fn with_algorithm(fsp: Fsp, algorithm: Algorithm) -> Self {
+        let mut session = EquivSession::new(fsp);
+        session.default_algorithm = algorithm;
+        session
+    }
+
+    /// Changes the default solver for subsequent queries.  Already-memoized
+    /// partitions stay valid (the cache is keyed by algorithm; every solver
+    /// produces the same canonical partition).
+    pub fn set_default_algorithm(&mut self, algorithm: Algorithm) {
+        self.default_algorithm = algorithm;
+    }
+
+    /// The solver used when a query does not name one.
+    #[must_use]
+    pub fn default_algorithm(&self) -> Algorithm {
+        self.default_algorithm
     }
 
     /// Creates a session over a clone of `fsp` — the delegation path of the
@@ -254,10 +284,11 @@ impl EquivSession {
         &self.partitions[&key]
     }
 
-    /// [`EquivSession::partition_with`] under the default (Paige–Tarjan)
-    /// algorithm: the partition of *all* states into `notion`-classes.
+    /// [`EquivSession::partition_with`] under the session's default
+    /// algorithm (Paige–Tarjan unless reconfigured): the partition of *all*
+    /// states into `notion`-classes.
     pub fn classify_all(&mut self, notion: Equivalence) -> &Partition {
-        self.partition_with(notion, Algorithm::PaigeTarjan)
+        self.partition_with(notion, self.default_algorithm)
     }
 
     fn compute_partition(&mut self, notion: Equivalence, algorithm: Algorithm) -> Partition {
@@ -376,7 +407,7 @@ impl EquivSession {
         );
         let cached = self
             .partitions
-            .contains_key(&Self::cache_key(notion, Algorithm::PaigeTarjan));
+            .contains_key(&Self::cache_key(notion, self.default_algorithm));
         if pairwise_notion && !cached && pairs.len() < self.fsp.num_states() {
             return pairs
                 .iter()
@@ -501,6 +532,47 @@ mod tests {
             answers
         );
         assert_eq!(session.cached_partitions(), 1);
+    }
+
+    /// A session defaulted to the sharded parallel solver must classify
+    /// every notion exactly as the Paige–Tarjan default does — the
+    /// refinement-backed notions run their one big refinement through
+    /// `par::refine`, the pairwise ones are unaffected by the solver.
+    #[test]
+    fn parallel_default_algorithm_classifies_identically() {
+        let (merged, split) = table_ii_pair();
+        let union = ccs_fsp::ops::disjoint_union(&merged, &split);
+        let mut reference = EquivSession::new(union.fsp.clone());
+        let mut parallel = EquivSession::with_algorithm(
+            union.fsp.clone(),
+            Algorithm::KanellakisSmolkaParallel { threads: 2 },
+        );
+        assert_eq!(
+            parallel.default_algorithm(),
+            Algorithm::KanellakisSmolkaParallel { threads: 2 }
+        );
+        for notion in [
+            Equivalence::Strong,
+            Equivalence::Observational,
+            Equivalence::KObservational(2),
+            Equivalence::Failure,
+        ] {
+            assert_eq!(
+                parallel.classify_all(notion).clone(),
+                reference.classify_all(notion).clone(),
+                "{notion}"
+            );
+        }
+        // Batched pair queries go through the parallel default as well.
+        let states: Vec<StateId> = union.fsp.state_ids().collect();
+        let pairs: Vec<(StateId, StateId)> = states
+            .iter()
+            .flat_map(|&a| states.iter().map(move |&b| (a, b)))
+            .collect();
+        assert_eq!(
+            parallel.equivalent_pairs(Equivalence::Observational, &pairs),
+            reference.equivalent_pairs(Equivalence::Observational, &pairs)
+        );
     }
 
     #[test]

@@ -153,7 +153,7 @@ impl FspBuilder {
     }
 
     /// Marks a state as accepting by adding the conventional variable `x`
-    /// ([`ACCEPT_VAR`](crate::ACCEPT_VAR)) to its extension set.
+    /// ([`ACCEPT_VAR`]) to its extension set.
     pub fn mark_accepting(&mut self, state: StateId) -> &mut Self {
         self.add_extension(state, ACCEPT_VAR)
     }

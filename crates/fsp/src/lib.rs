@@ -55,7 +55,7 @@
 //! * [`reach`] — reachability and structural queries.
 //! * [`saturate`] — the weak (double-arrow) transition relation `⇒` used to
 //!   reduce observational equivalence to strong equivalence (Theorem 4.1(a)).
-//! * [`format`] — a plain-text interchange format with parser and printer.
+//! * [`mod@format`] — a plain-text interchange format with parser and printer.
 //! * [`dot`] — Graphviz export for visual inspection.
 
 #![forbid(unsafe_code)]

@@ -358,7 +358,7 @@ impl SaturatedView {
 #[derive(Clone, Debug)]
 pub struct Saturated {
     /// The saturated process (observable; one extra action named
-    /// [`EPSILON_ACTION`](crate::EPSILON_ACTION)).
+    /// [`EPSILON_ACTION`]).
     pub fsp: Fsp,
     /// The action identifier of `ε` inside [`Saturated::fsp`].
     pub epsilon: ActionId,

@@ -113,7 +113,8 @@ impl Dfa {
         self.is_accepting(self.run(word))
     }
 
-    /// Converts the DFA into a generalized-partitioning [`Instance`]
+    /// Converts the DFA into a generalized-partitioning
+    /// [`Instance`](crate::Instance)
     /// (Section 3's deterministic case), seeding the initial partition with
     /// the output classes.
     #[must_use]

@@ -44,7 +44,41 @@
 
 use std::collections::HashMap;
 
+use crate::graph::LabeledGraph;
 use crate::{Instance, Partition};
+
+/// The initial fine partition shared by [`refine`] and the sharded
+/// [`par`](crate::par) engine: the instance's initial partition refined by
+/// the per-label "has at least one successor" signature, so the seed is
+/// stable with respect to the single initial splitter group (the whole set).
+///
+/// Returns the live `(block_of, blocks)` state the worklist loop then
+/// refines.  Both engines must start from this exact seed — it is part of
+/// the determinism contract checked by `tests/parallel_determinism.rs`.
+pub(crate) fn initial_fine_partition(
+    instance: &Instance,
+    graph: &LabeledGraph,
+) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = instance.num_elements();
+    let num_labels = instance.num_labels();
+    let mut block_of: Vec<usize> = vec![0; n];
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
+    for (x, block) in block_of.iter_mut().enumerate() {
+        let sig: Vec<bool> = (0..num_labels)
+            .map(|l| !graph.successors(l, x).is_empty())
+            .collect();
+        let key = (instance.initial_blocks()[x], sig);
+        let fresh = sig_to_block.len();
+        let id = *sig_to_block.entry(key).or_insert(fresh);
+        if id == blocks.len() {
+            blocks.push(Vec::new());
+        }
+        *block = id;
+        blocks[id].push(x);
+    }
+    (block_of, blocks)
+}
 
 /// Runs the smaller-half splitter-worklist algorithm and returns the
 /// coarsest consistent stable partition.
@@ -64,27 +98,8 @@ pub fn refine(instance: &Instance) -> Partition {
     // would repeat the lazy-init check on every adjacency lookup.
     let graph = instance.graph();
 
-    // --- Fine partition: the initial partition refined by the per-label
-    // "has at least one successor" signature, so that it starts out stable
-    // with respect to the single initial splitter group (the whole set).
-    let mut block_of: Vec<usize> = vec![0; n];
-    let mut blocks: Vec<Vec<usize>> = Vec::new();
-    {
-        let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
-        for (x, block) in block_of.iter_mut().enumerate() {
-            let sig: Vec<bool> = (0..num_labels)
-                .map(|l| !graph.successors(l, x).is_empty())
-                .collect();
-            let key = (instance.initial_blocks()[x], sig);
-            let fresh = sig_to_block.len();
-            let id = *sig_to_block.entry(key).or_insert(fresh);
-            if id == blocks.len() {
-                blocks.push(Vec::new());
-            }
-            *block = id;
-            blocks[id].push(x);
-        }
-    }
+    // --- Fine partition: the shared per-label "has a successor" seed.
+    let (mut block_of, mut blocks) = initial_fine_partition(instance, graph);
 
     // --- Splitter groups: unions of blocks (split siblings stay together).
     // Invariant: the partition is stable with respect to every group; a

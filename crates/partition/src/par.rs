@@ -1,0 +1,518 @@
+//! Sharded parallel smaller-half refinement —
+//! [`Algorithm::KanellakisSmolkaParallel`](crate::Algorithm::KanellakisSmolkaParallel).
+//!
+//! [`refine`] runs the same smaller-half splitter-worklist algorithm as
+//! [`kanellakis_smolka::refine`], but
+//! shards the pending-splitter worklist across a pool of scoped worker
+//! threads (std only — no external thread-pool crate).  Execution proceeds
+//! in *rounds*, each with three phases:
+//!
+//! 1. **Prologue** (sequential): drain the worklist of compound splitter
+//!    groups, extracting the smaller fragment `B` of each popped group as an
+//!    active splitter exactly as the sequential engine does.  A group with
+//!    `k` blocks yields `k - 1` extractions in one round; every extracted
+//!    fragment is at most half of its group at extraction time, so the
+//!    paper's `O(log n)` extractions-per-element charge is preserved.
+//! 2. **Scan** (parallel): the round's tasks — one `(B, co-fragment group)`
+//!    pair per extraction — are pulled from a shared atomic cursor by the
+//!    workers.  Each worker classifies the predecessors of its splitters
+//!    with a thread-local epoch-stamped touched buffer, deciding "does `x`
+//!    also reach the co-fragment?" by a fan-out-bounded successor scan
+//!    against a frozen element→group snapshot.  Per-task results are
+//!    byte-identical no matter which worker runs them or in what order, so
+//!    dynamic load balancing does not perturb the outcome.
+//! 3. **Merge barrier** (sequential): hit lists are applied in task order,
+//!    performing the same three-way split (`B` only / both / co-fragment
+//!    only) and the same group bookkeeping as the sequential engine, and
+//!    enqueueing groups that turned compound for the next round.
+//!
+//! # Why the round structure is sound
+//!
+//! Within a round, splits never move a block between splitter groups (split
+//! fragments stay in their home group), and all extractions — the only
+//! operation that does move blocks — happen in the prologue, before any scan
+//! reads the element→group snapshot.  The classification a worker computes
+//! against the frozen snapshot is therefore exactly the classification the
+//! sequential engine would compute at merge-application time.  Every merge
+//! step splits a block by "reaches `B`" × "reaches the co-fragment", where
+//! both sets are unions of current blocks; since the coarsest stable
+//! partition refines every intermediate partition, elements of a common
+//! final block are never separated, and the three-way split re-establishes
+//! stability with respect to both fragments just as in the sequential
+//! argument (see the [`kanellakis_smolka`] module docs).  The merge is applied in deterministic task order, so the whole
+//! engine is deterministic: for any thread count it produces block-for-block
+//! the partition of the sequential smaller-half engine (checked across all
+//! workload families by `tests/parallel_determinism.rs`).
+//!
+//! # Knobs
+//!
+//! * `threads` — worker count; [`default_threads`] reads `CCS_THREADS` and
+//!   falls back to [`std::thread::available_parallelism`].
+//! * sequential fallback — below [`sequential_threshold`] states (default
+//!   [`DEFAULT_SEQUENTIAL_THRESHOLD`], override with `CCS_PAR_THRESHOLD`)
+//!   the per-round coordination would dominate, so [`refine`] delegates to
+//!   the sequential engine outright.  Single-task rounds are likewise
+//!   scanned inline on the coordinating thread without a pool round-trip.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+use crate::graph::LabeledGraph;
+use crate::{kanellakis_smolka, Instance, Partition};
+
+/// Default state-count threshold below which [`refine`] falls back to the
+/// sequential smaller-half engine.
+pub const DEFAULT_SEQUENTIAL_THRESHOLD: usize = 512;
+
+/// The state-count threshold below which [`refine`] runs sequentially:
+/// `CCS_PAR_THRESHOLD` if set to a number, otherwise
+/// [`DEFAULT_SEQUENTIAL_THRESHOLD`].
+#[must_use]
+pub fn sequential_threshold() -> usize {
+    std::env::var("CCS_PAR_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEQUENTIAL_THRESHOLD)
+}
+
+/// The default worker count: `CCS_THREADS` if set to a positive number,
+/// otherwise [`std::thread::available_parallelism`] (or 1 if unknown).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("CCS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// One extraction of the round's prologue: a snapshot of the active
+/// splitter block `B` and the group id of its still-pending co-fragment.
+struct Task {
+    splitter: Vec<usize>,
+    co_group: usize,
+}
+
+/// Scan output for one task: per label, the deduplicated predecessors of the
+/// splitter, each tagged with whether it also reaches the co-fragment group.
+type TaskHits = Vec<Vec<(usize, bool)>>;
+
+/// The shared descriptor of one parallel round.
+struct Round {
+    tasks: Vec<Task>,
+    /// Frozen element → splitter-group snapshot (valid for the whole round:
+    /// merges never move elements between groups).
+    elem_group: Vec<usize>,
+    /// Work-stealing cursor into `tasks`.
+    next: AtomicUsize,
+    num_labels: usize,
+}
+
+enum WorkerMsg {
+    Scanned { task: usize, hits: TaskHits },
+    RoundDone,
+}
+
+/// Classifies the predecessors of one splitter under every label.
+///
+/// `stamp`/`epoch` are the caller's thread-local touched buffer: one epoch
+/// per `(task, label)` makes the per-edge duplicate check `O(1)` without
+/// clearing between tasks.  The output is independent of which thread runs
+/// the scan — iteration follows the splitter snapshot and the CSR
+/// predecessor order, both fixed per task.
+fn scan_task(
+    graph: &LabeledGraph,
+    task: &Task,
+    elem_group: &[usize],
+    num_labels: usize,
+    stamp: &mut [u64],
+    epoch: &mut u64,
+) -> TaskHits {
+    let mut hits = Vec::with_capacity(num_labels);
+    for label in 0..num_labels {
+        *epoch += 1;
+        let mut label_hits = Vec::new();
+        for &y in &task.splitter {
+            for &x in graph.predecessors(label, y) {
+                if stamp[x] == *epoch {
+                    continue;
+                }
+                stamp[x] = *epoch;
+                // Does x also reach the co-fragment S \ B?  Decided by
+                // scanning x's ≤ c successors against the frozen group
+                // snapshot — the co-fragment itself is never scanned.
+                let in_rest = graph
+                    .successors(label, x)
+                    .iter()
+                    .any(|&z| elem_group[z] == task.co_group);
+                label_hits.push((x, in_rest));
+            }
+        }
+        hits.push(label_hits);
+    }
+    hits
+}
+
+/// Worker body: pull tasks from the round cursor, scan, publish, repeat
+/// until the round channel closes.
+fn worker_loop(graph: &LabeledGraph, rounds: &Receiver<Arc<Round>>, out: &Sender<WorkerMsg>) {
+    let mut stamp = vec![0u64; graph.num_elements()];
+    let mut epoch = 0u64;
+    while let Ok(round) = rounds.recv() {
+        loop {
+            let t = round.next.fetch_add(1, Ordering::Relaxed);
+            if t >= round.tasks.len() {
+                break;
+            }
+            let hits = scan_task(
+                graph,
+                &round.tasks[t],
+                &round.elem_group,
+                round.num_labels,
+                &mut stamp,
+                &mut epoch,
+            );
+            if out.send(WorkerMsg::Scanned { task: t, hits }).is_err() {
+                return;
+            }
+        }
+        // Drop our handle on the round *before* signalling completion, so
+        // the coordinator can reclaim the round exclusively afterwards.
+        drop(round);
+        if out.send(WorkerMsg::RoundDone).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs the sharded parallel smaller-half refinement with the default
+/// sequential-fallback threshold (see [`sequential_threshold`]) and returns
+/// the coarsest consistent stable partition.
+///
+/// Deterministic: for every `threads ≥ 1` the result is block-for-block
+/// identical to [`kanellakis_smolka::refine`].
+#[must_use]
+pub fn refine(instance: &Instance, threads: usize) -> Partition {
+    refine_with_threshold(instance, threads, sequential_threshold())
+}
+
+/// [`refine`] with an explicit sequential-fallback threshold: instances with
+/// fewer than `threshold` states run on the sequential engine.  Pass `0` to
+/// force the parallel path (the determinism suite does this so small
+/// workloads still exercise the sharded rounds).
+#[must_use]
+pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usize) -> Partition {
+    let n = instance.num_elements();
+    if n == 0 {
+        return Partition::from_assignment(&[]);
+    }
+    if threads <= 1 || n < threshold {
+        return kanellakis_smolka::refine(instance);
+    }
+    let num_labels = instance.num_labels();
+    let graph = instance.graph();
+
+    // Identical seed to the sequential engine (part of the determinism
+    // contract): initial partition refined by per-label successor presence.
+    let (mut block_of, mut blocks) = kanellakis_smolka::initial_fine_partition(instance, graph);
+
+    // Splitter groups, exactly as in the sequential engine: unions of blocks
+    // (split siblings stay together); a compound group is pending work.
+    let mut group_of: Vec<usize> = vec![0; blocks.len()];
+    let mut groups: Vec<Vec<usize>> = vec![(0..blocks.len()).collect()];
+    let mut worklist: Vec<usize> = Vec::new();
+    let mut on_worklist: Vec<bool> = vec![false];
+    if groups[0].len() >= 2 {
+        worklist.push(0);
+        on_worklist[0] = true;
+    }
+
+    // Element → group of its block, maintained incrementally: only prologue
+    // extractions move blocks between groups, so merges leave it untouched.
+    let mut elem_group: Vec<usize> = vec![0; n];
+
+    // Merge-side epoch-stamped scratch (one epoch per applied (task, label)).
+    let mut elem_stamp: Vec<u64> = vec![0; n];
+    let mut elem_in_rest: Vec<bool> = vec![false; n];
+    let mut touched_stamp: Vec<u64> = vec![0; blocks.len()];
+    let mut epoch: u64 = 0;
+
+    // Coordinator-side scan scratch for single-task rounds.
+    let mut inline_stamp: Vec<u64> = vec![0; n];
+    let mut inline_epoch: u64 = 0;
+
+    std::thread::scope(|scope| {
+        let (result_tx, result_rx) = channel::<WorkerMsg>();
+        let mut round_txs: Vec<Sender<Arc<Round>>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = channel::<Arc<Round>>();
+            round_txs.push(tx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || worker_loop(graph, &rx, &result_tx));
+        }
+        drop(result_tx);
+
+        while !worklist.is_empty() {
+            // --- Prologue: drain every pending group, extracting smaller
+            // fragments.  Re-pushed groups are popped again within the same
+            // drain, so a k-block group contributes k-1 tasks to the round.
+            let mut tasks: Vec<Task> = Vec::new();
+            while let Some(s) = worklist.pop() {
+                on_worklist[s] = false;
+                if groups[s].len() < 2 {
+                    continue;
+                }
+                // Smaller of the group's first two blocks — the same rule as
+                // the sequential engine, and still at most half the group.
+                let (pos, b) = {
+                    let b0 = groups[s][0];
+                    let b1 = groups[s][1];
+                    if blocks[b0].len() <= blocks[b1].len() {
+                        (0, b0)
+                    } else {
+                        (1, b1)
+                    }
+                };
+                groups[s].swap_remove(pos);
+                let own_group = groups.len();
+                group_of[b] = own_group;
+                for &x in &blocks[b] {
+                    elem_group[x] = own_group;
+                }
+                groups.push(vec![b]);
+                on_worklist.push(false);
+                if groups[s].len() >= 2 {
+                    on_worklist[s] = true;
+                    worklist.push(s);
+                }
+                tasks.push(Task {
+                    splitter: blocks[b].clone(),
+                    co_group: s,
+                });
+            }
+
+            // --- Scan: inline for singleton rounds, sharded otherwise.
+            let num_tasks = tasks.len();
+            let mut all_hits: Vec<Option<TaskHits>> = Vec::new();
+            if num_tasks == 1 {
+                all_hits.push(Some(scan_task(
+                    graph,
+                    &tasks[0],
+                    &elem_group,
+                    num_labels,
+                    &mut inline_stamp,
+                    &mut inline_epoch,
+                )));
+            } else {
+                all_hits.resize_with(num_tasks, || None);
+                let round = Arc::new(Round {
+                    tasks,
+                    elem_group: std::mem::take(&mut elem_group),
+                    next: AtomicUsize::new(0),
+                    num_labels,
+                });
+                for tx in &round_txs {
+                    tx.send(Arc::clone(&round)).expect("worker thread alive");
+                }
+                let mut pending_tasks = num_tasks;
+                let mut pending_workers = threads;
+                while pending_tasks > 0 || pending_workers > 0 {
+                    match result_rx.recv().expect("worker thread alive") {
+                        WorkerMsg::Scanned { task, hits } => {
+                            all_hits[task] = Some(hits);
+                            pending_tasks -= 1;
+                        }
+                        WorkerMsg::RoundDone => pending_workers -= 1,
+                    }
+                }
+                // Every worker has dropped its handle; take the snapshot
+                // back for the next prologue's incremental updates.
+                let round = Arc::try_unwrap(round)
+                    .ok()
+                    .expect("all workers signalled RoundDone");
+                elem_group = round.elem_group;
+            }
+
+            // --- Merge barrier: apply hit lists in deterministic task
+            // order, with the sequential engine's three-way split.
+            for hits in all_hits.into_iter().map(|h| h.expect("task scanned")) {
+                for label_hits in hits {
+                    if label_hits.is_empty() {
+                        continue;
+                    }
+                    epoch += 1;
+                    let mut touched: Vec<usize> = Vec::new();
+                    for &(x, in_rest) in &label_hits {
+                        elem_stamp[x] = epoch;
+                        elem_in_rest[x] = in_rest;
+                        let d = block_of[x];
+                        if touched_stamp[d] != epoch {
+                            touched_stamp[d] = epoch;
+                            touched.push(d);
+                        }
+                    }
+                    for &d in &touched {
+                        let mut only_b: Vec<usize> = Vec::new();
+                        let mut both: Vec<usize> = Vec::new();
+                        let mut rest: Vec<usize> = Vec::new();
+                        for &x in &blocks[d] {
+                            if elem_stamp[x] != epoch {
+                                rest.push(x);
+                            } else if elem_in_rest[x] {
+                                both.push(x);
+                            } else {
+                                only_b.push(x);
+                            }
+                        }
+                        let mut parts: Vec<Vec<usize>> = [only_b, both, rest]
+                            .into_iter()
+                            .filter(|p| !p.is_empty())
+                            .collect();
+                        if parts.len() < 2 {
+                            continue;
+                        }
+                        // First part keeps the old id; fresh fragments stay
+                        // in the sibling's home group.
+                        let home = group_of[d];
+                        blocks[d] = parts.remove(0);
+                        for part in parts {
+                            let new_id = blocks.len();
+                            for &x in &part {
+                                block_of[x] = new_id;
+                            }
+                            blocks.push(part);
+                            group_of.push(home);
+                            touched_stamp.push(0);
+                            groups[home].push(new_id);
+                        }
+                        if !on_worklist[home] {
+                            on_worklist[home] = true;
+                            worklist.push(home);
+                        }
+                    }
+                }
+            }
+        }
+        // Dropping `round_txs` here closes the round channels; the workers'
+        // `recv` fails and they exit before the scope joins them.
+    });
+
+    Partition::from_assignment(&block_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kanellakis_smolka, naive};
+
+    /// Forces the parallel path (threshold 0) at several thread counts and
+    /// checks block-for-block agreement with the sequential engines.
+    fn cross_check(inst: &Instance) -> Partition {
+        let sequential = kanellakis_smolka::refine(inst);
+        for threads in [1, 2, 3, 8] {
+            let parallel = refine_with_threshold(inst, threads, 0);
+            assert_eq!(parallel, sequential, "{threads} threads");
+            assert_eq!(parallel.blocks(), sequential.blocks(), "{threads} threads");
+        }
+        assert_eq!(sequential, naive::refine(inst), "sequential vs naive");
+        assert!(inst.is_consistent_stable(&sequential));
+        sequential
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(0, 2);
+        assert_eq!(refine_with_threshold(&inst, 4, 0).num_elements(), 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let inst = Instance::new(1, 1);
+        assert_eq!(cross_check(&inst).num_blocks(), 1);
+    }
+
+    #[test]
+    fn chain_fully_discriminates() {
+        let mut inst = Instance::new(9, 1);
+        for i in 0..8 {
+            inst.add_edge(0, i, i + 1);
+        }
+        assert_eq!(cross_check(&inst).num_blocks(), 9);
+    }
+
+    #[test]
+    fn respects_initial_partition() {
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 2, 3);
+        inst.set_initial_block(1, 1);
+        let p = cross_check(&inst);
+        assert!(!p.same_block(1, 3));
+        assert!(!p.same_block(0, 2));
+    }
+
+    #[test]
+    fn elements_reaching_both_halves_are_handled() {
+        // The family the plain smaller-half rule gets wrong (see the
+        // sequential tests): the three-way split must separate 0 and 1.
+        let mut inst = Instance::new(5, 1);
+        inst.add_edge(0, 0, 2);
+        inst.add_edge(0, 0, 3);
+        inst.add_edge(0, 1, 2);
+        inst.add_edge(0, 2, 4);
+        inst.add_edge(0, 4, 2);
+        let p = cross_check(&inst);
+        assert!(!p.same_block(0, 1));
+    }
+
+    #[test]
+    fn below_threshold_falls_back_to_sequential() {
+        let mut inst = Instance::new(6, 1);
+        for i in 0..5 {
+            inst.add_edge(0, i, i + 1);
+        }
+        // threshold > n: the fallback must still give the canonical answer.
+        let p = refine_with_threshold(&inst, 4, 1_000_000);
+        assert_eq!(p, kanellakis_smolka::refine(&inst));
+    }
+
+    #[test]
+    fn random_instances_agree_across_thread_counts() {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..25 {
+            let n = 2 + (next() % 48) as usize;
+            let labels = 1 + (next() % 3) as usize;
+            let edges = (next() % (4 * n as u64)) as usize;
+            let mut inst = Instance::new(n, labels);
+            for _ in 0..edges {
+                let l = (next() % labels as u64) as usize;
+                let from = (next() % n as u64) as usize;
+                let to = (next() % n as u64) as usize;
+                inst.add_edge(l, from, to);
+            }
+            if case % 3 == 0 {
+                for x in 0..n {
+                    inst.set_initial_block(x, x % 2);
+                }
+            }
+            cross_check(&inst);
+        }
+    }
+
+    #[test]
+    fn knobs_have_sane_defaults() {
+        // Not asserting exact values (the env may set the knobs in CI);
+        // both must be usable as-is.
+        assert!(default_threads() >= 1);
+        let _ = sequential_threshold();
+    }
+}

@@ -85,6 +85,41 @@ pub fn random(num_elements: usize, num_labels: usize, edges: usize, seed: u64) -
     inst
 }
 
+/// A dense pseudo-random instance: `degree` successor draws per element per
+/// relation (so ≈ `degree · num_labels · n` edges before deduplication, and
+/// fan-out bounded by `degree`), with elements spread round-robin over
+/// `initial_classes` initial blocks (pass `1` for the trivial initial
+/// partition).  The initial classes keep refinement from collapsing after a
+/// round or two — a dense uniform graph with one initial block is
+/// near-homogeneous — so the per-splitter preimage scans genuinely dominate.
+/// This is the scaling family of the report's PAR table and the
+/// `partition_par` bench: those scans are exactly the work
+/// [`ccs_partition::par`] shards across threads, while the bounded fan-out
+/// keeps the Kanellakis–Smolka `O(c²·n·log n)` charge honest.
+/// Deterministic in `seed`.
+#[must_use]
+pub fn dense_random(
+    num_elements: usize,
+    num_labels: usize,
+    degree: usize,
+    initial_classes: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels = num_labels.max(1);
+    let mut inst = Instance::new(num_elements, labels);
+    inst.reserve_edges(num_elements * labels * degree);
+    for x in 0..num_elements {
+        inst.set_initial_block(x, x % initial_classes.max(1));
+        for l in 0..labels {
+            for _ in 0..degree {
+                inst.add_edge(l, x, rng.gen_range(0..num_elements));
+            }
+        }
+    }
+    inst
+}
+
 /// A complete deterministic instance (`fₗ : S → S`, the Section 3 special
 /// case): exactly one edge per element per relation, with a random two-class
 /// initial partition — the shape on which Hopcroft's algorithm applies.
@@ -142,6 +177,24 @@ mod tests {
         assert_ne!(a, random(20, 2, 50, 8));
         // Duplicates are deduplicated by the builder.
         assert!(a.num_edges() <= 50);
+    }
+
+    #[test]
+    fn dense_random_is_dense_and_fanout_bounded() {
+        let inst = dense_random(32, 2, 4, 4, 9);
+        assert_eq!(inst, dense_random(32, 2, 4, 4, 9));
+        assert_eq!(
+            inst.initial_blocks().iter().copied().max(),
+            Some(3),
+            "four initial classes"
+        );
+        assert!(inst.max_fanout() <= 4);
+        // Duplicates may collapse, but the draw count is the upper bound.
+        assert!(inst.num_edges() <= 32 * 2 * 4);
+        assert!(inst.num_edges() > 32);
+        let p = solve(&inst, Algorithm::KanellakisSmolkaParallel { threads: 2 });
+        assert_eq!(p, solve(&inst, Algorithm::KanellakisSmolka));
+        assert!(inst.is_consistent_stable(&p));
     }
 
     #[test]

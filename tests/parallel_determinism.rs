@@ -1,0 +1,159 @@
+//! Determinism suite for the sharded parallel refinement engine: at 1, 2
+//! and 8 worker threads, `ccs_partition::par` must produce block-for-block
+//! the same partition as the sequential smaller-half engine on every
+//! `ccs_workloads` family — structured instance families, dense and sparse
+//! random instances over proptest-drawn seeds, the deterministic special
+//! case, and process-level workloads through the Lemma 3.1 reduction.
+//!
+//! The parallel runs force the sequential-fallback threshold to `0`
+//! (`par::refine_with_threshold`) so even small workloads exercise the
+//! sharded rounds instead of delegating; the `solve` entry point (default
+//! threshold) and the `CCS_THREADS`-driven default worker count are covered
+//! separately, since those are the paths the CI thread matrix varies.
+
+use ccs_equiv::strong;
+use ccs_partition::{kanellakis_smolka, par, solve, Algorithm, Instance};
+use ccs_workloads::{instances, random, RandomConfig};
+use proptest::prelude::*;
+
+/// The thread counts the determinism contract is checked at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Asserts that every parallel configuration reproduces the sequential
+/// smaller-half partition block for block, then returns it.
+fn assert_parallel_matches_sequential(inst: &Instance, context: &str) {
+    let sequential = kanellakis_smolka::refine(inst);
+    for threads in THREAD_COUNTS {
+        let parallel = par::refine_with_threshold(inst, threads, 0);
+        assert_eq!(
+            parallel, sequential,
+            "{context}: {threads} threads diverged from sequential"
+        );
+        assert_eq!(
+            parallel.blocks(),
+            sequential.blocks(),
+            "{context}: {threads} threads, block lists differ"
+        );
+        // Through the public dispatch (default fallback threshold).
+        assert_eq!(
+            solve(inst, Algorithm::KanellakisSmolkaParallel { threads }),
+            sequential,
+            "{context}: {threads} threads via solve()"
+        );
+    }
+    assert!(
+        inst.is_consistent_stable(&sequential),
+        "{context}: oracle rejects the agreed partition"
+    );
+}
+
+#[test]
+fn structured_families_are_deterministic() {
+    // Sizes straddle the default sequential-fallback threshold (512).
+    for n in [1usize, 2, 33, 257, 700] {
+        assert_parallel_matches_sequential(&instances::chain(n), &format!("chain({n})"));
+        assert_parallel_matches_sequential(&instances::cycle(n), &format!("cycle({n})"));
+    }
+    for depth in [0usize, 3, 9] {
+        assert_parallel_matches_sequential(
+            &instances::binary_tree(depth),
+            &format!("binary_tree({depth})"),
+        );
+    }
+    for (n, labels, degree, classes, seed) in
+        [(64, 2, 3, 4, 1u64), (300, 4, 8, 16, 2), (1024, 3, 5, 8, 3)]
+    {
+        assert_parallel_matches_sequential(
+            &instances::dense_random(n, labels, degree, classes, seed),
+            &format!("dense_random({n})"),
+        );
+    }
+    for (n, labels, seed) in [(100, 2, 4u64), (900, 3, 5)] {
+        assert_parallel_matches_sequential(
+            &instances::complete_deterministic(n, labels, seed),
+            &format!("complete_deterministic({n})"),
+        );
+    }
+}
+
+/// The environment-selected configuration the CI matrix varies: whatever
+/// `CCS_THREADS` says (or the machine's parallelism) must still reproduce
+/// the sequential partition.
+#[test]
+fn env_selected_thread_count_is_deterministic() {
+    let threads = par::default_threads();
+    assert!(threads >= 1);
+    let alg = Algorithm::parallel_default();
+    assert_eq!(alg, Algorithm::KanellakisSmolkaParallel { threads });
+    for inst in [
+        instances::random(1500, 3, 6000, 11),
+        instances::dense_random(777, 2, 6, 5, 12),
+    ] {
+        assert_eq!(
+            solve(&inst, alg),
+            kanellakis_smolka::refine(&inst),
+            "CCS_THREADS={threads}"
+        );
+        assert_eq!(
+            par::refine_with_threshold(&inst, threads, 0),
+            kanellakis_smolka::refine(&inst),
+            "CCS_THREADS={threads}, forced parallel path"
+        );
+    }
+}
+
+/// Repeated runs of the same configuration must agree with each other
+/// (no scheduling-dependent output), not just with the sequential engine.
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let inst = instances::random(600, 2, 2400, 99);
+    let first = par::refine_with_threshold(&inst, 8, 0);
+    for _ in 0..5 {
+        assert_eq!(par::refine_with_threshold(&inst, 8, 0), first);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn parallel_matches_sequential_on_random_instances(
+        n in 1usize..120,
+        labels in 1usize..4,
+        density in 0usize..5,
+        seed in 0u64..1_000,
+        two_class in 0usize..2,
+    ) {
+        let mut inst = instances::random(n, labels, density * n, seed);
+        if two_class == 1 {
+            for x in 0..n {
+                inst.set_initial_block(x, x % 2);
+            }
+        }
+        let sequential = kanellakis_smolka::refine(&inst);
+        for threads in THREAD_COUNTS {
+            let parallel = par::refine_with_threshold(&inst, threads, 0);
+            prop_assert_eq!(&parallel, &sequential, "{} threads", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_processes(
+        states in 1usize..64,
+        seed in 0u64..1_000,
+        tau in 0usize..2,
+    ) {
+        // Through the Lemma 3.1 reduction: random process -> instance.
+        let config = RandomConfig {
+            tau_ratio: 0.3 * tau as f64,
+            accept_ratio: 0.6,
+            ..RandomConfig::sized(states, seed)
+        };
+        let inst = strong::to_instance(&random::random_fsp(&config));
+        let sequential = kanellakis_smolka::refine(&inst);
+        for threads in THREAD_COUNTS {
+            let parallel = par::refine_with_threshold(&inst, threads, 0);
+            prop_assert_eq!(&parallel, &sequential, "{} threads", threads);
+        }
+    }
+}
