@@ -1,0 +1,92 @@
+//! Experiment DET: the shared determinization subsystem — classifying the
+//! PSPACE notions through one memoized subset automaton and one partition
+//! refinement, against the pre-determinization representative scan (one
+//! independent on-the-fly subset construction per `(state, representative)`
+//! pair), on the Theorem 4.1(b)-style exponential-blowup family.
+
+use std::time::Duration;
+
+use ccs_equiv::{EquivSession, Equivalence};
+use ccs_workloads::families;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WINDOW: usize = 6;
+const SIZES: [usize; 3] = [28, 56, 112];
+
+const NOTIONS: [(&str, Equivalence); 3] = [
+    ("language", Equivalence::Language),
+    ("trace", Equivalence::Trace),
+    ("failure", Equivalence::Failure),
+];
+
+fn bench_representative_scan(c: &mut Criterion) {
+    for (name, notion) in NOTIONS {
+        let mut group = c.benchmark_group(format!("determinize/rep-scan/{name}"));
+        for &n in &SIZES {
+            let fsp = families::det_blowup(n, WINDOW);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+                b.iter(|| {
+                    let mut session = EquivSession::for_process(fsp);
+                    session.representative_scan_partition(notion).num_blocks()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_determinized(c: &mut Criterion) {
+    for (name, notion) in NOTIONS {
+        let mut group = c.benchmark_group(format!("determinize/shared-arena/{name}"));
+        for &n in &SIZES {
+            let fsp = families::det_blowup(n, WINDOW);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+                b.iter(|| {
+                    let mut session = EquivSession::for_process(fsp);
+                    session.classify_all(notion).num_blocks()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Pair queries through the memoized pair cache: the first query pays the
+/// synchronized search, repeats are cache lookups — measured as a batch of
+/// all-pairs queries over the blowup family's states.
+fn bench_pair_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinize/pair-cache/language");
+    for &n in &[14usize, 28] {
+        let fsp = families::det_blowup(n, WINDOW);
+        let states: Vec<_> = fsp.state_ids().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
+            b.iter(|| {
+                let mut session = EquivSession::for_process(fsp);
+                let mut equivalent = 0usize;
+                for &p in &states {
+                    for &q in &states {
+                        if session.equivalent_states(p, q, Equivalence::Language) {
+                            equivalent += 1;
+                        }
+                    }
+                }
+                equivalent
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_representative_scan, bench_determinized, bench_pair_cache
+}
+criterion_main!(benches);

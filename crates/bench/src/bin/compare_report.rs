@@ -1,6 +1,6 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
-//! tables (E7 solver matrix, WP weak-pipeline table, and the PAR
-//! parallel-refinement table).
+//! tables (E7 solver matrix, WP weak-pipeline table, PAR
+//! parallel-refinement table, and the DET determinization table).
 //!
 //! Usage:
 //!
@@ -31,6 +31,7 @@ enum Section {
     E7,
     Wp,
     Par,
+    Det,
 }
 
 /// Extracts the tracked tables from a report dump.
@@ -40,7 +41,8 @@ enum Section {
 /// session speedup` (timings in columns 3–4, the speedup ratio is derived
 /// and not compared); PAR rows are `family states edges ks-small par-1
 /// par-2 par-4 speedup4` (timings in columns 3–6, the speedup ratio again
-/// derived and not compared).
+/// derived and not compared); DET rows are `family states subsets notion
+/// rep-scan det speedup` (timings in columns 4–5, the speedup derived).
 fn parse_report(text: &str) -> Rows {
     let mut rows = Rows::new();
     let mut section = Section::None;
@@ -53,6 +55,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::Wp
             } else if trimmed.contains("PAR:") {
                 Section::Par
+            } else if trimmed.contains("DET:") {
+                Section::Det
             } else {
                 Section::None
             };
@@ -77,6 +81,21 @@ fn parse_report(text: &str) -> Rows {
                 let timings = cols
                     .iter()
                     .zip(&tokens[3..5])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Det
+                if tokens.len() == 7
+                    && tokens[1..3].iter().all(|t| numeric(t))
+                    && !numeric(tokens[3])
+                    && tokens[4..].iter().all(|t| numeric(t)) =>
+            {
+                let key = format!("det/{}/{}/{}", tokens[0], tokens[3], tokens[1]);
+                let cols = ["rep-scan", "det"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[4..6])
                     .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
                     .collect();
                 rows.insert(key, timings);
@@ -219,6 +238,11 @@ ccs-equiv experiment report (wall-clock, release recommended)
   family   states      edges  ks-small ms     par-1 ms     par-2 ms     par-4 ms  speedup4
    dense     4096      98304        40.00        44.00        24.00        14.00      2.86
 
+== DET: PSPACE-notion classification — shared subset automaton vs representative scan ==
+   (rep-scan = one on-the-fly subset construction per (state, representative) pair; ...)
+  family   states   subsets     notion   rep-scan ms     det ms   speedup
+  blowup      256      7000   language        120.00      10.00      12.0
+
 == E8: strong equivalence, equivalent pairs (Theorem 3.1) ==
   states     check ms      classes
      256        10.00           17
@@ -227,7 +251,11 @@ ccs-equiv experiment report (wall-clock, release recommended)
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(
+            rows["det/blowup/language/256"],
+            vec![("rep-scan".to_owned(), 120.0), ("det".to_owned(), 10.0)]
+        );
         assert_eq!(
             rows["par/dense/4096"],
             vec![

@@ -2,12 +2,15 @@
 //! `EXPERIMENTS.md` (one section per experiment of the index in
 //! `DESIGN.md`).
 //!
-//! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]`
-//! where `experiment` is one of `e7 par e8 e9 e10 e13 e14 e4 wp`
-//! (default: all).
+//! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]
+//! [--only <experiment>]...` where `experiment` is one of
+//! `e7 par wp det e8 e9 e10 e13 e14 e4` (default: all).  `--only` (repeatable,
+//! comma-separable) restricts the run to the named sections so a single
+//! table — e.g. `det` — can be regenerated without rerunning E7/WP/PAR;
+//! bare positional names behave the same way.
 //!
-//! The E7, WP and PAR tables are additionally tracked for regressions: the
-//! scheduled CI job diffs them against the committed snapshot under
+//! The E7, WP, PAR and DET tables are additionally tracked for regressions:
+//! the scheduled CI job diffs them against the committed snapshot under
 //! `crates/bench/baselines/` with the `compare_report` binary.
 
 use std::time::Instant;
@@ -150,6 +153,43 @@ fn wp_weak_pipeline() {
     }
 }
 
+fn det_determinized_classification() {
+    println!("\n== DET: PSPACE-notion classification — shared subset automaton vs representative scan ==");
+    println!(
+        "   (rep-scan = one on-the-fly subset construction per (state, representative) pair;\n    \
+         det = one memoized subset arena + one product-DFA refinement; blowup window = 8)"
+    );
+    println!(
+        "{:>8} {:>8} {:>9} {:>10} {:>13} {:>10} {:>9}",
+        "family", "states", "subsets", "notion", "rep-scan ms", "det ms", "speedup"
+    );
+    let notions = [
+        ("language", Equivalence::Language),
+        ("trace", Equivalence::Trace),
+        ("failure", Equivalence::Failure),
+    ];
+    for &n in &[64usize, 128, 256, 512] {
+        let fsp = families::det_blowup(n, 8);
+        for (name, notion) in notions {
+            let mut scan_session = EquivSession::for_process(&fsp);
+            let (scan, t_scan) = time_ms(|| scan_session.representative_scan_partition(notion));
+            let mut det_session = EquivSession::for_process(&fsp);
+            let (det, t_det) = time_ms(|| det_session.classify_all(notion).clone());
+            assert_eq!(det, scan, "determinized engine diverged from the oracle");
+            println!(
+                "{:>8} {:>8} {:>9} {:>10} {:>13.2} {:>10.2} {:>9.1}",
+                "blowup",
+                fsp.num_states(),
+                det_session.subset_automaton().num_subsets(),
+                name,
+                t_scan,
+                t_det,
+                t_scan / t_det
+            );
+        }
+    }
+}
+
 fn e8_strong_equivalence() {
     println!("\n== E8: strong equivalence, equivalent pairs (Theorem 3.1) ==");
     println!("{:>8} {:>12} {:>12}", "states", "check ms", "classes");
@@ -269,8 +309,33 @@ fn e4_ccs_construction() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    // `--only <name>` (repeatable, comma-separable) and bare positional
+    // names both restrict the run; `--only` exists so a single tracked
+    // section can be regenerated explicitly, e.g. `report --only det`.
+    const KNOWN: [&str; 10] = [
+        "e7", "par", "wp", "det", "e8", "e9", "e10", "e13", "e14", "e4",
+    ];
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--only" {
+            let value = args
+                .next()
+                .expect("--only needs an experiment name (e.g. --only det)");
+            selected.extend(value.split(',').map(|s| s.trim().to_lowercase()));
+        } else {
+            selected.push(arg.to_lowercase());
+        }
+    }
+    // A typo must not silently produce an empty (but exit-0) report — the
+    // snapshot-regeneration workflow pipes this straight into the baseline.
+    for name in &selected {
+        assert!(
+            KNOWN.contains(&name.as_str()),
+            "unknown experiment {name:?}; known: {KNOWN:?}"
+        );
+    }
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|a| a == name);
     println!("ccs-equiv experiment report (wall-clock, release recommended)");
     if want("e7") {
         e7_partition_algorithms();
@@ -280,6 +345,9 @@ fn main() {
     }
     if want("wp") {
         wp_weak_pipeline();
+    }
+    if want("det") {
+        det_determinized_classification();
     }
     if want("e8") {
         e8_strong_equivalence();

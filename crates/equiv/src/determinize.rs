@@ -1,0 +1,694 @@
+//! The shared determinization subsystem: one memoized, interned subset
+//! automaton per session, feeding both whole-space classification and
+//! early-exiting pair checks for the PSPACE notions.
+//!
+//! The paper pins language, trace and failure equivalence to PSPACE
+//! (Theorem 4.1(b), Theorem 5.1), and Proposition 2.2.4(b) plus the
+//! Section 3 AHU recap show the escape hatch: once a process is
+//! *determinized*, every one of those notions collapses to near-linear DFA
+//! machinery.  Before this module, each `(state, state)` query re-ran an
+//! independent on-the-fly subset construction ([`language`](crate::language),
+//! [`traces`](crate::traces), [`failures`](crate::failures)), so classifying
+//! `n` states cost `O(n · classes)` overlapping determinizations.  Here the
+//! determinization is a first-class, *shared* artifact:
+//!
+//! * [`SubsetAutomaton`] interns every ε-closed subset once (the empty
+//!   subset is the dead state [`SubsetAutomaton::DEAD`]), computes
+//!   transitions lazily over the cached
+//!   [`SaturatedView`], and annotates each
+//!   subset with the three facts the notions read: an acceptance bit
+//!   (language), the weakly-enabled action set (trace non-emptiness and
+//!   exploration pruning), and the interned ⊆-maximal refusal antichain of
+//!   Section 5 (failures).  All three notions read the same arena.
+//! * [`determinized_partition`] determinizes *all* `n` start subsets into
+//!   one product DFA ([`Dfa::from_subset_automaton`]) and runs **one**
+//!   partition refinement over it — the Myhill–Nerode classes of the
+//!   multi-class output function are exactly the notion's equivalence
+//!   classes, so the per-class representative scan disappears.
+//! * [`PairCache`] answers individual pair queries by a synchronized
+//!   union-find search over interned subset ids (the AHU scheme of
+//!   [`dfa_equiv`](ccs_partition::dfa_equiv), run on the lazily-built
+//!   arena), pruned *up to congruence*: a popped pair whose sides are
+//!   already merged is skipped, which subsumes the antichain pruning of the
+//!   De Wulf–Doyen line for this synchronized-pair shape (Bonchi & Pous).
+//!   Verdicts are memoized across queries — proven pairs merge into a
+//!   persistent congruence, refuted pairs (and every ancestor on the path
+//!   that exposed them) land in a refutation cache — so a session's later
+//!   queries early-exit on first contact with anything already decided.
+//!
+//! The worst case is still exponential — as Theorem 4.1(b) demands — but
+//! the exponential work is paid **once per subset**, not once per pair.
+
+use std::collections::HashMap;
+
+use ccs_fsp::saturate::SaturatedView;
+use ccs_fsp::{ActionId, Fsp, StateId};
+use ccs_partition::{solve, Algorithm, Dfa, Partition};
+
+use crate::check::Equivalence;
+use crate::failures::maximal_refusals;
+
+/// Interned identifier of a subset state inside a [`SubsetAutomaton`].
+pub type SubsetId = usize;
+
+/// Sentinel for a transition that has not been computed yet.
+const UNEXPLORED: usize = usize::MAX;
+
+/// The three PSPACE notions the determinization layer decides.  Each picks a
+/// different per-subset output class over the same arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DetNotion {
+    /// Acceptance-based language equivalence `≈₁` (Proposition 2.2.4(b)).
+    Language,
+    /// Trace-set equality: the class is subset non-emptiness.
+    Trace,
+    /// Failure equivalence `≡F`: the class is the interned ⊆-maximal refusal
+    /// antichain (Section 5), with the dead state distinguished.
+    Failure,
+}
+
+impl DetNotion {
+    /// The determinizable face of an [`Equivalence`] notion, if it has one.
+    #[must_use]
+    pub fn of(notion: Equivalence) -> Option<DetNotion> {
+        match notion {
+            Equivalence::Language => Some(DetNotion::Language),
+            Equivalence::Trace => Some(DetNotion::Trace),
+            Equivalence::Failure => Some(DetNotion::Failure),
+            _ => None,
+        }
+    }
+}
+
+/// A memoized, interned subset automaton over one process.
+///
+/// Subsets are sorted, duplicate-free, ε-closed member lists, hashed and
+/// interned once; transitions are computed lazily against a caller-provided
+/// [`SaturatedView`] and cached forever.  Id [`SubsetAutomaton::DEAD`] is
+/// the empty subset, which makes the (explored part of the) automaton a
+/// *complete* DFA — the shape the partition core's [`Dfa`] wants.
+#[derive(Clone, Debug)]
+pub struct SubsetAutomaton {
+    num_actions: usize,
+    /// `subsets[id]` — the sorted member list (state indices).
+    subsets: Vec<Vec<usize>>,
+    intern: HashMap<Vec<usize>, SubsetId>,
+    /// Row-major lazy transition table: `delta[id·|Σ| + a]`.
+    delta: Vec<usize>,
+    /// Per-subset acceptance bit (some member is accepting).
+    accepting: Vec<bool>,
+    /// Per-subset weakly-enabled observable actions (sorted indices): the
+    /// columns whose [`SubsetAutomaton::step`] is not the dead state.
+    enabled: Vec<Vec<usize>>,
+    /// Lazily interned refusal-antichain class per subset.
+    refusal_class: Vec<Option<usize>>,
+    antichain_intern: HashMap<Vec<Vec<usize>>, usize>,
+    /// Memoized ε-closure start subset per original state.
+    start_ids: Vec<Option<SubsetId>>,
+    /// Acceptance per *original* state, captured at construction so subset
+    /// annotations never need the process again.
+    state_accepting: Vec<bool>,
+    steps_computed: usize,
+}
+
+impl SubsetAutomaton {
+    /// The empty subset — the dead state of the complete DFA.
+    pub const DEAD: SubsetId = 0;
+
+    /// Creates an empty automaton for `fsp`, capturing the acceptance flags
+    /// (the only fact the annotations need from the process itself; all
+    /// transition structure comes from the [`SaturatedView`] passed to each
+    /// exploring call, which must be the view of the same process).
+    #[must_use]
+    pub fn new(fsp: &Fsp) -> Self {
+        let mut auto = SubsetAutomaton {
+            num_actions: fsp.num_actions(),
+            subsets: Vec::new(),
+            intern: HashMap::new(),
+            delta: Vec::new(),
+            accepting: Vec::new(),
+            enabled: Vec::new(),
+            refusal_class: Vec::new(),
+            antichain_intern: HashMap::new(),
+            start_ids: vec![None; fsp.num_states()],
+            state_accepting: fsp.state_ids().map(|s| fsp.is_accepting(s)).collect(),
+            steps_computed: 0,
+        };
+        let dead = auto.intern_members(Vec::new(), &[]);
+        debug_assert_eq!(dead, Self::DEAD);
+        // The dead state self-loops on every action.
+        for a in 0..auto.num_actions {
+            auto.delta[Self::DEAD * auto.num_actions + a] = Self::DEAD;
+        }
+        auto
+    }
+
+    /// Number of interned subsets (the arena size).
+    #[must_use]
+    pub fn num_subsets(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Number of observable actions (the DFA label alphabet).
+    #[must_use]
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Number of lazily computed transitions so far (diagnostic).
+    #[must_use]
+    pub fn steps_computed(&self) -> usize {
+        self.steps_computed
+    }
+
+    /// The sorted member list of a subset.
+    #[must_use]
+    pub fn subset(&self, id: SubsetId) -> &[usize] {
+        &self.subsets[id]
+    }
+
+    /// Whether the subset contains an accepting state.
+    #[must_use]
+    pub fn is_accepting(&self, id: SubsetId) -> bool {
+        self.accepting[id]
+    }
+
+    /// The weakly-enabled observable actions of the subset (sorted action
+    /// indices) — exactly the columns whose [`SubsetAutomaton::step`] is not
+    /// [`SubsetAutomaton::DEAD`].
+    #[must_use]
+    pub fn enabled(&self, id: SubsetId) -> &[usize] {
+        &self.enabled[id]
+    }
+
+    /// Interns `members` (must be sorted, duplicate-free, and ε-closed),
+    /// computing the acceptance and enabled-set annotations on first sight.
+    fn intern_members(&mut self, members: Vec<usize>, view_enabled: &[usize]) -> SubsetId {
+        if let Some(&id) = self.intern.get(&members) {
+            return id;
+        }
+        let id = self.subsets.len();
+        self.intern.insert(members.clone(), id);
+        self.accepting
+            .push(members.iter().any(|&s| self.state_accepting[s]));
+        self.enabled.push(view_enabled.to_vec());
+        self.subsets.push(members);
+        self.refusal_class.push(None);
+        self.delta
+            .extend(std::iter::repeat(UNEXPLORED).take(self.num_actions));
+        id
+    }
+
+    /// Computes the enabled-action set of a member list from the view's CSR
+    /// columns (`|Σ|·|X|` slice-emptiness checks).
+    fn enabled_of(&self, view: &SaturatedView, members: &[usize]) -> Vec<usize> {
+        (0..self.num_actions)
+            .filter(|&a| {
+                members.iter().any(|&x| {
+                    !view
+                        .successors(StateId::from_index(x), ActionId::from_index(a))
+                        .is_empty()
+                })
+            })
+            .collect()
+    }
+
+    /// Interns an arbitrary ε-closed member list.
+    fn intern_subset(&mut self, view: &SaturatedView, members: Vec<usize>) -> SubsetId {
+        if let Some(&id) = self.intern.get(&members) {
+            return id;
+        }
+        let enabled = self.enabled_of(view, &members);
+        self.intern_members(members, &enabled)
+    }
+
+    /// The start subset of an original state: its ε-closure, interned
+    /// (memoized per state).
+    pub fn start(&mut self, view: &SaturatedView, p: StateId) -> SubsetId {
+        if let Some(id) = self.start_ids[p.index()] {
+            return id;
+        }
+        let members: Vec<usize> = view
+            .epsilon_successors(p)
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        let id = self.intern_subset(view, members);
+        self.start_ids[p.index()] = Some(id);
+        id
+    }
+
+    /// One determinized transition `δ(id, action)`, computed lazily (the
+    /// view's columns already fold in the trailing ε-closure, so the union
+    /// of member columns is itself ε-closed) and memoized forever.
+    pub fn step(&mut self, view: &SaturatedView, id: SubsetId, action: ActionId) -> SubsetId {
+        let slot = id * self.num_actions + action.index();
+        if self.delta[slot] != UNEXPLORED {
+            return self.delta[slot];
+        }
+        self.steps_computed += 1;
+        let target = if self.enabled[id].binary_search(&action.index()).is_err() {
+            Self::DEAD
+        } else {
+            let mut members: Vec<usize> = Vec::new();
+            for &x in &self.subsets[id] {
+                members.extend(
+                    view.successors(StateId::from_index(x), action)
+                        .iter()
+                        .map(|s| s.index()),
+                );
+            }
+            members.sort_unstable();
+            members.dedup();
+            self.intern_subset(view, members)
+        };
+        self.delta[slot] = target;
+        target
+    }
+
+    /// The interned ⊆-maximal refusal-antichain class of the subset
+    /// (Section 5): two subsets share a class iff their antichains of
+    /// maximal refusal sets are identical, so the failure checkers compare
+    /// one integer instead of two set families.  Lazily memoized.
+    pub fn refusal_class(&mut self, view: &SaturatedView, id: SubsetId) -> usize {
+        if let Some(class) = self.refusal_class[id] {
+            return class;
+        }
+        let antichain = maximal_refusals(view, &self.subsets[id]);
+        let fresh = self.antichain_intern.len();
+        let class = *self.antichain_intern.entry(antichain).or_insert(fresh);
+        self.refusal_class[id] = Some(class);
+        class
+    }
+
+    /// Closes the transition table over every interned subset: explores
+    /// until no `(subset, action)` slot is missing.  After this the explored
+    /// arena is a complete DFA.
+    pub fn explore(&mut self, view: &SaturatedView) {
+        let mut next = 0;
+        while next < self.subsets.len() {
+            for a in 0..self.num_actions {
+                self.step(view, next, ActionId::from_index(a));
+            }
+            next += 1;
+        }
+    }
+
+    /// The fully-explored dense transition table (row-major, `|Σ|` columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some slot is still unexplored — call
+    /// [`SubsetAutomaton::explore`] first.
+    #[must_use]
+    pub fn transition_table(&self) -> &[usize] {
+        assert!(
+            !self.delta.contains(&UNEXPLORED),
+            "transition table not fully explored"
+        );
+        &self.delta
+    }
+
+    /// The per-subset output classes of a notion: acceptance bits for
+    /// language, non-emptiness for traces, `1 +` the interned refusal
+    /// antichain (dead state `0`) for failures.
+    pub fn classes(&mut self, view: &SaturatedView, notion: DetNotion) -> Vec<usize> {
+        match notion {
+            DetNotion::Language => self.accepting.iter().map(|&a| usize::from(a)).collect(),
+            DetNotion::Trace => (0..self.num_subsets())
+                .map(|id| usize::from(id != Self::DEAD))
+                .collect(),
+            DetNotion::Failure => (0..self.num_subsets())
+                .map(|id| {
+                    if id == Self::DEAD {
+                        0
+                    } else {
+                        1 + self.refusal_class(view, id)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether two subsets are immediately distinguished by the notion's
+    /// output class (the zero-step test of the synchronized search).
+    fn classes_differ(
+        &mut self,
+        view: &SaturatedView,
+        notion: DetNotion,
+        x: SubsetId,
+        y: SubsetId,
+    ) -> bool {
+        match notion {
+            DetNotion::Language => self.accepting[x] != self.accepting[y],
+            DetNotion::Trace => (x == Self::DEAD) != (y == Self::DEAD),
+            DetNotion::Failure => {
+                if (x == Self::DEAD) != (y == Self::DEAD) {
+                    true
+                } else if x == Self::DEAD {
+                    false
+                } else {
+                    self.refusal_class(view, x) != self.refusal_class(view, y)
+                }
+            }
+        }
+    }
+}
+
+/// Classifies all `num_states` original states under `notion` by **one**
+/// determinization and **one** partition refinement: every start subset is
+/// interned, the arena is explored to completion, the notion's per-subset
+/// classes seed a multi-class [`Dfa`], and the chosen solver refines it once.
+/// The block of a state is the block of its start subset.
+pub fn determinized_partition(
+    auto: &mut SubsetAutomaton,
+    view: &SaturatedView,
+    notion: DetNotion,
+    num_states: usize,
+    algorithm: Algorithm,
+) -> Partition {
+    let starts: Vec<SubsetId> = (0..num_states)
+        .map(|s| auto.start(view, StateId::from_index(s)))
+        .collect();
+    auto.explore(view);
+    let classes = auto.classes(view, notion);
+    let dfa = Dfa::from_subset_automaton(
+        auto.num_actions(),
+        SubsetAutomaton::DEAD,
+        auto.transition_table(),
+        &classes,
+    );
+    let over_subsets = solve(&dfa.to_instance(), algorithm);
+    let assignment: Vec<usize> = starts.iter().map(|&s| over_subsets.block_of(s)).collect();
+    Partition::from_assignment(&assignment)
+}
+
+/// A per-notion memo of decided subset pairs: proven pairs merge into a
+/// persistent union-find congruence, refuted pairs are cached with every
+/// ancestor pair on the path that exposed them.
+///
+/// One cache serves every pair query of a session against one notion; the
+/// arena ids it stores are those of the session's shared
+/// [`SubsetAutomaton`], so the cache must never be reused across automata.
+#[derive(Clone, Debug, Default)]
+pub struct PairCache {
+    /// Parent array of the proven-equivalent congruence (grows with the
+    /// arena; a root points to itself).
+    proven: Vec<usize>,
+    /// Canonically-ordered refuted pairs.
+    refuted: std::collections::HashSet<(SubsetId, SubsetId)>,
+}
+
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]]; // path halving
+        x = parent[x];
+    }
+    x
+}
+
+/// Unions two ids; returns `false` if they were already merged.
+fn union(parent: &mut [usize], a: usize, b: usize) -> bool {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra == rb {
+        return false;
+    }
+    parent[ra.max(rb)] = ra.min(rb);
+    true
+}
+
+fn canon(a: SubsetId, b: SubsetId) -> (SubsetId, SubsetId) {
+    (a.min(b), a.max(b))
+}
+
+impl PairCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PairCache::default()
+    }
+
+    /// Number of refuted pairs memoized so far (diagnostic).
+    #[must_use]
+    pub fn refuted_pairs(&self) -> usize {
+        self.refuted.len()
+    }
+
+    /// Whether the pair is already in the committed proven congruence — the
+    /// `O(α)` early-exit of [`PairCache::equivalent`] (diagnostic).
+    pub fn is_proven(&mut self, a: SubsetId, b: SubsetId) -> bool {
+        let needed = a.max(b) + 1;
+        Self::grow(&mut self.proven, needed);
+        find(&mut self.proven, a) == find(&mut self.proven, b)
+    }
+
+    fn grow(parent: &mut Vec<usize>, n: usize) {
+        while parent.len() < n {
+            parent.push(parent.len());
+        }
+    }
+
+    /// Decides whether two subset states are `notion`-equivalent by a
+    /// synchronized union-find search over the shared arena, pruned up to
+    /// the congruence of everything proven so far and early-exiting on any
+    /// pair already refuted.
+    ///
+    /// On success the whole search's congruence is committed to the cache;
+    /// on failure the distinguishing pair *and every ancestor on its
+    /// provenance chain* (each inequivalent by the same suffix) are added to
+    /// the refutation cache, and the speculative merges are discarded.
+    pub fn equivalent(
+        &mut self,
+        auto: &mut SubsetAutomaton,
+        view: &SaturatedView,
+        notion: DetNotion,
+        left: SubsetId,
+        right: SubsetId,
+    ) -> bool {
+        Self::grow(&mut self.proven, auto.num_subsets());
+        if find(&mut self.proven, left) == find(&mut self.proven, right) {
+            return true;
+        }
+        if self.refuted.contains(&canon(left, right)) {
+            return false;
+        }
+        // Speculative congruence: the persistent one plus this search's
+        // merges; committed only if no distinguishing pair turns up.  The
+        // root pair is merged up front (as every pushed pair is) so a
+        // successful commit memoizes the queried pair itself.
+        let mut uf = self.proven.clone();
+        union(&mut uf, left, right);
+        let mut pairs: Vec<(SubsetId, SubsetId)> = vec![(left, right)];
+        let mut provenance: Vec<Option<usize>> = vec![None];
+        let mut head = 0;
+        while head < pairs.len() {
+            let (x, y) = pairs[head];
+            if auto.classes_differ(view, notion, x, y) || self.refuted.contains(&canon(x, y)) {
+                // Every ancestor is distinguished by the same suffix.
+                let mut cursor = Some(head);
+                while let Some(i) = cursor {
+                    self.refuted.insert(canon(pairs[i].0, pairs[i].1));
+                    cursor = provenance[i];
+                }
+                return false;
+            }
+            for a in 0..auto.num_actions() {
+                let action = ActionId::from_index(a);
+                let nx = auto.step(view, x, action);
+                let ny = auto.step(view, y, action);
+                Self::grow(&mut uf, auto.num_subsets());
+                if union(&mut uf, nx, ny) {
+                    pairs.push((nx, ny));
+                    provenance.push(Some(head));
+                }
+            }
+            head += 1;
+        }
+        self.proven = uf;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+    use ccs_fsp::saturate::{tau_closure, SaturatedView};
+
+    fn arena(fsp: &Fsp) -> (SubsetAutomaton, SaturatedView) {
+        let closure = tau_closure(fsp);
+        let view = SaturatedView::build(fsp, &closure);
+        (SubsetAutomaton::new(fsp), view)
+    }
+
+    #[test]
+    fn dead_state_is_interned_first_and_self_loops() {
+        let f = format::parse("trans p a q\naccept q").unwrap();
+        let (mut auto, view) = arena(&f);
+        assert_eq!(auto.num_subsets(), 1);
+        assert!(auto.subset(SubsetAutomaton::DEAD).is_empty());
+        assert!(!auto.is_accepting(SubsetAutomaton::DEAD));
+        let a = f.action_id("a").unwrap();
+        assert_eq!(
+            auto.step(&view, SubsetAutomaton::DEAD, a),
+            SubsetAutomaton::DEAD
+        );
+    }
+
+    #[test]
+    fn starts_are_epsilon_closures_and_memoized() {
+        let f = format::parse("trans p tau q\ntrans q a r\naccept r").unwrap();
+        let (mut auto, view) = arena(&f);
+        let p = f.state_by_name("p").unwrap();
+        let sp = auto.start(&view, p);
+        assert_eq!(auto.subset(sp).len(), 2); // {p, q}
+        assert_eq!(auto.start(&view, p), sp);
+        let a = f.action_id("a").unwrap();
+        let after = auto.step(&view, sp, a);
+        assert!(auto.is_accepting(after));
+        // Enabled set: `a` is weakly enabled at {p, q}, nothing at {r}.
+        assert_eq!(auto.enabled(sp), &[a.index()]);
+        assert!(auto.enabled(after).is_empty());
+    }
+
+    #[test]
+    fn steps_are_computed_once() {
+        let f = format::parse("trans p a p\ntrans p b p\naccept p").unwrap();
+        let (mut auto, view) = arena(&f);
+        let p = f.start();
+        let sp = auto.start(&view, p);
+        for _ in 0..3 {
+            for a in f.action_ids() {
+                assert_eq!(auto.step(&view, sp, a), sp);
+            }
+        }
+        // 2 actions on {p}; the dead state's loops were prefilled.
+        assert_eq!(auto.steps_computed(), 2);
+    }
+
+    #[test]
+    fn refusal_classes_intern_antichains() {
+        // After `a`, the split process refuses {b} or {c}; the merged one
+        // refuses neither — different antichains, different classes.
+        let f = format::parse(
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\n\
+             trans p a q\ntrans q b r\ntrans q c s\naccept u v w x y p q r s",
+        )
+        .unwrap();
+        let (mut auto, view) = arena(&f);
+        let u = f.state_by_name("u").unwrap();
+        let p = f.state_by_name("p").unwrap();
+        let a = f.action_id("a").unwrap();
+        let su = auto.start(&view, u);
+        let sp = auto.start(&view, p);
+        let after_u = auto.step(&view, su, a); // {v, w}
+        let after_p = auto.step(&view, sp, a); // {q}
+        assert_ne!(
+            auto.refusal_class(&view, after_u),
+            auto.refusal_class(&view, after_p)
+        );
+        // Memoized: same class on re-query.
+        assert_eq!(
+            auto.refusal_class(&view, after_u),
+            auto.refusal_class(&view, after_u)
+        );
+        // Start subsets: both enable exactly `a`, refusing {b, c} — equal.
+        assert_eq!(auto.refusal_class(&view, su), auto.refusal_class(&view, sp));
+    }
+
+    #[test]
+    fn explore_completes_the_table() {
+        let f = format::parse("trans p a q\ntrans q b p\ntrans r a r\naccept p r").unwrap();
+        let (mut auto, view) = arena(&f);
+        for s in f.state_ids() {
+            auto.start(&view, s);
+        }
+        auto.explore(&view);
+        let table = auto.transition_table();
+        assert_eq!(table.len(), auto.num_subsets() * auto.num_actions());
+        assert!(table.iter().all(|&t| t < auto.num_subsets()));
+    }
+
+    #[test]
+    fn pair_cache_agrees_with_free_checkers_and_memoizes() {
+        let f = format::parse("trans p a q\ntrans r a s\ntrans x b y\ntrans q a q\naccept q s y")
+            .unwrap();
+        let (mut auto, view) = arena(&f);
+        let mut cache = PairCache::new();
+        let states: Vec<StateId> = f.state_ids().collect();
+        for &a in &states {
+            for &b in &states {
+                let (sa, sb) = (auto.start(&view, a), auto.start(&view, b));
+                let got = cache.equivalent(&mut auto, &view, DetNotion::Language, sa, sb);
+                let want = crate::language::language_equivalent_states(&f, a, b).holds;
+                assert_eq!(got, want, "{a} vs {b}");
+                // Positive verdicts land in the committed congruence (the
+                // root pair is merged, not just its successors), so repeats
+                // and the symmetric query take the early exit.
+                if want {
+                    assert!(cache.is_proven(sa, sb), "{a} ≡ {b} not memoized");
+                }
+                // Memoized verdicts are stable.
+                assert_eq!(
+                    cache.equivalent(&mut auto, &view, DetNotion::Language, sa, sb),
+                    want
+                );
+            }
+        }
+        assert!(cache.refuted_pairs() > 0);
+    }
+
+    #[test]
+    fn determinized_partition_matches_pairwise_oracle_per_notion() {
+        let f = format::parse(
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\n\
+             trans p a q\ntrans q b r\ntrans q c s\naccept u v w x y p q r s",
+        )
+        .unwrap();
+        let closure = tau_closure(&f);
+        let view = SaturatedView::build(&f, &closure);
+        for notion in [DetNotion::Language, DetNotion::Trace, DetNotion::Failure] {
+            let mut auto = SubsetAutomaton::new(&f);
+            let partition = determinized_partition(
+                &mut auto,
+                &view,
+                notion,
+                f.num_states(),
+                Algorithm::PaigeTarjan,
+            );
+            for p in f.state_ids() {
+                for q in f.state_ids() {
+                    let want = match notion {
+                        DetNotion::Language => {
+                            crate::language::language_equivalent_states(&f, p, q).holds
+                        }
+                        DetNotion::Trace => crate::traces::trace_equivalent_states(&f, p, q).holds,
+                        DetNotion::Failure => {
+                            crate::failures::failure_equivalent_states(&f, p, q).equivalent
+                        }
+                    };
+                    assert_eq!(
+                        partition.same_block(p.index(), q.index()),
+                        want,
+                        "{notion:?}: {p} vs {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn det_notion_of_maps_only_the_pspace_notions() {
+        assert_eq!(
+            DetNotion::of(Equivalence::Language),
+            Some(DetNotion::Language)
+        );
+        assert_eq!(DetNotion::of(Equivalence::Trace), Some(DetNotion::Trace));
+        assert_eq!(
+            DetNotion::of(Equivalence::Failure),
+            Some(DetNotion::Failure)
+        );
+        assert_eq!(DetNotion::of(Equivalence::Strong), None);
+        assert_eq!(DetNotion::of(Equivalence::KObservational(1)), None);
+    }
+}

@@ -45,7 +45,9 @@ pub struct FailureResult {
 ///
 /// Weak enabledness is read off the [`SaturatedView`]'s CSR columns —
 /// `|Σ|` slice-emptiness checks per member instead of a τ-closure walk.
-fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Vec<usize>> {
+/// Shared with the [`determinize`](crate::determinize) layer, whose
+/// per-subset failure annotation interns exactly this antichain.
+pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Vec<usize>> {
     let all_actions: Vec<usize> = (0..view.num_actions()).collect();
     let mut refusals: Vec<Vec<usize>> = subset
         .iter()

@@ -10,9 +10,9 @@
 //! | observational equivalence `≈` | [`weak`] | polynomial (Thm 4.1a) | τ-saturation + strong equivalence |
 //! | limited observational `≃ₖ`, `≃` | [`limited`] | `≃` = `≈` (Prop 2.2.1) | bounded partition refinement on the saturated process |
 //! | k-observational `≈ₖ` | [`kobs`] | PSPACE-complete for fixed k ≥ 1 (Thm 4.1b) | exact, exponential: synchronized subset construction per level |
-//! | language (NFA) equivalence `≈₁` | [`language`] | PSPACE-complete | on-the-fly subset construction with union-find |
-//! | trace equivalence | [`traces`] | (special case of `≈₁`) | subset construction |
-//! | failure equivalence `≡F` | [`failures`] | PSPACE-complete (Thm 5.1) | synchronized failures-determinization |
+//! | language (NFA) equivalence `≈₁` | [`language`] | PSPACE-complete | shared memoized determinization ([`determinize`]) + one DFA refinement |
+//! | trace equivalence | [`traces`] | (special case of `≈₁`) | same shared subset arena, non-emptiness classes |
+//! | failure equivalence `≡F` | [`failures`] | PSPACE-complete (Thm 5.1) | same shared subset arena, interned ⊆-maximal refusal antichains |
 //! | deterministic fast paths | [`deterministic`] | everything collapses (Prop 2.2.4) | UNION-FIND DFA equivalence |
 //!
 //! Non-equivalent states can be explained: [`witness`] produces
@@ -61,6 +61,7 @@
 
 mod check;
 pub mod deterministic;
+pub mod determinize;
 mod error;
 pub mod failures;
 pub mod kobs;

@@ -13,11 +13,24 @@
 //!       TauClosure  ─────────────┐
 //!        │       │               │
 //!  SaturatedView  weak edges ──► ccs-partition CSR (weak Instance)
-//!        │                             │
-//!  subset checkers              one Partition per
-//!  (≈ₖ, ≡F, traces,          (Equivalence, Algorithm)
-//!   language)                  memoization key
+//!        │      │                      │
+//!        │  SubsetAutomaton     one Partition per
+//!        │   (memoized subset  (Equivalence, Algorithm)
+//!        │    arena + PairCache)  memoization key
+//!        │      │
+//!  ≈ₖ checkers  product DFA ──► one refinement classifies
+//!               (≡F, traces,    Language/Trace/Failure
+//!                language)
 //! ```
+//!
+//! The PSPACE notions (`Language`, `Trace`, `Failure`) run on the shared
+//! [determinization layer](crate::determinize): one memoized, interned
+//! subset automaton per session serves both whole-space classification
+//! (all `n` start subsets determinized into one product DFA, classified by
+//! one partition refinement) and individual pair queries (a
+//! congruence-pruned synchronized search with a persistent pair cache).
+//! The pre-determinization representative scan survives as the
+//! [`EquivSession::representative_scan_partition`] oracle.
 //!
 //! The weak transition relation is streamed straight from
 //! [`saturate::weak_edges`](ccs_fsp::saturate::weak_edges) into the
@@ -52,6 +65,7 @@ use ccs_fsp::{ActionId, Fsp, StateId};
 use ccs_partition::{solve, Algorithm, GraphBuilder, Instance, Partition};
 
 use crate::check::Equivalence;
+use crate::determinize::{self, DetNotion, PairCache, SubsetAutomaton};
 use crate::limited::{self, LimitedHierarchy};
 use crate::{failures, kobs, language, strong, traces};
 
@@ -84,6 +98,12 @@ pub struct EquivSession {
     weak_instance: Option<Instance>,
     /// `(rounds it was computed with, hierarchy)` — see `ensure_limited`.
     limited: Option<(usize, LimitedHierarchy)>,
+    /// The shared memoized subset automaton of the determinization layer
+    /// (built lazily; serves Language/Trace/Failure classification and pair
+    /// queries alike).
+    automaton: Option<SubsetAutomaton>,
+    /// One memo of decided subset pairs per determinizable notion.
+    pair_caches: HashMap<DetNotion, PairCache>,
     partitions: HashMap<(Equivalence, Algorithm), Partition>,
     /// Solver used by [`EquivSession::classify_all`] and the batched APIs
     /// when the caller does not name one — e.g.
@@ -103,6 +123,8 @@ impl EquivSession {
             strong_instance: None,
             weak_instance: None,
             limited: None,
+            automaton: None,
+            pair_caches: HashMap::new(),
             partitions: HashMap::new(),
             default_algorithm: Algorithm::PaigeTarjan,
         }
@@ -265,16 +287,34 @@ impl EquivSession {
         }
     }
 
+    /// The session's shared subset automaton (built lazily over the cached
+    /// saturated view).  Exposed for diagnostics — arena size, lazy-step
+    /// counts — e.g. in the report's DET table.
+    pub fn subset_automaton(&mut self) -> &SubsetAutomaton {
+        self.ensure_automaton();
+        self.automaton.as_ref().expect("automaton just initialized")
+    }
+
+    fn ensure_automaton(&mut self) {
+        if self.automaton.is_none() {
+            self.saturated_view();
+            self.automaton = Some(SubsetAutomaton::new(&self.fsp));
+        }
+    }
+
     /// The partition of all states into `notion`-equivalence classes, using
     /// the chosen refinement algorithm where one applies, memoized per
     /// `(notion, algorithm)`.
     ///
-    /// For the PSPACE-complete notions (`Language`, `Trace`, `Failure`,
-    /// `KObservational`) the partition is obtained by grouping states
-    /// against one representative per class with the pairwise checker —
-    /// sound because each of those relations is an equivalence — so expect
-    /// exponential worst-case behaviour, exactly as Theorem 4.1(b)/5.1
-    /// demand.
+    /// The PSPACE-complete notions `Language`, `Trace` and `Failure` go
+    /// through the shared [determinization layer](crate::determinize): all
+    /// `n` ε-closure start subsets are determinized into **one** product
+    /// DFA over the session's memoized subset arena and classified by **one**
+    /// partition refinement — no per-pair subset construction, no
+    /// representative scan.  `KObservational` still grows level by level.
+    /// Expect exponential worst-case behaviour in the arena size, exactly
+    /// as Theorem 4.1(b)/5.1 demand — but paid once per subset, not once
+    /// per pair.
     pub fn partition_with(&mut self, notion: Equivalence, algorithm: Algorithm) -> &Partition {
         let key = Self::cache_key(notion, algorithm);
         if !self.partitions.contains_key(&key) {
@@ -318,21 +358,47 @@ impl EquivSession {
                 kobs::refine_level(view, &prev)
             }
             Equivalence::Language | Equivalence::Trace | Equivalence::Failure => {
-                self.pairwise_partition(notion)
+                let det = DetNotion::of(notion).expect("matched a determinizable notion");
+                self.ensure_automaton();
+                let view = self.view.as_ref().expect("view cached by ensure_automaton");
+                let auto = self.automaton.as_mut().expect("automaton ensured above");
+                determinize::determinized_partition(
+                    auto,
+                    view,
+                    det,
+                    self.fsp.num_states(),
+                    algorithm,
+                )
             }
         }
     }
 
-    /// Groups states into classes of a pairwise-decided equivalence by
-    /// comparing each state against one representative per known class.
-    fn pairwise_partition(&mut self, notion: Equivalence) -> Partition {
+    /// The pre-determinization classification of the PSPACE notions, kept as
+    /// a cross-check **oracle**: states are grouped by comparing each one
+    /// against one representative per known class with the original
+    /// per-pair subset-construction checkers
+    /// ([`language`], [`traces`], [`failures`]) — one independent on-the-fly
+    /// determinization per `(state, representative)` pair.  The determinized
+    /// [`EquivSession::classify_all`] must produce exactly this partition;
+    /// the root property suite and the report's DET table assert it.
+    ///
+    /// The result is *not* memoized (this is the slow path by design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `notion` is not one of `Language`, `Trace`, `Failure`.
+    pub fn representative_scan_partition(&mut self, notion: Equivalence) -> Partition {
+        assert!(
+            DetNotion::of(notion).is_some(),
+            "representative scan only covers the pairwise PSPACE notions"
+        );
         let n = self.fsp.num_states();
         let mut assignment = vec![usize::MAX; n];
         let mut representatives: Vec<StateId> = Vec::new();
         for s in (0..n).map(StateId::from_index) {
             let mut found = None;
             for (class, &rep) in representatives.iter().enumerate() {
-                if self.pairwise_equivalent(notion, s, rep) {
+                if self.oracle_pairwise_equivalent(notion, s, rep) {
                     found = Some(class);
                     break;
                 }
@@ -349,9 +415,10 @@ impl EquivSession {
         Partition::from_assignment(&assignment)
     }
 
-    /// One pair query with the subset-construction checkers, against the
-    /// cached artifacts (no full partition is forced).
-    fn pairwise_equivalent(&mut self, notion: Equivalence, p: StateId, q: StateId) -> bool {
+    /// One pair query with the original subset-construction checkers,
+    /// against the cached closure/view — the oracle behind
+    /// [`EquivSession::representative_scan_partition`].
+    fn oracle_pairwise_equivalent(&mut self, notion: Equivalence, p: StateId, q: StateId) -> bool {
         match notion {
             Equivalence::Language => {
                 self.tau_closure();
@@ -368,22 +435,39 @@ impl EquivSession {
                 let view = self.view.as_ref().expect("view cached above");
                 failures::failure_equivalent_states_with(&self.fsp, view, p, q).equivalent
             }
-            _ => self.classify_all(notion).same_block(p.index(), q.index()),
+            _ => unreachable!("oracle only covers the pairwise PSPACE notions"),
         }
+    }
+
+    /// One pair query through the determinization layer: the two ε-closure
+    /// start subsets are looked up in (or added to) the shared arena and the
+    /// notion's [`PairCache`] runs its congruence-pruned synchronized
+    /// search, reusing every verdict the session has already established.
+    fn det_pair_equivalent(&mut self, notion: DetNotion, p: StateId, q: StateId) -> bool {
+        self.ensure_automaton();
+        let view = self.view.as_ref().expect("view cached by ensure_automaton");
+        let auto = self.automaton.as_mut().expect("automaton ensured above");
+        let cache = self.pair_caches.entry(notion).or_default();
+        let (left, right) = (auto.start(view, p), auto.start(view, q));
+        cache.equivalent(auto, view, notion, left, right)
     }
 
     /// Tests whether two states are related by `notion`.
     ///
     /// Refinement-backed notions answer from the memoized partition; the
-    /// pairwise PSPACE notions run one subset-construction query against the
-    /// cached closure/view (building their full partition only when a batch
-    /// asks for it).
+    /// PSPACE notions answer from the memoized pair cache over the shared
+    /// subset arena (or a two-array lookup once a batch has forced the full
+    /// determinized partition).
     pub fn equivalent_states(&mut self, p: StateId, q: StateId, notion: Equivalence) -> bool {
-        match notion {
-            Equivalence::Language | Equivalence::Trace | Equivalence::Failure => {
-                self.pairwise_equivalent(notion, p, q)
+        match DetNotion::of(notion) {
+            Some(det) => {
+                let key = Self::cache_key(notion, self.default_algorithm);
+                if let Some(partition) = self.partitions.get(&key) {
+                    return partition.same_block(p.index(), q.index());
+                }
+                self.det_pair_equivalent(det, p, q)
             }
-            _ => self.classify_all(notion).same_block(p.index(), q.index()),
+            None => self.classify_all(notion).same_block(p.index(), q.index()),
         }
     }
 
@@ -391,28 +475,27 @@ impl EquivSession {
     /// `notion`-partition is computed (or fetched) once and each pair is a
     /// two-array lookup.
     ///
-    /// Exception: for the pairwise PSPACE notions (`Language`, `Trace`,
-    /// `Failure`) a *small* batch — fewer pairs than states, with no
-    /// partition cached yet — is answered pair by pair against the shared
-    /// closure/view, since full classification costs one subset
-    /// construction per state and would dwarf the batch.
+    /// Exception: for the PSPACE notions (`Language`, `Trace`, `Failure`) a
+    /// *small* batch — fewer pairs than states, with no partition cached
+    /// yet — is answered pair by pair through the antichain-pruned
+    /// [`PairCache`], since full classification determinizes from every
+    /// state and would dwarf the batch; the per-pair searches still share
+    /// the session's one subset arena and memoize their verdicts.
     pub fn equivalent_pairs(
         &mut self,
         notion: Equivalence,
         pairs: &[(StateId, StateId)],
     ) -> Vec<bool> {
-        let pairwise_notion = matches!(
-            notion,
-            Equivalence::Language | Equivalence::Trace | Equivalence::Failure
-        );
         let cached = self
             .partitions
             .contains_key(&Self::cache_key(notion, self.default_algorithm));
-        if pairwise_notion && !cached && pairs.len() < self.fsp.num_states() {
-            return pairs
-                .iter()
-                .map(|&(p, q)| self.pairwise_equivalent(notion, p, q))
-                .collect();
+        if let Some(det) = DetNotion::of(notion) {
+            if !cached && pairs.len() < self.fsp.num_states() {
+                return pairs
+                    .iter()
+                    .map(|&(p, q)| self.det_pair_equivalent(det, p, q))
+                    .collect();
+            }
         }
         let partition = self.classify_all(notion);
         pairs
@@ -608,6 +691,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The determinized `classify_all` must equal the pre-determinization
+    /// representative scan on every PSPACE notion — the oracle the DET
+    /// report table and the root property suite also assert.
+    #[test]
+    fn determinized_classification_matches_representative_scan() {
+        let (merged, split) = table_ii_pair();
+        let union = ccs_fsp::ops::disjoint_union(&merged, &split);
+        let with_tau = format::parse(
+            "trans p tau q\ntrans q a r\ntrans r tau p\ntrans s a t\ntrans s tau s\naccept r t",
+        )
+        .unwrap();
+        for fsp in [union.fsp, with_tau] {
+            let mut session = EquivSession::new(fsp);
+            for notion in [
+                Equivalence::Language,
+                Equivalence::Trace,
+                Equivalence::Failure,
+            ] {
+                let oracle = session.representative_scan_partition(notion);
+                let det = session.classify_all(notion).clone();
+                assert_eq!(det, oracle, "{notion}");
+            }
+        }
+    }
+
+    /// Pair queries and whole-space classification share one subset arena:
+    /// classifying after a pair query must not rebuild anything, and the
+    /// pair cache's verdicts must agree with the partition.
+    #[test]
+    fn pair_cache_and_classification_share_the_arena() {
+        let (merged, split) = table_ii_pair();
+        let union = ccs_fsp::ops::disjoint_union(&merged, &split);
+        let (p, q) = ccs_fsp::ops::union_starts(&union, &merged, &split);
+        let mut session = EquivSession::new(union.fsp.clone());
+        // Pair queries first (the lazy path) …
+        assert!(session.equivalent_states(p, q, Equivalence::Language));
+        assert!(!session.equivalent_states(p, q, Equivalence::Failure));
+        let arena_after_pairs = session.subset_automaton().num_subsets();
+        assert!(arena_after_pairs > 1);
+        // … then classification reuses (and extends) the same arena.
+        let partition = session.classify_all(Equivalence::Language).clone();
+        assert!(partition.same_block(p.index(), q.index()));
+        assert!(session.subset_automaton().num_subsets() >= arena_after_pairs);
+        // With the partition memoized, pair queries become lookups that
+        // still agree with the cache's earlier verdicts.
+        assert!(session.equivalent_states(p, q, Equivalence::Language));
     }
 
     #[test]

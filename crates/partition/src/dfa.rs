@@ -93,6 +93,52 @@ impl Dfa {
         self.class[state]
     }
 
+    /// The output classes of all states, indexed by state.
+    #[must_use]
+    pub fn classes(&self) -> &[usize] {
+        &self.class
+    }
+
+    /// Adopts the dense transition table of a fully-explored subset
+    /// automaton (or any complete deterministic table): `delta[s·k + l]` is
+    /// the successor of state `s` under label `l`, and `classes[s]` its
+    /// output class.  The number of states is `classes.len()`.
+    ///
+    /// This is the bridge the `ccs-equiv` determinization layer uses to hand
+    /// its interned subset arena to the partition-refinement solvers: the
+    /// arena's per-subset annotations (acceptance, trace non-emptiness,
+    /// refusal-antichain identity) become multi-class outputs, and one
+    /// refinement of the resulting DFA classifies every subset at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, if `delta.len() != classes.len() ×
+    /// num_labels`, if `start` or any transition target is out of range.
+    #[must_use]
+    pub fn from_subset_automaton(
+        num_labels: usize,
+        start: usize,
+        delta: &[usize],
+        classes: &[usize],
+    ) -> Self {
+        let n = classes.len();
+        assert!(n > 0, "a DFA needs at least one state");
+        assert!(start < n, "start state out of range");
+        assert_eq!(
+            delta.len(),
+            n * num_labels,
+            "transition table must be dense (num_states × num_labels)"
+        );
+        let mut dfa = Dfa::new(n, num_labels, start);
+        for s in 0..n {
+            dfa.set_class(s, classes[s]);
+            for l in 0..num_labels {
+                dfa.set_transition(s, l, delta[s * num_labels + l]);
+            }
+        }
+        dfa
+    }
+
     /// Returns `true` iff the state's class is non-zero.
     #[must_use]
     pub fn is_accepting(&self, state: usize) -> bool {
@@ -184,6 +230,24 @@ mod tests {
     fn invalid_target_panics() {
         let mut d = Dfa::new(2, 1, 0);
         d.set_transition(0, 0, 7);
+    }
+
+    #[test]
+    fn from_subset_automaton_round_trips() {
+        let d = even_ones();
+        let delta: Vec<usize> = (0..d.num_states())
+            .flat_map(|s| (0..d.num_labels()).map(move |l| (s, l)))
+            .map(|(s, l)| d.step(s, l))
+            .collect();
+        let rebuilt = Dfa::from_subset_automaton(d.num_labels(), d.start(), &delta, d.classes());
+        assert_eq!(rebuilt, d);
+        assert_eq!(rebuilt.classes(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be dense")]
+    fn from_subset_automaton_rejects_ragged_tables() {
+        let _ = Dfa::from_subset_automaton(2, 0, &[0, 1, 1], &[0, 1]);
     }
 
     #[test]

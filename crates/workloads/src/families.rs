@@ -137,6 +137,85 @@ pub fn slow_convergence_pair(n: usize) -> (Fsp, Fsp) {
     (chain(n + 1, "a"), chain(n + 2, "a"))
 }
 
+/// A Theorem 4.1(b)-style exponential-blowup family for the determinization
+/// layer: two copies of the classic "`w`-th symbol from the end is `a`" NFA
+/// over `Σ = {a, b}` (windows `window` and `window - 1`), plus `n - 2w - 1`
+/// *entry* states that each feed into one of the two heads.
+///
+/// A window-`w` core has a head `h` (self-loops on both letters, guess
+/// `h →a c₁`) and a chain `c₁ →a,b c₂ →a,b … → c_w` with only `c_w`
+/// accepting; `L(h) = Σ*aΣ^{w-1}`, whose minimal DFA has `2^w` states.  An
+/// entry state `e` targeting `h` mimics the head's one-step behaviour
+/// exactly (`e →a h`, `e →b h`, `e →a c₁`), so `e` is language-, trace- and
+/// failure-equivalent to `h` — and its subset construction lands in `h`'s
+/// `2^w` arena after a single step.  Entries alternate between the two
+/// cores, so roughly half are equivalent to each head.
+///
+/// This is the workload the shared determinization layer is built for: the
+/// memoized subset automaton explores the `2^w + 2^{w-1}` shared arena
+/// **once** for all `n` states, while the pre-determinization
+/// representative scan re-runs an independent exponential synchronized
+/// search for every `(entry, representative)` attempt — `Θ(n)` searches of
+/// `Θ(2^w)` subset-pairs each (entries targeting the second core pay twice:
+/// their check against the first head has to exhaust the arena before it
+/// fails).  The DET report table measures exactly this gap.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `window < 2`.
+#[must_use]
+pub fn det_blowup(n: usize, window: usize) -> Fsp {
+    assert!(n > 0, "blowup family needs at least one state");
+    assert!(window >= 2, "blowup window must be at least 2");
+    let mut b = Fsp::builder(&format!("det-blowup-{n}-w{window}"));
+    let a = b.action("a");
+    let bee = b.action("b");
+    let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+    // One window-`w` core starting at `head`, truncated to the available
+    // states; returns the number of states it used.
+    let core = |b: &mut ccs_fsp::FspBuilder, head: usize, w: usize| -> usize {
+        let depth = (n - head).min(w + 1);
+        b.add_transition(states[head], Label::Act(a), states[head]);
+        b.add_transition(states[head], Label::Act(bee), states[head]);
+        if depth > 1 {
+            b.add_transition(states[head], Label::Act(a), states[head + 1]);
+        }
+        for i in 1..depth - 1 {
+            b.add_transition(states[head + i], Label::Act(a), states[head + i + 1]);
+            b.add_transition(states[head + i], Label::Act(bee), states[head + i + 1]);
+        }
+        if depth == w + 1 {
+            b.mark_accepting(states[head + depth - 1]);
+        }
+        depth
+    };
+    let head_a = 0;
+    let depth_a = core(&mut b, head_a, window);
+    let mut used = depth_a;
+    let core_b = if used < n {
+        let head = used;
+        let depth = core(&mut b, head, window - 1);
+        used += depth;
+        Some((head, depth))
+    } else {
+        None
+    };
+    for (j, &entry) in states.iter().enumerate().skip(used) {
+        let (head, depth) = match core_b {
+            Some(cb) if (j - used) % 2 == 1 => cb,
+            _ => (head_a, depth_a),
+        };
+        b.add_transition(entry, Label::Act(a), states[head]);
+        b.add_transition(entry, Label::Act(bee), states[head]);
+        if depth > 1 {
+            // The head's guess edge, mirrored onto the shared chain.
+            b.add_transition(entry, Label::Act(a), states[head + 1]);
+        }
+    }
+    b.set_start(states[0]);
+    b.build().expect("blowup family is non-empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +274,40 @@ mod tests {
         assert!(equivalent(&internal, &external, Equivalence::Trace).unwrap());
         assert!(!equivalent(&internal, &external, Equivalence::Observational).unwrap());
         assert!(!equivalent(&internal, &external, Equivalence::Failure).unwrap());
+    }
+
+    #[test]
+    fn det_blowup_has_exact_size_and_exponential_determinization() {
+        // Window 3: core A = s0..s3 (head s0), core B = s4..s6 (head s4),
+        // entries s7, s9, … target A and s8, s10, … target B.
+        let f = det_blowup(12, 3);
+        assert_eq!(f.num_states(), 12);
+        let h_a = f.state_by_name("s0").unwrap();
+        let h_b = f.state_by_name("s4").unwrap();
+        let e_a = f.state_by_name("s7").unwrap();
+        let e_b = f.state_by_name("s8").unwrap();
+        // Entries are language-equivalent to their head and to each other…
+        assert!(ccs_equiv::language::language_equivalent_states(&f, h_a, e_a).holds);
+        assert!(ccs_equiv::language::language_equivalent_states(&f, h_b, e_b).holds);
+        // …while the two cores (windows 3 vs 2) are inequivalent.
+        assert!(!ccs_equiv::language::language_equivalent_states(&f, h_a, h_b).holds);
+        assert!(!ccs_equiv::language::language_equivalent_states(&f, e_a, e_b).holds);
+        // The classification agrees between the determinized engine and the
+        // representative-scan oracle on the blowup shape.
+        let mut session = ccs_equiv::EquivSession::for_process(&f);
+        let oracle = session.representative_scan_partition(Equivalence::Language);
+        assert_eq!(session.classify_all(Equivalence::Language), &oracle);
+        // The arena really blows up past the state count: the 2^w + 2^{w-1}
+        // shared core arena dominates the n original states.
+        let g = det_blowup(16, 6);
+        let mut s = ccs_equiv::EquivSession::for_process(&g);
+        let _ = s.classify_all(Equivalence::Language);
+        assert!(
+            s.subset_automaton().num_subsets() > g.num_states(),
+            "expected subset blowup, got {} subsets over {} states",
+            s.subset_automaton().num_subsets(),
+            g.num_states()
+        );
     }
 
     #[test]

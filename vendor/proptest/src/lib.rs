@@ -13,10 +13,18 @@
 //! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`], and
 //!   [`prop_assert_ne!`] macros with `#![proptest_config(..)]` support.
 //!
-//! Semantics differ from real proptest in one important way: failing cases
-//! are **not shrunk**. A failure panics with the generated inputs (which are
-//! deterministic in the test name and case number), so reproduction is still
-//! exact.
+//! Semantics differ from real proptest in scope but not in spirit: failing
+//! cases **are shrunk**, by a minimal greedy scheme instead of proptest's
+//! value trees.  [`strategy::Strategy::shrink`] proposes smaller candidate
+//! values — integer ranges bisect toward their lower bound, vectors try
+//! shorter prefixes, element removal and element-wise shrinks, tuples shrink
+//! component-wise — and the [`proptest!`] runner greedily re-runs the body
+//! on candidates (bounded by a fixed budget) until none fails, then reports
+//! the *minimized* inputs alongside the original ones.  Combinators that
+//! cannot invert their mapping (`prop_map`, `prop_flat_map`, `prop_oneof!`)
+//! propose nothing, so strategies built from them fail with the originally
+//! generated inputs, which remain deterministic in the test name and case
+//! number — reproduction is still exact.
 
 #![forbid(unsafe_code)]
 
@@ -105,14 +113,25 @@ pub mod strategy {
 
     /// A recipe for generating values of type [`Strategy::Value`].
     ///
-    /// Unlike real proptest there is no value tree / shrinking: a strategy
-    /// simply samples a value from a deterministic RNG.
+    /// Unlike real proptest there is no value tree: a strategy samples a
+    /// value from a deterministic RNG and, on failure, proposes smaller
+    /// candidates through [`Strategy::shrink`].
     pub trait Strategy: Clone {
         /// The type of generated values.
         type Value: Debug;
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Proposes candidate values smaller than `value`, most aggressive
+        /// first.  The [`proptest!`](crate::proptest) runner greedily keeps
+        /// any candidate that still fails the property and re-shrinks from
+        /// there, so a short list converging toward the minimum (e.g.
+        /// bisection steps) is enough.  The default proposes nothing —
+        /// combinators that cannot invert their mapping keep it.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Returns a strategy producing `f(v)` for generated `v`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -169,16 +188,20 @@ pub mod strategy {
         }
     }
 
-    /// Object-safe sampling, used by [`BoxedStrategy`].
+    /// Object-safe sampling and shrinking, used by [`BoxedStrategy`].
     trait SampleObj {
         type Value;
         fn sample_obj(&self, rng: &mut TestRng) -> Self::Value;
+        fn shrink_obj(&self, value: &Self::Value) -> Vec<Self::Value>;
     }
 
     impl<S: Strategy> SampleObj for S {
         type Value = S::Value;
         fn sample_obj(&self, rng: &mut TestRng) -> S::Value {
             self.sample(rng)
+        }
+        fn shrink_obj(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -201,6 +224,9 @@ pub mod strategy {
         type Value = V;
         fn sample(&self, rng: &mut TestRng) -> V {
             self.0.sample_obj(rng)
+        }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            self.0.shrink_obj(value)
         }
     }
 
@@ -286,35 +312,147 @@ pub mod strategy {
         }
     }
 
+    /// Integer bisection toward a range's lower bound — the shrink scheme
+    /// of [`Strategy::shrink`] for range strategies.
+    pub trait Bisect: Sized {
+        /// Candidates strictly smaller than `value` (and at least `low`),
+        /// most aggressive first: the lower bound itself, the midpoint, and
+        /// the predecessor.  Returns nothing when `value <= low`.
+        fn bisect(low: &Self, value: &Self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_bisect_int {
+        ($($t:ty),+) => {$(
+            impl Bisect for $t {
+                fn bisect(low: &Self, value: &Self) -> Vec<Self> {
+                    let (low, value) = (*low, *value);
+                    if value <= low {
+                        return Vec::new();
+                    }
+                    // `checked_sub` guards the signed extremes (the greedy
+                    // runner only needs *some* progress, so falling back to
+                    // the lower bound alone is fine).
+                    let Some(span) = value.checked_sub(low) else {
+                        return vec![low];
+                    };
+                    let mut out = vec![low];
+                    let mid = low + span / 2;
+                    if mid != low {
+                        out.push(mid);
+                    }
+                    if value - 1 != low && value - 1 != mid {
+                        out.push(value - 1);
+                    }
+                    out
+                }
+            }
+        )+};
+    }
+
+    impl_bisect_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
     impl<T> Strategy for Range<T>
     where
-        T: SampleUniform + Debug + 'static,
+        T: SampleUniform + Bisect + Debug + 'static,
     {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             rng.rng.gen_range(self.clone())
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::bisect(&self.start, value)
+        }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.sample(rng),)+)
                 }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut candidate = value.clone();
+                            candidate.$idx = cand;
+                            out.push(candidate);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (G, 5));
+
+    /// Upper bound on property re-runs spent minimizing one failure.
+    const SHRINK_BUDGET: usize = 512;
+
+    /// Runs one generated case and, on failure, greedily minimizes it with
+    /// [`Strategy::shrink`]: any candidate that still fails becomes the new
+    /// best and is re-shrunk, until no candidate fails or the budget runs
+    /// out.
+    ///
+    /// Returns `Ok(())` when the case passes; otherwise the minimized
+    /// inputs, the `Debug` rendering of the *originally generated* inputs
+    /// (for exact reproduction), and the error the minimized inputs
+    /// produce.  Used by the [`proptest!`](crate::proptest) runner — the
+    /// generic signature is what ties the test body closure's input type to
+    /// the combined strategy's value type.
+    ///
+    /// # Errors
+    ///
+    /// The failing-case triple described above.
+    pub fn run_shrink_case<S>(
+        strategy: &S,
+        sampled: S::Value,
+        run: impl Fn(&S::Value) -> Result<(), crate::test_runner::TestCaseError>,
+    ) -> Result<(), (S::Value, String, crate::test_runner::TestCaseError)>
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
+        let first_err = match run(&sampled) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        let described = format!("{:?}", &sampled);
+        let mut best = sampled;
+        let mut best_err = first_err;
+        let mut budget = SHRINK_BUDGET;
+        'minimize: loop {
+            let mut improved = false;
+            for cand in strategy.shrink(&best) {
+                if budget == 0 {
+                    break 'minimize;
+                }
+                budget -= 1;
+                if let Err(e) = run(&cand) {
+                    best = cand;
+                    best_err = e;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Err((best, described, best_err))
+    }
 }
 
 /// Strategies for standard types, mirroring `proptest::arbitrary`.
@@ -410,11 +548,44 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.rng.gen_range(self.size.min..self.size.max_exclusive);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Structural shrinks first (never below the minimum size):
+            // shortest allowed prefix, half-length prefix, drop one element.
+            if len > self.size.min {
+                out.push(value[..self.size.min].to_vec());
+                let half = len / 2;
+                if half > self.size.min {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 > self.size.min {
+                    out.push(value[..len - 1].to_vec());
+                }
+                for i in 0..len.saturating_sub(1) {
+                    let mut dropped = value.clone();
+                    dropped.remove(i);
+                    out.push(dropped);
+                }
+            }
+            // Then element-wise shrinks at unchanged length.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut candidate = value.clone();
+                    candidate[i] = cand;
+                    out.push(candidate);
+                }
+            }
+            out
         }
     }
 
@@ -561,29 +732,31 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // All inputs are drawn through one combined tuple strategy so
+                // a failing case can be re-run on shrunk candidates (at most
+                // 6 inputs per property, the tuple-strategy arity cap).
+                let strategy = ($( $strategy, )+);
                 for case in 0..config.cases {
-                    let mut described = ::std::string::String::new();
-                    $(
-                        let value = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
-                        described.push_str(&format!(
-                            "\n    {} = {:?}",
-                            stringify!($pat),
-                            &value
-                        ));
-                        let $pat = value;
-                    )+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
+                    let sampled = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                    let outcome = $crate::strategy::run_shrink_case(
+                        &strategy,
+                        sampled,
+                        |case_inputs| {
+                            #[allow(unused_parens)]
+                            let ($($pat,)+) = ::std::clone::Clone::clone(case_inputs);
                             $body
                             ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(err) = outcome {
+                        },
+                    );
+                    if let ::std::result::Result::Err((best, described, best_err)) = outcome {
                         panic!(
-                            "proptest case {}/{} failed: {}\n  inputs:{}",
+                            "proptest case {}/{} failed: {}\n  inputs ({}):\n    as generated: {}\n    minimized:    {:?}",
                             case + 1,
                             config.cases,
-                            err,
-                            described
+                            best_err,
+                            stringify!($($pat),+),
+                            described,
+                            &best,
                         );
                     }
                 }
@@ -656,5 +829,78 @@ mod tests {
             prop_assert_eq!(flip, flip);
             prop_assert_ne!(x, x + 1);
         }
+    }
+
+    #[test]
+    fn integer_ranges_bisect_toward_the_lower_bound() {
+        let range = 3usize..100;
+        let candidates = range.shrink(&50);
+        assert_eq!(candidates, vec![3, 26, 49]);
+        assert!(range.shrink(&3).is_empty());
+        assert_eq!(range.shrink(&4), vec![3]);
+        // Repeated greedy shrinking converges to the lower bound.
+        let mut v = 99usize;
+        while let Some(&next) = range.shrink(&v).first() {
+            assert!(next < v);
+            v = next;
+        }
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn vec_shrinks_respect_the_minimum_size() {
+        let strat = crate::collection::vec(0usize..10, 2..6);
+        let candidates = strat.shrink(&vec![7, 8, 9, 1]);
+        assert!(!candidates.is_empty());
+        for cand in &candidates {
+            assert!(cand.len() >= 2, "{cand:?} shrank below the minimum");
+        }
+        // Structural candidates come first: the shortest allowed prefix.
+        assert_eq!(candidates[0], vec![7, 8]);
+        // Element-wise candidates keep the length.
+        assert!(candidates.iter().any(|c| c.len() == 4 && c[0] == 0));
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        let strat = (5usize..50, 1usize..9);
+        let candidates = strat.shrink(&(40, 8));
+        assert!(candidates.contains(&(5, 8)));
+        assert!(candidates.contains(&(40, 1)));
+        // Never both components at once (the runner iterates instead).
+        assert!(!candidates.contains(&(5, 1)));
+    }
+
+    #[test]
+    fn map_and_oneof_propose_nothing() {
+        let mapped = (0usize..10).prop_map(|x| x * 2);
+        assert!(mapped.shrink(&6).is_empty());
+        let union = prop_oneof![Just(1usize), Just(2usize)];
+        assert!(union.shrink(&2).is_empty());
+    }
+
+    // A deliberately failing property (no #[test] attribute — invoked via
+    // catch_unwind below): fails for every x ≥ 10, so greedy bisection must
+    // minimize the reported counterexample to exactly 10.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn fails_at_ten_or_more(x in 0usize..1000, pad in crate::collection::vec(0usize..5, 0..4)) {
+            let _ = &pad;
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn failing_cases_are_minimized() {
+        let panic = std::panic::catch_unwind(fails_at_ten_or_more).expect_err("property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(
+            message.contains("minimized:    (10, [])"),
+            "expected the minimal counterexample in: {message}"
+        );
+        assert!(message.contains("as generated:"), "{message}");
     }
 }
