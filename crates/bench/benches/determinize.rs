@@ -26,7 +26,7 @@ fn bench_representative_scan(c: &mut Criterion) {
             let fsp = families::det_blowup(n, WINDOW);
             group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
                 b.iter(|| {
-                    let mut session = EquivSession::for_process(fsp);
+                    let session = EquivSession::for_process(fsp);
                     session.representative_scan_partition(notion).num_blocks()
                 });
             });
@@ -42,7 +42,7 @@ fn bench_determinized(c: &mut Criterion) {
             let fsp = families::det_blowup(n, WINDOW);
             group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
                 b.iter(|| {
-                    let mut session = EquivSession::for_process(fsp);
+                    let session = EquivSession::for_process(fsp);
                     session.classify_all(notion).num_blocks()
                 });
             });
@@ -61,7 +61,7 @@ fn bench_pair_cache(c: &mut Criterion) {
         let states: Vec<_> = fsp.state_ids().collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &fsp, |b, fsp| {
             b.iter(|| {
-                let mut session = EquivSession::for_process(fsp);
+                let session = EquivSession::for_process(fsp);
                 let mut equivalent = 0usize;
                 for &p in &states {
                     for &q in &states {

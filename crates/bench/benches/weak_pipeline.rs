@@ -36,7 +36,7 @@ fn bench_session(c: &mut Criterion) {
         let batch = queries::weak_query_batch(n, PAIRS, 29);
         group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
             b.iter(|| {
-                let mut session = EquivSession::for_process(&batch.fsp);
+                let session = EquivSession::for_process(&batch.fsp);
                 session
                     .equivalent_pairs(Equivalence::Observational, &batch.pairs)
                     .iter()
@@ -56,7 +56,7 @@ fn bench_multi_notion_session(c: &mut Criterion) {
         let batch = queries::weak_query_batch(n, PAIRS, 31);
         group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
             b.iter(|| {
-                let mut session = EquivSession::for_process(&batch.fsp);
+                let session = EquivSession::for_process(&batch.fsp);
                 let strong = session.equivalent_pairs(Equivalence::Strong, &batch.pairs);
                 let weak = session.equivalent_pairs(Equivalence::Observational, &batch.pairs);
                 (strong, weak)

@@ -3,11 +3,13 @@
 //! `DESIGN.md`).
 //!
 //! Usage: `cargo run --release -p ccs-bench --bin report [experiment ...]
-//! [--only <experiment>]...` where `experiment` is one of
-//! `e7 par wp det e8 e9 e10 e13 e14 e4` (default: all).  `--only` (repeatable,
-//! comma-separable) restricts the run to the named sections so a single
-//! table — e.g. `det` — can be regenerated without rerunning E7/WP/PAR;
-//! bare positional names behave the same way.
+//! [--only <experiment>]... [--help]` (default: all).  The valid experiment
+//! names are generated from the `TABLES` registry below — `--help` prints
+//! the live list, so the help text cannot drift from the tables that
+//! actually exist.  `--only` (repeatable, comma-separable) restricts the
+//! run to the named sections so a single table — e.g. `det` — can be
+//! regenerated without rerunning E7/WP/PAR; bare positional names behave
+//! the same way.
 //!
 //! The E7, WP, PAR and DET tables are additionally tracked for regressions:
 //! the scheduled CI job diffs them against the committed snapshot under
@@ -137,7 +139,7 @@ fn wp_weak_pipeline() {
                 .collect::<Vec<bool>>()
         });
         let (batched, t_session) = time_ms(|| {
-            let mut session = EquivSession::for_process(&batch.fsp);
+            let session = EquivSession::for_process(&batch.fsp);
             session.equivalent_pairs(Equivalence::Observational, &batch.pairs)
         });
         assert_eq!(per_query, batched, "session disagrees with per-query loop");
@@ -171,16 +173,20 @@ fn det_determinized_classification() {
     for &n in &[64usize, 128, 256, 512] {
         let fsp = families::det_blowup(n, 8);
         for (name, notion) in notions {
-            let mut scan_session = EquivSession::for_process(&fsp);
+            let scan_session = EquivSession::for_process(&fsp);
             let (scan, t_scan) = time_ms(|| scan_session.representative_scan_partition(notion));
-            let mut det_session = EquivSession::for_process(&fsp);
-            let (det, t_det) = time_ms(|| det_session.classify_all(notion).clone());
-            assert_eq!(det, scan, "determinized engine diverged from the oracle");
+            let det_session = EquivSession::for_process(&fsp);
+            let (det, t_det) = time_ms(|| det_session.classify_all(notion));
+            assert_eq!(
+                det.as_ref(),
+                &scan,
+                "determinized engine diverged from the oracle"
+            );
             println!(
                 "{:>8} {:>8} {:>9} {:>10} {:>13.2} {:>10.2} {:>9.1}",
                 "blowup",
                 fsp.num_states(),
-                det_session.subset_automaton().num_subsets(),
+                det_session.subset_arena_size(),
                 name,
                 t_scan,
                 t_det,
@@ -308,16 +314,70 @@ fn e4_ccs_construction() {
     }
 }
 
+/// The single source of truth for the experiment tables: name, one-line
+/// description, runner.  The `--only` validation, the `--help` text and the
+/// dispatch loop are all generated from this registry, so a new table (or a
+/// rename) cannot leave the help text or the valid-name list behind.
+const TABLES: &[(&str, &str, fn())] = &[
+    (
+        "e7",
+        "generalized partitioning solver matrix per family",
+        e7_partition_algorithms,
+    ),
+    (
+        "par",
+        "sharded parallel smaller-half vs sequential",
+        par_parallel_refinement,
+    ),
+    (
+        "wp",
+        "weak pipeline: per-query loop vs batched session",
+        wp_weak_pipeline,
+    ),
+    (
+        "det",
+        "PSPACE-notion classification: subset arena vs representative scan",
+        det_determinized_classification,
+    ),
+    ("e8", "strong equivalence scaling", e8_strong_equivalence),
+    (
+        "e9",
+        "observational equivalence: saturation + refinement",
+        e9_observational_equivalence,
+    ),
+    ("e10", "exact ≈k vs polynomial ≈", e10_k_observational),
+    (
+        "e13",
+        "failure equivalence: general vs finite trees",
+        e13_failure_equivalence,
+    ),
+    (
+        "e14",
+        "deterministic case: Hopcroft and UNION-FIND",
+        e14_deterministic,
+    ),
+    ("e4", "representative FSP construction", e4_ccs_construction),
+];
+
+fn print_usage() {
+    println!("usage: report [experiment ...] [--only <experiment>[,<experiment>...]]... [--help]");
+    println!("experiments (default: all):");
+    for (name, description, _) in TABLES {
+        println!("  {name:>4}  {description}");
+    }
+}
+
 fn main() {
     // `--only <name>` (repeatable, comma-separable) and bare positional
     // names both restrict the run; `--only` exists so a single tracked
     // section can be regenerated explicitly, e.g. `report --only det`.
-    const KNOWN: [&str; 10] = [
-        "e7", "par", "wp", "det", "e8", "e9", "e10", "e13", "e14", "e4",
-    ];
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if arg == "--help" || arg == "-h" {
+            print_usage();
+            return;
+        }
         if arg == "--only" {
             let value = args
                 .next()
@@ -329,42 +389,18 @@ fn main() {
     }
     // A typo must not silently produce an empty (but exit-0) report — the
     // snapshot-regeneration workflow pipes this straight into the baseline.
+    let known: Vec<&str> = TABLES.iter().map(|&(name, _, _)| name).collect();
     for name in &selected {
         assert!(
-            KNOWN.contains(&name.as_str()),
-            "unknown experiment {name:?}; known: {KNOWN:?}"
+            known.contains(&name.as_str()),
+            "unknown experiment {name:?}; known: {known:?}"
         );
     }
     let want = |name: &str| selected.is_empty() || selected.iter().any(|a| a == name);
     println!("ccs-equiv experiment report (wall-clock, release recommended)");
-    if want("e7") {
-        e7_partition_algorithms();
-    }
-    if want("par") {
-        par_parallel_refinement();
-    }
-    if want("wp") {
-        wp_weak_pipeline();
-    }
-    if want("det") {
-        det_determinized_classification();
-    }
-    if want("e8") {
-        e8_strong_equivalence();
-    }
-    if want("e9") {
-        e9_observational_equivalence();
-    }
-    if want("e10") {
-        e10_k_observational();
-    }
-    if want("e13") {
-        e13_failure_equivalence();
-    }
-    if want("e14") {
-        e14_deterministic();
-    }
-    if want("e4") {
-        e4_ccs_construction();
+    for (name, _, run) in TABLES {
+        if want(name) {
+            run();
+        }
     }
 }

@@ -3,8 +3,9 @@
 use std::fmt;
 use std::str::FromStr;
 
-use ccs_fsp::{ops, Fsp, StateId};
+use ccs_fsp::{Fsp, StateId};
 
+#[allow(unused_imports)] // referenced by the deprecated wrappers' docs
 use crate::session::EquivSession;
 use crate::EquivError;
 
@@ -78,43 +79,44 @@ impl FromStr for Equivalence {
 /// Tests whether the start states of two processes are related by the chosen
 /// equivalence.
 ///
-/// The two processes are combined with a disjoint union (merging the
-/// alphabets by name) and the question is answered by a throwaway
-/// [`EquivSession`] over the union — callers with several questions about
-/// the same state space should hold a session themselves.
+/// Thin deprecated wrapper over the [`Query`](crate::Query) builder —
+/// prefer `Query::new(notion).between(left, right)`, which also lets you
+/// pin a solver and reuse a warm [`EquivSession`].
 ///
 /// # Errors
 ///
-/// Currently no notion can fail on well-formed processes; the `Result` return
-/// type leaves room for notions with model-class requirements (see
-/// [`deterministic`](crate::deterministic) for the deterministic fast path,
-/// which is exposed separately because it *does* have requirements).
+/// See [`Query::between`](crate::Query::between).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Query::new(notion).between(left, right)`"
+)]
 pub fn equivalent(left: &Fsp, right: &Fsp, notion: Equivalence) -> Result<bool, EquivError> {
-    let union = ops::disjoint_union(left, right);
-    let (p, q) = ops::union_starts(&union, left, right);
-    let mut session = EquivSession::new(union.fsp);
-    Ok(session.equivalent_states(p, q, notion))
+    crate::Query::new(notion).between(left, right)
 }
 
 /// Tests whether two states of the same process are related by the chosen
 /// equivalence, through a throwaway [`EquivSession`].
 ///
+/// Thin deprecated wrapper over the [`Query`](crate::Query) builder —
+/// prefer `Query::new(notion).states(fsp, p, q)`.
+///
 /// # Errors
 ///
-/// See [`equivalent`].
+/// See [`Query::states`](crate::Query::states).
+#[deprecated(since = "0.1.0", note = "use `Query::new(notion).states(fsp, p, q)`")]
 pub fn equivalent_states(
     fsp: &Fsp,
     p: StateId,
     q: StateId,
     notion: Equivalence,
 ) -> Result<bool, EquivError> {
-    let mut session = EquivSession::for_process(fsp);
-    Ok(session.equivalent_states(p, q, notion))
+    crate::Query::new(notion).states(fsp, p, q)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Query;
     use ccs_fsp::format;
 
     const ALL: [Equivalence; 8] = [
@@ -132,7 +134,7 @@ mod tests {
     fn identical_processes_are_equivalent_under_every_notion() {
         let f = format::parse("trans p a q\ntrans q b p\ntrans p tau q\naccept q").unwrap();
         for notion in ALL {
-            assert!(equivalent(&f, &f, notion).unwrap(), "{notion}");
+            assert!(Query::new(notion).between(&f, &f).unwrap(), "{notion}");
         }
     }
 
@@ -145,13 +147,14 @@ mod tests {
         let split =
             format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
                 .unwrap();
-        assert!(equivalent(&merged, &split, Equivalence::Language).unwrap());
-        assert!(equivalent(&merged, &split, Equivalence::Trace).unwrap());
-        assert!(equivalent(&merged, &split, Equivalence::KObservational(1)).unwrap());
-        assert!(!equivalent(&merged, &split, Equivalence::KObservational(2)).unwrap());
-        assert!(!equivalent(&merged, &split, Equivalence::Failure).unwrap());
-        assert!(!equivalent(&merged, &split, Equivalence::Observational).unwrap());
-        assert!(!equivalent(&merged, &split, Equivalence::Strong).unwrap());
+        let holds = |notion| Query::new(notion).between(&merged, &split).unwrap();
+        assert!(holds(Equivalence::Language));
+        assert!(holds(Equivalence::Trace));
+        assert!(holds(Equivalence::KObservational(1)));
+        assert!(!holds(Equivalence::KObservational(2)));
+        assert!(!holds(Equivalence::Failure));
+        assert!(!holds(Equivalence::Observational));
+        assert!(!holds(Equivalence::Strong));
     }
 
     #[test]
@@ -160,8 +163,35 @@ mod tests {
         let p = f.state_by_name("p").unwrap();
         let r = f.state_by_name("r").unwrap();
         for notion in ALL {
-            assert!(equivalent_states(&f, p, r, notion).unwrap(), "{notion}");
+            assert!(Query::new(notion).states(&f, p, r).unwrap(), "{notion}");
         }
+    }
+
+    /// The deprecated free-function wrappers must keep answering exactly as
+    /// the builder they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_agree_with_the_builder() {
+        let merged =
+            format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
+        for notion in ALL {
+            assert_eq!(
+                equivalent(&merged, &split, notion).unwrap(),
+                Query::new(notion).between(&merged, &split).unwrap(),
+                "{notion}"
+            );
+        }
+        let p = merged.state_by_name("p").unwrap();
+        let q = merged.state_by_name("q").unwrap();
+        assert_eq!(
+            equivalent_states(&merged, p, q, Equivalence::Strong).unwrap(),
+            Query::new(Equivalence::Strong)
+                .states(&merged, p, q)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -3,31 +3,82 @@ use std::fmt;
 
 use ccs_fsp::FspError;
 
-/// Errors produced by the equivalence checkers.
+/// The single error enum of the equivalence stack, shared by the library
+/// checkers and the `ccs-server` wire protocol.
+///
+/// Every variant carries a **stable protocol error code**
+/// ([`EquivError::code`]): a short kebab-case string that the server embeds
+/// in error responses and that clients may match on.  Codes are part of the
+/// wire contract — they never change meaning, and new variants (the enum is
+/// `#[non_exhaustive]`) always introduce new codes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum EquivError {
     /// The requested notion needs a process from a more specific model class
     /// (e.g. the deterministic fast path applied to a nondeterministic
-    /// process).
+    /// process).  Code: `model-mismatch`.
     ModelMismatch {
         /// The requirement that was violated.
         expected: String,
     },
-    /// An underlying process-construction error.
+    /// An underlying process-construction error.  Code: `process`.
     Fsp(FspError),
     /// The two processes cannot be compared (e.g. different variable sets
-    /// where the notion requires identical `V`).
+    /// where the notion requires identical `V`).  Code: `incomparable`.
     Incomparable {
         /// Description of the mismatch.
         message: String,
     },
     /// A string did not name an equivalence notion (see the `FromStr` impl
-    /// of [`Equivalence`](crate::Equivalence)).
+    /// of [`Equivalence`](crate::Equivalence)).  Code: `unknown-notion`.
     UnknownNotion {
         /// The string that failed to parse.
         name: String,
     },
+    /// A CCS star expression failed to parse or construct.  Code:
+    /// `expression`.
+    Expression {
+        /// The parser/constructor diagnostic.
+        message: String,
+    },
+    /// A service request named a session the registry does not hold (never
+    /// opened, closed, or evicted under memory pressure).  Code:
+    /// `unknown-session`.
+    UnknownSession {
+        /// The handle the request carried.
+        id: String,
+    },
+    /// A service request was malformed: unreadable JSON, a missing or
+    /// ill-typed field, or an unknown operation.  Code: `bad-request`.
+    BadRequest {
+        /// What was wrong with the request.
+        message: String,
+    },
+}
+
+impl EquivError {
+    /// The stable wire-protocol code of this error — see the `ccs-server`
+    /// README section for the full table.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            EquivError::ModelMismatch { .. } => "model-mismatch",
+            EquivError::Fsp(_) => "process",
+            EquivError::Incomparable { .. } => "incomparable",
+            EquivError::UnknownNotion { .. } => "unknown-notion",
+            EquivError::Expression { .. } => "expression",
+            EquivError::UnknownSession { .. } => "unknown-session",
+            EquivError::BadRequest { .. } => "bad-request",
+        }
+    }
+
+    /// Convenience constructor for [`EquivError::BadRequest`].
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        EquivError::BadRequest {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for EquivError {
@@ -47,6 +98,16 @@ impl fmt::Display for EquivError {
                      observational, limited-<k>, k-observational-<k>, language, trace, failure)"
                 )
             }
+            EquivError::Expression { message } => {
+                write!(f, "CCS expression error: {message}")
+            }
+            EquivError::UnknownSession { id } => {
+                write!(
+                    f,
+                    "unknown session {id:?} (never opened, closed, or evicted)"
+                )
+            }
+            EquivError::BadRequest { message } => write!(f, "bad request: {message}"),
         }
     }
 }
@@ -86,6 +147,44 @@ mod tests {
             message: "different variable sets".into(),
         };
         assert!(inc.to_string().contains("variable sets"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let samples = [
+            EquivError::ModelMismatch {
+                expected: String::new(),
+            },
+            EquivError::Fsp(FspError::EmptyProcess),
+            EquivError::Incomparable {
+                message: String::new(),
+            },
+            EquivError::UnknownNotion {
+                name: String::new(),
+            },
+            EquivError::Expression {
+                message: String::new(),
+            },
+            EquivError::UnknownSession { id: String::new() },
+            EquivError::bad_request("x"),
+        ];
+        let codes: Vec<&str> = samples.iter().map(EquivError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "model-mismatch",
+                "process",
+                "incomparable",
+                "unknown-notion",
+                "expression",
+                "unknown-session",
+                "bad-request",
+            ]
+        );
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes must be distinct");
     }
 
     #[test]

@@ -42,16 +42,16 @@
 //!
 //! ```
 //! use ccs_fsp::format;
-//! use ccs_equiv::{equivalent, Equivalence};
+//! use ccs_equiv::{Equivalence, Query};
 //!
 //! // a.(b + c)  versus  a.b + a.c — the classic CCS example:
 //! // language equivalent but NOT observationally equivalent.
 //! let left = format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s")?;
 //! let right = format::parse(
 //!     "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")?;
-//! assert!(equivalent(&left, &right, Equivalence::Language)?);
-//! assert!(!equivalent(&left, &right, Equivalence::Observational)?);
-//! assert!(!equivalent(&left, &right, Equivalence::Strong)?);
+//! assert!(Query::new(Equivalence::Language).between(&left, &right)?);
+//! assert!(!Query::new(Equivalence::Observational).between(&left, &right)?);
+//! assert!(!Query::new(Equivalence::Strong).between(&left, &right)?);
 //! # Ok::<(), ccs_equiv::EquivError>(())
 //! ```
 
@@ -67,6 +67,7 @@ pub mod failures;
 pub mod kobs;
 pub mod language;
 pub mod limited;
+pub mod query;
 pub mod relation;
 pub mod session;
 pub mod strong;
@@ -74,6 +75,9 @@ pub mod traces;
 pub mod weak;
 pub mod witness;
 
-pub use check::{equivalent, equivalent_states, Equivalence};
+pub use check::Equivalence;
+#[allow(deprecated)] // the wrappers stay re-exported until callers migrate
+pub use check::{equivalent, equivalent_states};
 pub use error::EquivError;
+pub use query::Query;
 pub use session::EquivSession;

@@ -1,0 +1,258 @@
+//! [`Query`] — one builder for every equivalence question.
+//!
+//! Historically the crate grew a free function per question shape
+//! (`check::equivalent`, `check::equivalent_states`) plus `_with` variants
+//! per notion module for naming an algorithm (`weak::weak_partition_with`,
+//! `strong::strong_partition_with`, …).  The builder unifies them: pick a
+//! notion, optionally pick a solver, then run the query against either a
+//! long-lived [`EquivSession`] or one-shot process arguments.
+//!
+//! ```
+//! use ccs_equiv::{EquivSession, Equivalence, Query};
+//! use ccs_partition::Algorithm;
+//! use ccs_fsp::format;
+//!
+//! let f = format::parse("trans p tau q\ntrans q a r\ntrans s a t")?;
+//! let session = EquivSession::for_process(&f);
+//!
+//! // Whole-space classification, solver pinned:
+//! let classes = Query::new(Equivalence::Observational)
+//!     .algorithm(Algorithm::KanellakisSmolka)
+//!     .run(&session)?;
+//! assert_eq!(classes.num_blocks(), 2); // {p, q, s} and the dead {r, t}
+//!
+//! // A single pair on the same warm session:
+//! let p = f.state_by_name("p").unwrap();
+//! let s = f.state_by_name("s").unwrap();
+//! assert!(Query::new(Equivalence::Observational).pair(&session, p, s)?);
+//! # Ok::<(), ccs_equiv::EquivError>(())
+//! ```
+
+use std::sync::Arc;
+
+use ccs_fsp::{ops, Fsp, StateId};
+use ccs_partition::{Algorithm, Partition};
+
+use crate::check::Equivalence;
+use crate::session::EquivSession;
+use crate::EquivError;
+
+/// A reusable description of an equivalence question: the notion plus an
+/// optional solver override.
+///
+/// Construct with [`Query::new`], refine with [`Query::algorithm`], then run
+/// one of the executors:
+///
+/// * [`Query::run`] — classify the whole state space of a session.
+/// * [`Query::pair`] / [`Query::pairs`] — pair queries on a session.
+/// * [`Query::between`] / [`Query::states`] — one-shot questions that build
+///   a throwaway session (the old `check::equivalent*` behaviour).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    notion: Equivalence,
+    algorithm: Option<Algorithm>,
+}
+
+impl Query {
+    /// A query for `notion` with the executing session's default solver.
+    #[must_use]
+    pub fn new(notion: Equivalence) -> Self {
+        Query {
+            notion,
+            algorithm: None,
+        }
+    }
+
+    /// Pins the partition-refinement solver (where one applies; the
+    /// pairwise PSPACE notions are algorithm-independent).
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// The notion this query asks about.
+    #[must_use]
+    pub fn notion(&self) -> Equivalence {
+        self.notion
+    }
+
+    /// The pinned solver, if any.
+    #[must_use]
+    pub fn pinned_algorithm(&self) -> Option<Algorithm> {
+        self.algorithm
+    }
+
+    fn algorithm_for(&self, session: &EquivSession) -> Algorithm {
+        self.algorithm
+            .unwrap_or_else(|| session.default_algorithm())
+    }
+
+    /// Classifies the whole state space of `session` under the query's
+    /// notion: every state mapped to its equivalence class.
+    ///
+    /// # Errors
+    ///
+    /// Currently no notion can fail on well-formed processes; the `Result`
+    /// leaves room for notions with model-class requirements (the
+    /// deterministic fast path of [`deterministic`](crate::deterministic)
+    /// already has them).
+    pub fn run(&self, session: &EquivSession) -> Result<Arc<Partition>, EquivError> {
+        Ok(session.partition_with(self.notion, self.algorithm_for(session)))
+    }
+
+    /// Tests whether two states of `session`'s process are related.
+    ///
+    /// # Errors
+    ///
+    /// See [`Query::run`].
+    pub fn pair(&self, session: &EquivSession, p: StateId, q: StateId) -> Result<bool, EquivError> {
+        match self.algorithm {
+            // The session's pair path already routes through its default
+            // algorithm; a pinned solver forces the memoized partition key
+            // for that solver instead.
+            None => Ok(session.equivalent_states(p, q, self.notion)),
+            Some(algorithm) => Ok(session
+                .partition_with(self.notion, algorithm)
+                .same_block(p.index(), q.index())),
+        }
+    }
+
+    /// Answers a batch of pair queries from one refinement (see
+    /// [`EquivSession::equivalent_pairs`] for the small-batch exception on
+    /// the PSPACE notions).
+    ///
+    /// # Errors
+    ///
+    /// See [`Query::run`].
+    pub fn pairs(
+        &self,
+        session: &EquivSession,
+        pairs: &[(StateId, StateId)],
+    ) -> Result<Vec<bool>, EquivError> {
+        match self.algorithm {
+            None => Ok(session.equivalent_pairs(self.notion, pairs)),
+            Some(algorithm) => {
+                let partition = session.partition_with(self.notion, algorithm);
+                Ok(pairs
+                    .iter()
+                    .map(|&(p, q)| partition.same_block(p.index(), q.index()))
+                    .collect())
+            }
+        }
+    }
+
+    /// One-shot: whether the start states of two processes are related.
+    /// The processes are combined with a disjoint union (merging alphabets
+    /// by name) and answered by a throwaway session — callers with several
+    /// questions about the same state space should hold an
+    /// [`EquivSession`] and use [`Query::pair`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Query::run`].
+    pub fn between(&self, left: &Fsp, right: &Fsp) -> Result<bool, EquivError> {
+        let union = ops::disjoint_union(left, right);
+        let (p, q) = ops::union_starts(&union, left, right);
+        let session = EquivSession::new(union.fsp);
+        self.pair(&session, p, q)
+    }
+
+    /// One-shot: whether two states of the same process are related,
+    /// through a throwaway session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Query::run`].
+    pub fn states(&self, fsp: &Fsp, p: StateId, q: StateId) -> Result<bool, EquivError> {
+        let session = EquivSession::for_process(fsp);
+        self.pair(&session, p, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+
+    fn classic_pair() -> (Fsp, Fsp) {
+        let merged =
+            format::parse("trans p a q\ntrans q b r\ntrans q c s\naccept p q r s").unwrap();
+        let split =
+            format::parse("trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\naccept u v w x y")
+                .unwrap();
+        (merged, split)
+    }
+
+    #[test]
+    fn builder_matches_the_classic_hierarchy() {
+        let (merged, split) = classic_pair();
+        assert!(Query::new(Equivalence::Language)
+            .between(&merged, &split)
+            .unwrap());
+        assert!(Query::new(Equivalence::Trace)
+            .between(&merged, &split)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Failure)
+            .between(&merged, &split)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Observational)
+            .between(&merged, &split)
+            .unwrap());
+    }
+
+    #[test]
+    fn pinned_algorithm_agrees_with_default_and_keys_the_cache() {
+        let (merged, split) = classic_pair();
+        let union = ccs_fsp::ops::disjoint_union(&merged, &split);
+        let session = EquivSession::new(union.fsp);
+        let default = Query::new(Equivalence::Observational)
+            .run(&session)
+            .unwrap();
+        for alg in Algorithm::ALL {
+            let pinned = Query::new(Equivalence::Observational)
+                .algorithm(alg)
+                .run(&session)
+                .unwrap();
+            assert_eq!(pinned.as_ref(), default.as_ref(), "{alg}");
+        }
+        // One cache entry per distinct refinement-solver key (the default
+        // Paige–Tarjan run shares its entry with the pinned PT run).
+        assert_eq!(session.cached_partitions(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn pair_and_pairs_agree_with_run() {
+        let (merged, split) = classic_pair();
+        let union = ccs_fsp::ops::disjoint_union(&merged, &split);
+        let fsp = union.fsp.clone();
+        let session = EquivSession::new(union.fsp);
+        for notion in [
+            Equivalence::Strong,
+            Equivalence::Observational,
+            Equivalence::Language,
+            Equivalence::Failure,
+        ] {
+            let query = Query::new(notion);
+            let partition = query.run(&session).unwrap();
+            let states: Vec<StateId> = fsp.state_ids().collect();
+            let all: Vec<(StateId, StateId)> = states
+                .iter()
+                .flat_map(|&a| states.iter().map(move |&b| (a, b)))
+                .collect();
+            let batch = query.pairs(&session, &all).unwrap();
+            for (&(p, q), &got) in all.iter().zip(&batch) {
+                assert_eq!(got, partition.same_block(p.index(), q.index()), "{notion}");
+                assert_eq!(got, query.pair(&session, p, q).unwrap(), "{notion}");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let q = Query::new(Equivalence::Strong).algorithm(Algorithm::KanellakisSmolka);
+        assert_eq!(q.notion(), Equivalence::Strong);
+        assert_eq!(q.pinned_algorithm(), Some(Algorithm::KanellakisSmolka));
+        assert_eq!(Query::new(Equivalence::Trace).pinned_algorithm(), None);
+    }
+}

@@ -39,6 +39,22 @@
 //! [`Instance::from_graph`] then adopts the built CSR without an edge-list
 //! round-trip.
 //!
+//! # Shared sessions: the `&self` query path
+//!
+//! Every query method takes `&self`: the lazy caches live behind
+//! [`OnceLock`]s (the big immutable artifacts) and [`Mutex`]es (the
+//! grow-on-demand ones — the subset arena, the pair caches, the `≃ₖ`
+//! hierarchy), so a built session is [`Sync`] and can be shared via
+//! [`Arc`] across worker threads.  This is what the `ccs-server` crate
+//! serves concurrent clients from: one resident session, many threads.
+//!
+//! Partition memoization is **single-flight**: each `(notion, algorithm)`
+//! key owns one inner `OnceLock`, so when `m` threads race to classify the
+//! same notion, exactly one runs the refinement and the other `m − 1` block
+//! on the lock and reuse its result.  [`EquivSession::refinements_run`]
+//! counts the refinements that actually executed — the counter the server's
+//! coalescing stats (and the concurrency tests) observe.
+//!
 //! # Amortized cost
 //!
 //! Per Theorem 4.1(a), one observational-equivalence query costs
@@ -59,6 +75,8 @@
 //! shared across notions).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ccs_fsp::saturate::{tau_closure, weak_edges, SaturatedView, TauClosure};
 use ccs_fsp::{ActionId, Fsp, StateId};
@@ -69,18 +87,33 @@ use crate::determinize::{self, DetNotion, PairCache, SubsetAutomaton};
 use crate::limited::{self, LimitedHierarchy};
 use crate::{failures, kobs, language, strong, traces};
 
+/// One single-flight slot of the partition memo: racing queries for the
+/// same key block on the shared inner `OnceLock` and split one result.
+type PartitionCell = Arc<OnceLock<Arc<Partition>>>;
+
+/// The mutable half of the determinization layer: the lazily grown subset
+/// arena plus one pair cache per notion.  Both mutate on (otherwise
+/// read-only) queries, so they share one lock.
+#[derive(Debug, Default)]
+struct DetState {
+    automaton: Option<SubsetAutomaton>,
+    pair_caches: HashMap<DetNotion, PairCache>,
+}
+
 /// A reusable equivalence-checking engine over one process.
 ///
 /// All artifacts are computed lazily on first use and cached for the
 /// session's lifetime; the process itself is immutable once the session is
-/// created, which is what makes the caching sound.
+/// created, which is what makes the caching sound.  The query path takes
+/// `&self` throughout, so a session wrapped in an [`Arc`] serves concurrent
+/// threads (see the [module docs](self) for the locking layout).
 ///
 /// ```
 /// use ccs_equiv::{EquivSession, Equivalence};
 /// use ccs_fsp::format;
 ///
 /// let f = format::parse("trans p tau q\ntrans q a r\ntrans s a t")?;
-/// let mut session = EquivSession::for_process(&f);
+/// let session = EquivSession::for_process(&f);
 /// let p = f.state_by_name("p").unwrap();
 /// let s = f.state_by_name("s").unwrap();
 /// let r = f.state_by_name("r").unwrap();
@@ -92,19 +125,22 @@ use crate::{failures, kobs, language, strong, traces};
 #[derive(Debug)]
 pub struct EquivSession {
     fsp: Fsp,
-    closure: Option<TauClosure>,
-    view: Option<SaturatedView>,
-    strong_instance: Option<Instance>,
-    weak_instance: Option<Instance>,
+    closure: OnceLock<TauClosure>,
+    view: OnceLock<SaturatedView>,
+    strong_instance: OnceLock<Instance>,
+    weak_instance: OnceLock<Instance>,
     /// `(rounds it was computed with, hierarchy)` — see `ensure_limited`.
-    limited: Option<(usize, LimitedHierarchy)>,
+    limited: Mutex<Option<(usize, Arc<LimitedHierarchy>)>>,
     /// The shared memoized subset automaton of the determinization layer
-    /// (built lazily; serves Language/Trace/Failure classification and pair
-    /// queries alike).
-    automaton: Option<SubsetAutomaton>,
-    /// One memo of decided subset pairs per determinizable notion.
-    pair_caches: HashMap<DetNotion, PairCache>,
-    partitions: HashMap<(Equivalence, Algorithm), Partition>,
+    /// plus the per-notion pair caches (built lazily; serves
+    /// Language/Trace/Failure classification and pair queries alike).
+    det: Mutex<DetState>,
+    /// Single-flight memo: one inner `OnceLock` per key, so concurrent
+    /// queries for the same partition run exactly one refinement.
+    partitions: Mutex<HashMap<(Equivalence, Algorithm), PartitionCell>>,
+    /// Number of partition computations that actually executed (cache
+    /// misses) — the coalescing evidence read by `refinements_run`.
+    refinements: AtomicUsize,
     /// Solver used by [`EquivSession::classify_all`] and the batched APIs
     /// when the caller does not name one — e.g.
     /// [`Algorithm::KanellakisSmolkaParallel`] to run the session's one big
@@ -118,14 +154,14 @@ impl EquivSession {
     pub fn new(fsp: Fsp) -> Self {
         EquivSession {
             fsp,
-            closure: None,
-            view: None,
-            strong_instance: None,
-            weak_instance: None,
-            limited: None,
-            automaton: None,
-            pair_caches: HashMap::new(),
-            partitions: HashMap::new(),
+            closure: OnceLock::new(),
+            view: OnceLock::new(),
+            strong_instance: OnceLock::new(),
+            weak_instance: OnceLock::new(),
+            limited: Mutex::new(None),
+            det: Mutex::new(DetState::default()),
+            partitions: Mutex::new(HashMap::new()),
+            refinements: AtomicUsize::new(0),
             default_algorithm: Algorithm::PaigeTarjan,
         }
     }
@@ -143,7 +179,8 @@ impl EquivSession {
 
     /// Changes the default solver for subsequent queries.  Already-memoized
     /// partitions stay valid (the cache is keyed by algorithm; every solver
-    /// produces the same canonical partition).
+    /// produces the same canonical partition).  Takes `&mut self`: pick the
+    /// default before sharing the session across threads.
     pub fn set_default_algorithm(&mut self, algorithm: Algorithm) {
         self.default_algorithm = algorithm;
     }
@@ -169,32 +206,21 @@ impl EquivSession {
     }
 
     /// The τ-closure `⇒ε` (computed once).
-    pub fn tau_closure(&mut self) -> &TauClosure {
-        if self.closure.is_none() {
-            self.closure = Some(tau_closure(&self.fsp));
-        }
-        self.closure.as_ref().expect("closure just initialized")
+    pub fn tau_closure(&self) -> &TauClosure {
+        self.closure.get_or_init(|| tau_closure(&self.fsp))
     }
 
     /// The CSR-backed weak transition relation (computed once, from the
     /// cached closure).
-    pub fn saturated_view(&mut self) -> &SaturatedView {
-        if self.view.is_none() {
-            self.tau_closure();
-            let closure = self.closure.as_ref().expect("closure cached above");
-            self.view = Some(SaturatedView::build(&self.fsp, closure));
-        }
-        self.view.as_ref().expect("view just initialized")
+    pub fn saturated_view(&self) -> &SaturatedView {
+        self.view
+            .get_or_init(|| SaturatedView::build(&self.fsp, self.tau_closure()))
     }
 
     /// The Lemma 3.1 strong-equivalence instance (computed once).
-    pub fn strong_instance(&mut self) -> &Instance {
-        if self.strong_instance.is_none() {
-            self.strong_instance = Some(strong::to_instance(&self.fsp));
-        }
+    pub fn strong_instance(&self) -> &Instance {
         self.strong_instance
-            .as_ref()
-            .expect("instance just initialized")
+            .get_or_init(|| strong::to_instance(&self.fsp))
     }
 
     /// The Theorem 4.1(a) instance: the weak transition relation over
@@ -205,10 +231,9 @@ impl EquivSession {
     /// If the [`SaturatedView`] is already cached its columns are copied
     /// into the builder (an `O(m̂)` slice walk); the expensive closure
     /// products of [`weak_edges`] run only when neither artifact exists yet.
-    pub fn weak_instance(&mut self) -> &Instance {
-        if self.weak_instance.is_none() {
-            self.tau_closure();
-            let closure = self.closure.as_ref().expect("closure cached above");
+    pub fn weak_instance(&self) -> &Instance {
+        self.weak_instance.get_or_init(|| {
+            let closure = self.tau_closure();
             let fsp = &self.fsp;
             let eps = fsp.num_actions(); // the ε relation gets the last label
             let mut builder = GraphBuilder::with_edge_capacity(
@@ -216,7 +241,7 @@ impl EquivSession {
                 eps + 1,
                 fsp.num_states() + fsp.num_transitions(),
             );
-            if let Some(view) = self.view.as_ref() {
+            if let Some(view) = self.view.get() {
                 for p in fsp.state_ids() {
                     for a in fsp.action_ids() {
                         builder.extend_edges(
@@ -244,37 +269,34 @@ impl EquivSession {
             for (s, block) in strong::extension_assignment(fsp).into_iter().enumerate() {
                 inst.set_initial_block(s, block);
             }
-            self.weak_instance = Some(inst);
-        }
-        self.weak_instance
-            .as_ref()
-            .expect("instance just initialized")
+            inst
+        })
     }
 
-    /// Ensures the cached `≃ₖ` hierarchy is valid for level `rounds`:
-    /// either it already converged, or it was computed with at least that
-    /// many refinement rounds.  One-shot `Limited(k)` queries therefore stop
-    /// after `k` rounds (matching the free function) instead of running to
-    /// convergence.
-    fn ensure_limited(&mut self, rounds: usize) {
-        if let Some((computed, hierarchy)) = &self.limited {
+    /// Ensures the cached `≃ₖ` hierarchy is valid for level `rounds` and
+    /// returns it: either it already converged, or it was computed with at
+    /// least that many refinement rounds.  One-shot `Limited(k)` queries
+    /// therefore stop after `k` rounds (matching the free function) instead
+    /// of running to convergence.
+    fn ensure_limited(&self, rounds: usize) -> Arc<LimitedHierarchy> {
+        let mut slot = self.limited.lock().expect("limited lock poisoned");
+        if let Some((computed, hierarchy)) = slot.as_ref() {
             let converged = hierarchy.convergence_round() < *computed;
             if converged || *computed >= rounds {
-                return;
+                return Arc::clone(hierarchy);
             }
         }
-        self.saturated_view();
-        let view = self.view.as_ref().expect("view cached above");
-        let hierarchy = limited::hierarchy_from_view(&self.fsp, view, rounds);
-        self.limited = Some((rounds, hierarchy));
+        let view = self.saturated_view();
+        let hierarchy = Arc::new(limited::hierarchy_from_view(&self.fsp, view, rounds));
+        *slot = Some((rounds, Arc::clone(&hierarchy)));
+        hierarchy
     }
 
     /// The full `≃ₖ` refinement sequence up to convergence (computed at
     /// most once from the shared saturated view; bounded prefixes built for
     /// `Limited(k)` queries are extended on demand).
-    pub fn limited_hierarchy(&mut self) -> &LimitedHierarchy {
-        self.ensure_limited(usize::MAX);
-        &self.limited.as_ref().expect("hierarchy just initialized").1
+    pub fn limited_hierarchy(&self) -> Arc<LimitedHierarchy> {
+        self.ensure_limited(usize::MAX)
     }
 
     /// Only [`Equivalence::Strong`] and [`Equivalence::Observational`] go
@@ -287,24 +309,34 @@ impl EquivSession {
         }
     }
 
-    /// The session's shared subset automaton (built lazily over the cached
-    /// saturated view).  Exposed for diagnostics — arena size, lazy-step
-    /// counts — e.g. in the report's DET table.
-    pub fn subset_automaton(&mut self) -> &SubsetAutomaton {
-        self.ensure_automaton();
-        self.automaton.as_ref().expect("automaton just initialized")
+    /// Size of the session's shared subset arena (building the automaton if
+    /// it does not exist yet).  Exposed for diagnostics — e.g. in the
+    /// report's DET table.
+    pub fn subset_arena_size(&self) -> usize {
+        let view = self.saturated_view();
+        let mut det = self.det.lock().expect("det lock poisoned");
+        let _ = view;
+        det.automaton
+            .get_or_insert_with(|| SubsetAutomaton::new(&self.fsp))
+            .num_subsets()
     }
 
-    fn ensure_automaton(&mut self) {
-        if self.automaton.is_none() {
-            self.saturated_view();
-            self.automaton = Some(SubsetAutomaton::new(&self.fsp));
-        }
+    /// Number of lazily computed subset transitions so far (diagnostic
+    /// companion of [`EquivSession::subset_arena_size`]).
+    pub fn subset_steps_computed(&self) -> usize {
+        let mut det = self.det.lock().expect("det lock poisoned");
+        det.automaton
+            .get_or_insert_with(|| SubsetAutomaton::new(&self.fsp))
+            .steps_computed()
     }
 
     /// The partition of all states into `notion`-equivalence classes, using
     /// the chosen refinement algorithm where one applies, memoized per
     /// `(notion, algorithm)`.
+    ///
+    /// Concurrent callers racing on the same key are **coalesced**: one of
+    /// them runs the computation, the rest block and share its result (see
+    /// [`EquivSession::refinements_run`]).
     ///
     /// The PSPACE-complete notions `Language`, `Trace` and `Failure` go
     /// through the shared [determinization layer](crate::determinize): all
@@ -315,53 +347,59 @@ impl EquivSession {
     /// Expect exponential worst-case behaviour in the arena size, exactly
     /// as Theorem 4.1(b)/5.1 demand — but paid once per subset, not once
     /// per pair.
-    pub fn partition_with(&mut self, notion: Equivalence, algorithm: Algorithm) -> &Partition {
+    pub fn partition_with(&self, notion: Equivalence, algorithm: Algorithm) -> Arc<Partition> {
         let key = Self::cache_key(notion, algorithm);
-        if !self.partitions.contains_key(&key) {
-            let partition = self.compute_partition(notion, algorithm);
-            self.partitions.insert(key, partition);
-        }
-        &self.partitions[&key]
+        let cell = {
+            let mut map = self.partitions.lock().expect("partitions lock poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.refinements.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.compute_partition(notion, algorithm))
+        }))
     }
 
     /// [`EquivSession::partition_with`] under the session's default
     /// algorithm (Paige–Tarjan unless reconfigured): the partition of *all*
     /// states into `notion`-classes.
-    pub fn classify_all(&mut self, notion: Equivalence) -> &Partition {
+    pub fn classify_all(&self, notion: Equivalence) -> Arc<Partition> {
         self.partition_with(notion, self.default_algorithm)
     }
 
-    fn compute_partition(&mut self, notion: Equivalence, algorithm: Algorithm) -> Partition {
+    /// The memoized partition for `key`, if some call already computed it.
+    fn cached_partition(
+        &self,
+        notion: Equivalence,
+        algorithm: Algorithm,
+    ) -> Option<Arc<Partition>> {
+        let map = self.partitions.lock().expect("partitions lock poisoned");
+        map.get(&Self::cache_key(notion, algorithm))
+            .and_then(|cell| cell.get())
+            .cloned()
+    }
+
+    fn compute_partition(&self, notion: Equivalence, algorithm: Algorithm) -> Partition {
         match notion {
             Equivalence::Strong => solve(self.strong_instance(), algorithm),
             Equivalence::Observational => solve(self.weak_instance(), algorithm),
-            Equivalence::Limited(k) => {
-                self.ensure_limited(k);
-                self.limited
-                    .as_ref()
-                    .expect("hierarchy ensured above")
-                    .1
-                    .level(k)
-                    .clone()
-            }
+            Equivalence::Limited(k) => self.ensure_limited(k).level(k).clone(),
             Equivalence::KObservational(k) => {
                 if k == 0 {
                     return Partition::from_assignment(&strong::extension_assignment(&self.fsp));
                 }
                 // Walk the levels bottom-up so every one lands in the cache
                 // (and deep levels never recurse more than one step).
-                let prev = self
-                    .partition_with(Equivalence::KObservational(k - 1), algorithm)
-                    .clone();
-                self.saturated_view();
-                let view = self.view.as_ref().expect("view cached above");
+                let prev = self.partition_with(Equivalence::KObservational(k - 1), algorithm);
+                let view = self.saturated_view();
                 kobs::refine_level(view, &prev)
             }
             Equivalence::Language | Equivalence::Trace | Equivalence::Failure => {
                 let det = DetNotion::of(notion).expect("matched a determinizable notion");
-                self.ensure_automaton();
-                let view = self.view.as_ref().expect("view cached by ensure_automaton");
-                let auto = self.automaton.as_mut().expect("automaton ensured above");
+                let view = self.saturated_view();
+                let mut state = self.det.lock().expect("det lock poisoned");
+                let auto = state
+                    .automaton
+                    .get_or_insert_with(|| SubsetAutomaton::new(&self.fsp));
                 determinize::determinized_partition(
                     auto,
                     view,
@@ -387,7 +425,7 @@ impl EquivSession {
     /// # Panics
     ///
     /// Panics if `notion` is not one of `Language`, `Trace`, `Failure`.
-    pub fn representative_scan_partition(&mut self, notion: Equivalence) -> Partition {
+    pub fn representative_scan_partition(&self, notion: Equivalence) -> Partition {
         assert!(
             DetNotion::of(notion).is_some(),
             "representative scan only covers the pairwise PSPACE notions"
@@ -418,21 +456,18 @@ impl EquivSession {
     /// One pair query with the original subset-construction checkers,
     /// against the cached closure/view — the oracle behind
     /// [`EquivSession::representative_scan_partition`].
-    fn oracle_pairwise_equivalent(&mut self, notion: Equivalence, p: StateId, q: StateId) -> bool {
+    fn oracle_pairwise_equivalent(&self, notion: Equivalence, p: StateId, q: StateId) -> bool {
         match notion {
             Equivalence::Language => {
-                self.tau_closure();
-                let closure = self.closure.as_ref().expect("closure cached above");
+                let closure = self.tau_closure();
                 language::language_equivalent_states_with(&self.fsp, closure, p, q).holds
             }
             Equivalence::Trace => {
-                self.tau_closure();
-                let closure = self.closure.as_ref().expect("closure cached above");
+                let closure = self.tau_closure();
                 traces::trace_equivalent_states_with(&self.fsp, closure, p, q).holds
             }
             Equivalence::Failure => {
-                self.saturated_view();
-                let view = self.view.as_ref().expect("view cached above");
+                let view = self.saturated_view();
                 failures::failure_equivalent_states_with(&self.fsp, view, p, q).equivalent
             }
             _ => unreachable!("oracle only covers the pairwise PSPACE notions"),
@@ -443,11 +478,15 @@ impl EquivSession {
     /// start subsets are looked up in (or added to) the shared arena and the
     /// notion's [`PairCache`] runs its congruence-pruned synchronized
     /// search, reusing every verdict the session has already established.
-    fn det_pair_equivalent(&mut self, notion: DetNotion, p: StateId, q: StateId) -> bool {
-        self.ensure_automaton();
-        let view = self.view.as_ref().expect("view cached by ensure_automaton");
-        let auto = self.automaton.as_mut().expect("automaton ensured above");
-        let cache = self.pair_caches.entry(notion).or_default();
+    fn det_pair_equivalent(&self, notion: DetNotion, p: StateId, q: StateId) -> bool {
+        let view = self.saturated_view();
+        let mut state = self.det.lock().expect("det lock poisoned");
+        let DetState {
+            automaton,
+            pair_caches,
+        } = &mut *state;
+        let auto = automaton.get_or_insert_with(|| SubsetAutomaton::new(&self.fsp));
+        let cache = pair_caches.entry(notion).or_default();
         let (left, right) = (auto.start(view, p), auto.start(view, q));
         cache.equivalent(auto, view, notion, left, right)
     }
@@ -458,11 +497,10 @@ impl EquivSession {
     /// PSPACE notions answer from the memoized pair cache over the shared
     /// subset arena (or a two-array lookup once a batch has forced the full
     /// determinized partition).
-    pub fn equivalent_states(&mut self, p: StateId, q: StateId, notion: Equivalence) -> bool {
+    pub fn equivalent_states(&self, p: StateId, q: StateId, notion: Equivalence) -> bool {
         match DetNotion::of(notion) {
             Some(det) => {
-                let key = Self::cache_key(notion, self.default_algorithm);
-                if let Some(partition) = self.partitions.get(&key) {
+                if let Some(partition) = self.cached_partition(notion, self.default_algorithm) {
                     return partition.same_block(p.index(), q.index());
                 }
                 self.det_pair_equivalent(det, p, q)
@@ -481,14 +519,10 @@ impl EquivSession {
     /// [`PairCache`], since full classification determinizes from every
     /// state and would dwarf the batch; the per-pair searches still share
     /// the session's one subset arena and memoize their verdicts.
-    pub fn equivalent_pairs(
-        &mut self,
-        notion: Equivalence,
-        pairs: &[(StateId, StateId)],
-    ) -> Vec<bool> {
+    pub fn equivalent_pairs(&self, notion: Equivalence, pairs: &[(StateId, StateId)]) -> Vec<bool> {
         let cached = self
-            .partitions
-            .contains_key(&Self::cache_key(notion, self.default_algorithm));
+            .cached_partition(notion, self.default_algorithm)
+            .is_some();
         if let Some(det) = DetNotion::of(notion) {
             if !cached && pairs.len() < self.fsp.num_states() {
                 return pairs
@@ -507,7 +541,57 @@ impl EquivSession {
     /// Number of memoized partitions (diagnostic; used by the cache tests).
     #[must_use]
     pub fn cached_partitions(&self) -> usize {
-        self.partitions.len()
+        let map = self.partitions.lock().expect("partitions lock poisoned");
+        map.values().filter(|cell| cell.get().is_some()).count()
+    }
+
+    /// Number of partition computations that actually executed, across all
+    /// `(notion, algorithm)` keys.  Because memoization is single-flight,
+    /// `m` concurrent queries against one key bump this by exactly one —
+    /// the coalescing evidence the `ccs-server` stats (and the concurrent
+    /// integration tests) report.
+    #[must_use]
+    pub fn refinements_run(&self) -> usize {
+        self.refinements.load(Ordering::Relaxed)
+    }
+
+    /// A rough resident-size estimate in bytes: the process itself plus
+    /// every cache the session has materialized so far.  Used by the
+    /// `ccs-server` registry for LRU byte accounting; the estimate is
+    /// deliberately simple (element counts × word sizes) — it tracks growth,
+    /// not allocator truth.
+    #[must_use]
+    pub fn approx_resident_bytes(&self) -> usize {
+        const WORD: usize = std::mem::size_of::<usize>();
+        let fsp = &self.fsp;
+        let mut bytes = fsp.num_states() * 4 * WORD + fsp.num_transitions() * 3 * WORD;
+        if self.closure.get().is_some() {
+            // Closure is at worst n² pairs; charge the realistic CSR form.
+            bytes += fsp.num_states() * 2 * WORD + fsp.num_transitions() * 2 * WORD;
+        }
+        if let Some(view) = self.view.get() {
+            bytes += view.num_weak_edges() * 2 * WORD;
+        }
+        for inst in [self.strong_instance.get(), self.weak_instance.get()]
+            .into_iter()
+            .flatten()
+        {
+            bytes += inst.num_edges() * 3 * WORD + inst.num_elements() * WORD;
+        }
+        {
+            let det = self.det.lock().expect("det lock poisoned");
+            if let Some(auto) = det.automaton.as_ref() {
+                bytes += auto.num_subsets() * (auto.num_actions() + 2) * WORD;
+            }
+        }
+        {
+            let map = self.partitions.lock().expect("partitions lock poisoned");
+            bytes += map.values().filter(|cell| cell.get().is_some()).count()
+                * fsp.num_states()
+                * 2
+                * WORD;
+        }
+        bytes
     }
 }
 
@@ -527,19 +611,71 @@ mod tests {
         (merged, split)
     }
 
+    /// The whole point of the interior-mutability refactor: a built session
+    /// is `Send + Sync`, so `Arc<EquivSession>` can fan out across worker
+    /// threads.
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<EquivSession>();
+        assert_shareable::<Arc<EquivSession>>();
+    }
+
+    /// Eight threads racing on the same `(notion, algorithm)` key must get
+    /// byte-identical answers from exactly ONE refinement.
+    #[test]
+    fn concurrent_queries_coalesce_into_one_refinement() {
+        let f = format::parse(
+            "trans a tau b\ntrans b x c\ntrans c tau a\ntrans d x e\ntrans e tau d\naccept c e",
+        )
+        .unwrap();
+        let session = Arc::new(EquivSession::for_process(&f));
+        let oracle = weak::weak_partition(&f);
+        let answers: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let session = Arc::clone(&session);
+                    scope.spawn(move || {
+                        let states: Vec<StateId> = session.fsp().state_ids().collect();
+                        let mut got = Vec::new();
+                        for &p in &states {
+                            for &q in &states {
+                                got.push(session.equivalent_states(
+                                    p,
+                                    q,
+                                    Equivalence::Observational,
+                                ));
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let states: Vec<StateId> = f.state_ids().collect();
+        let oracle = &oracle;
+        let expected: Vec<bool> = states
+            .iter()
+            .flat_map(|&p| states.iter().map(move |&q| oracle.equivalent(p, q)))
+            .collect();
+        for got in &answers {
+            assert_eq!(got, &expected);
+        }
+        assert_eq!(session.refinements_run(), 1, "queries did not coalesce");
+    }
+
     #[test]
     fn weak_instance_partition_matches_free_function() {
         let f = format::parse(
             "trans a tau b\ntrans b x c\ntrans c tau a\ntrans d x e\ntrans e tau d\naccept c e",
         )
         .unwrap();
-        let mut session = EquivSession::for_process(&f);
+        let session = EquivSession::for_process(&f);
         for alg in Algorithm::ALL {
-            let from_session = session
-                .partition_with(Equivalence::Observational, alg)
-                .clone();
+            let from_session = session.partition_with(Equivalence::Observational, alg);
             assert_eq!(
-                &from_session,
+                from_session.as_ref(),
                 weak::weak_partition_with(&f, alg).partition(),
                 "{alg}"
             );
@@ -548,7 +684,11 @@ mod tests {
             // streamed session instance.
             let legacy =
                 crate::strong::strong_partition_with(&ccs_fsp::saturate::saturate(&f).fsp, alg);
-            assert_eq!(&from_session, legacy.partition(), "legacy oracle, {alg}");
+            assert_eq!(
+                from_session.as_ref(),
+                legacy.partition(),
+                "legacy oracle, {alg}"
+            );
         }
     }
 
@@ -560,11 +700,11 @@ mod tests {
             "trans p tau q\ntrans q a r\ntrans r tau p\ntrans s a t\ntrans s tau s\naccept r t",
         )
         .unwrap();
-        let mut session = EquivSession::for_process(&f);
+        let session = EquivSession::for_process(&f);
         session.saturated_view(); // force the view-copy path of weak_instance
-        let from_session = session.classify_all(Equivalence::Observational).clone();
+        let from_session = session.classify_all(Equivalence::Observational);
         let legacy = crate::strong::strong_partition(&ccs_fsp::saturate::saturate(&f).fsp);
-        assert_eq!(&from_session, legacy.partition());
+        assert_eq!(from_session.as_ref(), legacy.partition());
     }
 
     #[test]
@@ -572,7 +712,7 @@ mod tests {
         let (merged, split) = table_ii_pair();
         let union = ccs_fsp::ops::disjoint_union(&merged, &split);
         let (p, q) = ccs_fsp::ops::union_starts(&union, &merged, &split);
-        let mut session = EquivSession::new(union.fsp.clone());
+        let session = EquivSession::new(union.fsp.clone());
         for notion in [
             Equivalence::Strong,
             Equivalence::Observational,
@@ -583,7 +723,7 @@ mod tests {
             Equivalence::Trace,
             Equivalence::Failure,
         ] {
-            let expected = crate::equivalent_states(&union.fsp, p, q, notion).unwrap();
+            let expected = crate::Query::new(notion).states(&union.fsp, p, q).unwrap();
             assert_eq!(
                 session.equivalent_states(p, q, notion),
                 expected,
@@ -602,7 +742,7 @@ mod tests {
                 pairs.push((a, b));
             }
         }
-        let mut session = EquivSession::for_process(&f);
+        let session = EquivSession::for_process(&f);
         let answers = session.equivalent_pairs(Equivalence::Observational, &pairs);
         let wp = weak::weak_partition(&f);
         for (&(a, b), &got) in pairs.iter().zip(&answers) {
@@ -615,6 +755,7 @@ mod tests {
             answers
         );
         assert_eq!(session.cached_partitions(), 1);
+        assert_eq!(session.refinements_run(), 1);
     }
 
     /// A session defaulted to the sharded parallel solver must classify
@@ -625,8 +766,8 @@ mod tests {
     fn parallel_default_algorithm_classifies_identically() {
         let (merged, split) = table_ii_pair();
         let union = ccs_fsp::ops::disjoint_union(&merged, &split);
-        let mut reference = EquivSession::new(union.fsp.clone());
-        let mut parallel = EquivSession::with_algorithm(
+        let reference = EquivSession::new(union.fsp.clone());
+        let parallel = EquivSession::with_algorithm(
             union.fsp.clone(),
             Algorithm::KanellakisSmolkaParallel { threads: 2 },
         );
@@ -641,8 +782,8 @@ mod tests {
             Equivalence::Failure,
         ] {
             assert_eq!(
-                parallel.classify_all(notion).clone(),
-                reference.classify_all(notion).clone(),
+                parallel.classify_all(notion),
+                reference.classify_all(notion),
                 "{notion}"
             );
         }
@@ -662,7 +803,7 @@ mod tests {
     fn kobs_levels_fill_the_cache_bottom_up() {
         let (merged, split) = table_ii_pair();
         let union = ccs_fsp::ops::disjoint_union(&merged, &split);
-        let mut session = EquivSession::new(union.fsp);
+        let session = EquivSession::new(union.fsp);
         let _ = session.classify_all(Equivalence::KObservational(2));
         // Levels 0, 1 and 2 are all memoized.
         assert_eq!(session.cached_partitions(), 3);
@@ -673,16 +814,16 @@ mod tests {
         let (merged, split) = table_ii_pair();
         let union = ccs_fsp::ops::disjoint_union(&merged, &split);
         let fsp = union.fsp.clone();
-        let mut session = EquivSession::new(union.fsp);
+        let session = EquivSession::new(union.fsp);
         for notion in [
             Equivalence::Failure,
             Equivalence::Trace,
             Equivalence::Language,
         ] {
-            let partition = session.classify_all(notion).clone();
+            let partition = session.classify_all(notion);
             for p in fsp.state_ids() {
                 for q in fsp.state_ids() {
-                    let expected = crate::equivalent_states(&fsp, p, q, notion).unwrap();
+                    let expected = crate::Query::new(notion).states(&fsp, p, q).unwrap();
                     assert_eq!(
                         partition.same_block(p.index(), q.index()),
                         expected,
@@ -705,15 +846,15 @@ mod tests {
         )
         .unwrap();
         for fsp in [union.fsp, with_tau] {
-            let mut session = EquivSession::new(fsp);
+            let session = EquivSession::new(fsp);
             for notion in [
                 Equivalence::Language,
                 Equivalence::Trace,
                 Equivalence::Failure,
             ] {
                 let oracle = session.representative_scan_partition(notion);
-                let det = session.classify_all(notion).clone();
-                assert_eq!(det, oracle, "{notion}");
+                let det = session.classify_all(notion);
+                assert_eq!(det.as_ref(), &oracle, "{notion}");
             }
         }
     }
@@ -726,16 +867,16 @@ mod tests {
         let (merged, split) = table_ii_pair();
         let union = ccs_fsp::ops::disjoint_union(&merged, &split);
         let (p, q) = ccs_fsp::ops::union_starts(&union, &merged, &split);
-        let mut session = EquivSession::new(union.fsp.clone());
+        let session = EquivSession::new(union.fsp.clone());
         // Pair queries first (the lazy path) …
         assert!(session.equivalent_states(p, q, Equivalence::Language));
         assert!(!session.equivalent_states(p, q, Equivalence::Failure));
-        let arena_after_pairs = session.subset_automaton().num_subsets();
+        let arena_after_pairs = session.subset_arena_size();
         assert!(arena_after_pairs > 1);
         // … then classification reuses (and extends) the same arena.
-        let partition = session.classify_all(Equivalence::Language).clone();
+        let partition = session.classify_all(Equivalence::Language);
         assert!(partition.same_block(p.index(), q.index()));
-        assert!(session.subset_automaton().num_subsets() >= arena_after_pairs);
+        assert!(session.subset_arena_size() >= arena_after_pairs);
         // With the partition memoized, pair queries become lookups that
         // still agree with the cache's earlier verdicts.
         assert!(session.equivalent_states(p, q, Equivalence::Language));
@@ -744,14 +885,24 @@ mod tests {
     #[test]
     fn limited_levels_match_free_hierarchy() {
         let f = format::parse("trans s0 a s1\ntrans s1 a s2\ntrans s2 a s3\naccept s3").unwrap();
-        let mut session = EquivSession::for_process(&f);
+        let session = EquivSession::for_process(&f);
         for k in 0..5 {
             let free = crate::limited::limited_hierarchy_up_to(&f, k);
             assert_eq!(
-                session.classify_all(Equivalence::Limited(k)),
+                session.classify_all(Equivalence::Limited(k)).as_ref(),
                 free.level(k),
                 "level {k}"
             );
         }
+    }
+
+    #[test]
+    fn resident_bytes_grow_with_the_caches() {
+        let f = format::parse("trans p tau q\ntrans q a r\ntrans s a t").unwrap();
+        let session = EquivSession::for_process(&f);
+        let fresh = session.approx_resident_bytes();
+        session.classify_all(Equivalence::Observational);
+        session.classify_all(Equivalence::Language);
+        assert!(session.approx_resident_bytes() > fresh);
     }
 }

@@ -63,10 +63,11 @@ impl WeakPartition {
 /// materialized on this path.
 #[must_use]
 pub fn weak_partition_with(fsp: &Fsp, algorithm: Algorithm) -> WeakPartition {
-    let mut session = EquivSession::for_process(fsp);
+    let session = EquivSession::for_process(fsp);
     WeakPartition {
         partition: session
             .partition_with(Equivalence::Observational, algorithm)
+            .as_ref()
             .clone(),
     }
 }

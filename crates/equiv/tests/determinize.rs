@@ -19,11 +19,11 @@ const NOTIONS: [Equivalence; 3] = [
 ];
 
 fn assert_det_matches_oracle(fsp: &Fsp, label: &str) {
-    let mut session = EquivSession::for_process(fsp);
+    let session = EquivSession::for_process(fsp);
     for notion in NOTIONS {
         let oracle = session.representative_scan_partition(notion);
-        let det = session.classify_all(notion).clone();
-        assert_eq!(det, oracle, "{label}: {notion}");
+        let det = session.classify_all(notion);
+        assert_eq!(det.as_ref(), &oracle, "{label}: {notion}");
     }
 }
 
@@ -51,13 +51,13 @@ fn determinized_classification_matches_oracle_on_families() {
 #[test]
 fn every_solver_classifies_the_blowup_family_identically() {
     let fsp = families::det_blowup(14, 3);
-    let mut oracle_session = EquivSession::for_process(&fsp);
+    let oracle_session = EquivSession::for_process(&fsp);
     for notion in NOTIONS {
         let oracle = oracle_session.representative_scan_partition(notion);
         for alg in Algorithm::ALL {
-            let mut session = EquivSession::for_process(&fsp);
+            let session = EquivSession::for_process(&fsp);
             assert_eq!(
-                session.partition_with(notion, alg),
+                session.partition_with(notion, alg).as_ref(),
                 &oracle,
                 "{notion} via {alg}"
             );
@@ -83,11 +83,11 @@ proptest! {
             accept_ratio: if accepting_all { 1.0 } else { 0.5 },
             ..RandomConfig::sized(states, seed)
         });
-        let mut session = EquivSession::for_process(&fsp);
+        let session = EquivSession::for_process(&fsp);
         for notion in NOTIONS {
             let oracle = session.representative_scan_partition(notion);
-            let det = session.classify_all(notion).clone();
-            prop_assert_eq!(det, oracle, "{}", notion);
+            let det = session.classify_all(notion);
+            prop_assert_eq!(det.as_ref(), &oracle, "{}", notion);
         }
     }
 
@@ -105,7 +105,7 @@ proptest! {
         });
         for notion in NOTIONS {
             // Fresh session: pair queries go through the PairCache.
-            let mut pair_session = EquivSession::for_process(&fsp);
+            let pair_session = EquivSession::for_process(&fsp);
             let mut answers = Vec::new();
             for p in fsp.state_ids() {
                 for q in fsp.state_ids() {
@@ -113,8 +113,8 @@ proptest! {
                 }
             }
             // Second session: force the partition, then compare lookups.
-            let mut class_session = EquivSession::for_process(&fsp);
-            let partition = class_session.classify_all(notion).clone();
+            let class_session = EquivSession::for_process(&fsp);
+            let partition = class_session.classify_all(notion);
             let mut it = answers.iter();
             for p in fsp.state_ids() {
                 for q in fsp.state_ids() {

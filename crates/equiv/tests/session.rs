@@ -68,7 +68,7 @@ proptest! {
     fn batched_queries_agree_with_free_functions(raw in process_strategy()) {
         let fsp = build(&raw);
         let pairs = all_pairs(&fsp);
-        let mut session = EquivSession::for_process(&fsp);
+        let session = EquivSession::for_process(&fsp);
 
         let strong_batch = session.equivalent_pairs(Equivalence::Strong, &pairs);
         let sp = strong::strong_partition(&fsp);
@@ -101,16 +101,16 @@ proptest! {
     fn repeated_queries_return_identical_partitions(raw in process_strategy()) {
         let fsp = build(&raw);
         let pairs = all_pairs(&fsp);
-        let mut session = EquivSession::for_process(&fsp);
+        let session = EquivSession::for_process(&fsp);
         for notion in [
             Equivalence::Strong,
             Equivalence::Observational,
             Equivalence::Limited(2),
             Equivalence::Failure,
         ] {
-            let first = session.classify_all(notion).clone();
+            let first = session.classify_all(notion);
             let batch = session.equivalent_pairs(notion, &pairs);
-            let second = session.classify_all(notion).clone();
+            let second = session.classify_all(notion);
             prop_assert_eq!(&first, &second, "partition changed across queries: {}", notion);
             for (&(p, q), &got) in pairs.iter().zip(&batch) {
                 prop_assert_eq!(got, first.same_block(p.index(), q.index()), "{}", notion);
@@ -133,13 +133,13 @@ proptest! {
     fn observational_partition_per_algorithm(raw in process_strategy()) {
         let fsp = build(&raw);
         let saturated = ccs_fsp::saturate::saturate(&fsp);
-        let mut session = EquivSession::for_process(&fsp);
+        let session = EquivSession::for_process(&fsp);
         for alg in Algorithm::ALL {
-            let from_session = session.partition_with(Equivalence::Observational, alg).clone();
+            let from_session = session.partition_with(Equivalence::Observational, alg);
             let legacy = strong::strong_partition_with(&saturated.fsp, alg);
-            prop_assert_eq!(&from_session, legacy.partition(), "legacy oracle, {}", alg);
+            prop_assert_eq!(from_session.as_ref(), legacy.partition(), "legacy oracle, {}", alg);
             let free = weak::weak_partition_with(&fsp, alg);
-            prop_assert_eq!(&from_session, free.partition(), "{}", alg);
+            prop_assert_eq!(from_session.as_ref(), free.partition(), "{}", alg);
         }
     }
 
@@ -150,9 +150,9 @@ proptest! {
         let fsp = build(&raw);
         let pairs = all_pairs(&fsp);
         let small: Vec<_> = pairs.iter().copied().take(1).collect();
-        let mut fresh = EquivSession::for_process(&fsp);
+        let fresh = EquivSession::for_process(&fsp);
         let from_pairwise = fresh.equivalent_pairs(Equivalence::Failure, &small);
-        let mut classified = EquivSession::for_process(&fsp);
+        let classified = EquivSession::for_process(&fsp);
         classified.classify_all(Equivalence::Failure);
         let from_partition = classified.equivalent_pairs(Equivalence::Failure, &small);
         prop_assert_eq!(from_pairwise, from_partition);

@@ -73,7 +73,7 @@ pub fn observational_equal_strong_different() -> (Fsp, Fsp) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_equiv::{equivalent, Equivalence};
+    use ccs_equiv::{Equivalence, Query};
 
     #[test]
     fn fig1_tree_shape_and_failures() {
@@ -91,25 +91,35 @@ mod tests {
     fn first_separation_trace_vs_failure() {
         let (l, r) = trace_equal_failure_different();
         assert!(l.profile().restricted && l.profile().observable && l.profile().unary);
-        assert!(equivalent(&l, &r, Equivalence::Language).unwrap());
-        assert!(equivalent(&l, &r, Equivalence::KObservational(1)).unwrap());
-        assert!(!equivalent(&l, &r, Equivalence::Failure).unwrap());
-        assert!(!equivalent(&l, &r, Equivalence::Observational).unwrap());
+        assert!(Query::new(Equivalence::Language).between(&l, &r).unwrap());
+        assert!(Query::new(Equivalence::KObservational(1))
+            .between(&l, &r)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Failure).between(&l, &r).unwrap());
+        assert!(!Query::new(Equivalence::Observational)
+            .between(&l, &r)
+            .unwrap());
     }
 
     #[test]
     fn second_separation_failure_vs_observational() {
         let (l, r) = failure_equal_observational_different();
-        assert!(equivalent(&l, &r, Equivalence::Failure).unwrap());
-        assert!(equivalent(&l, &r, Equivalence::Language).unwrap());
-        assert!(!equivalent(&l, &r, Equivalence::Observational).unwrap());
-        assert!(!equivalent(&l, &r, Equivalence::KObservational(2)).unwrap());
+        assert!(Query::new(Equivalence::Failure).between(&l, &r).unwrap());
+        assert!(Query::new(Equivalence::Language).between(&l, &r).unwrap());
+        assert!(!Query::new(Equivalence::Observational)
+            .between(&l, &r)
+            .unwrap());
+        assert!(!Query::new(Equivalence::KObservational(2))
+            .between(&l, &r)
+            .unwrap());
     }
 
     #[test]
     fn third_separation_observational_vs_strong() {
         let (l, r) = observational_equal_strong_different();
-        assert!(equivalent(&l, &r, Equivalence::Observational).unwrap());
-        assert!(!equivalent(&l, &r, Equivalence::Strong).unwrap());
+        assert!(Query::new(Equivalence::Observational)
+            .between(&l, &r)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Strong).between(&l, &r).unwrap());
     }
 }

@@ -204,7 +204,7 @@ pub fn universality_gadget(m: &Fsp) -> Fsp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_equiv::{equivalent, kobs, language, Equivalence};
+    use ccs_equiv::{kobs, language, Equivalence, Query};
     use ccs_fsp::format;
 
     #[test]
@@ -248,7 +248,7 @@ mod tests {
         for s in t.accepting_states() {
             assert!(t.is_dead(s));
         }
-        assert!(equivalent(&m, &t, Equivalence::Language).unwrap());
+        assert!(Query::new(Equivalence::Language).between(&m, &t).unwrap());
     }
 
     #[test]
@@ -258,15 +258,15 @@ mod tests {
         let l2 =
             format::parse("trans u a v\ntrans v b w\ntrans w a x\ntrans x b u\naccept u v w x")
                 .unwrap();
-        assert!(equivalent(&l1, &l2, Equivalence::Language).unwrap());
+        assert!(Query::new(Equivalence::Language).between(&l1, &l2).unwrap());
         let g1 = failure_gadget(&l1);
         let g2 = failure_gadget(&l2);
-        assert!(equivalent(&g1, &g2, Equivalence::Failure).unwrap());
+        assert!(Query::new(Equivalence::Failure).between(&g1, &g2).unwrap());
         // …and language-inequivalent inputs stay failure-inequivalent.
         let l3 = format::parse("trans m a n\naccept m n").unwrap();
-        assert!(!equivalent(&l1, &l3, Equivalence::Language).unwrap());
+        assert!(!Query::new(Equivalence::Language).between(&l1, &l3).unwrap());
         let g3 = failure_gadget(&l3);
-        assert!(!equivalent(&g1, &g3, Equivalence::Failure).unwrap());
+        assert!(!Query::new(Equivalence::Failure).between(&g1, &g3).unwrap());
     }
 
     #[test]
@@ -294,8 +294,12 @@ mod tests {
         let universal = format::parse("trans s a s\ntrans s b s\naccept s").unwrap();
         let gu = universality_gadget(&universal);
         let trivial = trivial_nfa(&["a", "b"]);
-        assert!(equivalent(&gu, &trivial, Equivalence::Language).unwrap());
-        assert!(equivalent(&gu, &trivial, Equivalence::KObservational(1)).unwrap());
+        assert!(Query::new(Equivalence::Language)
+            .between(&gu, &trivial)
+            .unwrap());
+        assert!(Query::new(Equivalence::KObservational(1))
+            .between(&gu, &trivial)
+            .unwrap());
     }
 
     #[test]

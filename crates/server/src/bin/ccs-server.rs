@@ -1,0 +1,62 @@
+//! The `ccs-server` binary: serve equivalence queries over TCP.
+//!
+//! ```text
+//! ccs-server [ADDR] [--max-sessions N] [--max-bytes N]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7878`; use port `0` for an ephemeral port.
+//! The resolved address is printed as `listening on ADDR` once the socket is
+//! bound, so scripts can scrape it.
+
+use std::process::ExitCode;
+
+use ccs_server::{RegistryConfig, Server, Service};
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut config = RegistryConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("usage: ccs-server [ADDR] [--max-sessions N] [--max-bytes N]");
+                return ExitCode::SUCCESS;
+            }
+            "--max-sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_sessions = n,
+                None => return usage_error("--max-sessions needs a number"),
+            },
+            "--max-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_bytes = n,
+                None => return usage_error("--max-bytes needs a number"),
+            },
+            other if !other.starts_with('-') => addr = other.to_owned(),
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+    let server = match Server::bind(&addr, Service::new(config)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ccs-server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(resolved) => println!("listening on {resolved}"),
+        Err(e) => {
+            eprintln!("ccs-server: cannot resolve local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("ccs-server: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("ccs-server: {message}");
+    eprintln!("usage: ccs-server [ADDR] [--max-sessions N] [--max-bytes N]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,379 @@
+//! Request dispatch: one JSON object in, one JSON object out.
+//!
+//! Every request is a single-line JSON object with an `"op"` field; every
+//! response is a single-line JSON object with `"ok": true` plus op-specific
+//! fields, or `"ok": false` plus the stable error `"code"` (see
+//! [`EquivError::code`]) and a human-readable `"message"`.  The full
+//! request/response vocabulary is documented in the repository README's
+//! wire-protocol section.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use ccs_equiv::{EquivError, EquivSession, Equivalence};
+use ccs_fsp::{format, Fsp, StateId};
+
+use crate::batch::Coalescer;
+use crate::json::{self, Json};
+use crate::registry::{Registry, RegistryConfig};
+
+/// The shared, thread-safe request handler: a [`Registry`] of sessions plus
+/// the [`Coalescer`] batching layer.  One `Service` serves every connection
+/// of a server; it is also usable directly (no socket) for in-process
+/// embedding and tests.
+#[derive(Debug)]
+pub struct Service {
+    registry: Registry,
+    coalescer: Coalescer,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(RegistryConfig::default())
+    }
+}
+
+impl Service {
+    /// A service with the given registry limits.
+    #[must_use]
+    pub fn new(config: RegistryConfig) -> Self {
+        Service {
+            registry: Registry::new(config),
+            coalescer: Coalescer::new(),
+        }
+    }
+
+    /// The session registry (exposed for embedding and tests).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The batching layer (exposed for embedding and tests).
+    #[must_use]
+    pub fn coalescer(&self) -> &Coalescer {
+        &self.coalescer
+    }
+
+    /// Handles one request line, returning exactly one response line
+    /// (without the trailing newline).  Never panics on malformed input —
+    /// every failure becomes an `"ok": false` response.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = self
+            .parse_request(line)
+            .and_then(|request| self.dispatch(&request))
+            .unwrap_or_else(|error| {
+                Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("code", Json::str(error.code())),
+                    ("message", Json::str(error.to_string())),
+                ])
+            });
+        response.to_string()
+    }
+
+    fn parse_request(&self, line: &str) -> Result<Json, EquivError> {
+        let value = json::parse(line).map_err(EquivError::bad_request)?;
+        if value.as_obj().is_none() {
+            return Err(EquivError::bad_request("request must be a JSON object"));
+        }
+        Ok(value)
+    }
+
+    fn dispatch(&self, request: &Json) -> Result<Json, EquivError> {
+        let op = str_field(request, "op")?;
+        match op {
+            "ping" => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("pong", Json::Bool(true)),
+            ])),
+            "open" => self.op_open(request),
+            "pair" => self.op_pair(request),
+            "classify" => self.op_classify(request),
+            "partition" => self.op_partition(request),
+            "close" => self.op_close(request),
+            "stats" => Ok(self.op_stats()),
+            other => Err(EquivError::bad_request(format!(
+                "unknown op {other:?} (expected one of: ping, open, pair, classify, \
+                 partition, close, stats)"
+            ))),
+        }
+    }
+
+    fn op_open(&self, request: &Json) -> Result<Json, EquivError> {
+        let text = str_field(request, "text")?;
+        let fsp = match request.get("format").and_then(Json::as_str) {
+            None | Some("fsp") => format::parse(text)?,
+            Some("ccs") => {
+                let expr = ccs_expr::parse(text).map_err(|e| EquivError::Expression {
+                    message: e.to_string(),
+                })?;
+                ccs_expr::construct::representative(&expr)
+            }
+            Some(other) => {
+                return Err(EquivError::bad_request(format!(
+                    "unknown format {other:?} (expected \"fsp\" or \"ccs\")"
+                )))
+            }
+        };
+        let states = fsp.num_states();
+        let transitions = fsp.num_transitions();
+        let (id, _) = self.registry.open(fsp);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::Str(id)),
+            ("states", as_num(states)),
+            ("transitions", as_num(transitions)),
+        ]))
+    }
+
+    fn op_pair(&self, request: &Json) -> Result<Json, EquivError> {
+        let (handle, session) = self.session_of(request)?;
+        let notion = notion_field(request)?;
+        let p = state_field(&session, request, "left")?;
+        let q = state_field(&session, request, "right")?;
+        let equivalent = self.coalescer.pair(&handle, &session, notion, p, q);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("equivalent", Json::Bool(equivalent)),
+            ("notion", Json::str(notion.to_string())),
+        ]))
+    }
+
+    fn op_classify(&self, request: &Json) -> Result<Json, EquivError> {
+        let (handle, session) = self.session_of(request)?;
+        let notion = notion_field(request)?;
+        let partition = self.coalescer.classify(&handle, &session, notion);
+        let fsp = session.fsp();
+        let blocks: Vec<Json> = partition
+            .blocks()
+            .iter()
+            .map(|block| {
+                Json::Arr(
+                    block
+                        .iter()
+                        .map(|&i| Json::str(state_label(fsp, i)))
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("classes", as_num(partition.num_blocks())),
+            ("blocks", Json::Arr(blocks)),
+            ("notion", Json::str(notion.to_string())),
+        ]))
+    }
+
+    fn op_partition(&self, request: &Json) -> Result<Json, EquivError> {
+        let (handle, session) = self.session_of(request)?;
+        let notion = notion_field(request)?;
+        let partition = self.coalescer.classify(&handle, &session, notion);
+        let fsp = session.fsp();
+        let assignment = partition
+            .assignment()
+            .iter()
+            .enumerate()
+            .map(|(i, &block)| (state_label(fsp, i), as_num(block)))
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("classes", as_num(partition.num_blocks())),
+            ("assignment", Json::Obj(assignment)),
+            ("notion", Json::str(notion.to_string())),
+        ]))
+    }
+
+    fn op_close(&self, request: &Json) -> Result<Json, EquivError> {
+        let id = str_field(request, "session")?;
+        let closed = self.registry.close(id);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("closed", Json::Bool(closed)),
+        ]))
+    }
+
+    fn op_stats(&self) -> Json {
+        let registry = self.registry.stats();
+        let coalescer = self.coalescer.stats();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("sessions", as_num(registry.sessions)),
+            ("resident_bytes", as_num(registry.resident_bytes)),
+            ("evictions", as_num(registry.evictions)),
+            ("refinements", as_num(registry.refinements)),
+            ("pair_queries", as_num(coalescer.pair_queries)),
+            ("batches", as_num(coalescer.batches)),
+            ("peak_batch", as_num(coalescer.peak_group)),
+        ])
+    }
+
+    fn session_of(&self, request: &Json) -> Result<(String, Arc<EquivSession>), EquivError> {
+        let id = str_field(request, "session")?;
+        let session = self.registry.get(id)?;
+        Ok((id.to_owned(), session))
+    }
+}
+
+fn as_num(n: usize) -> Json {
+    Json::Num(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+fn state_label(fsp: &Fsp, index: usize) -> String {
+    let id = StateId::from_index(index);
+    fsp.state_name(id)
+        .map_or_else(|| fsp.state_label(id), str::to_owned)
+}
+
+fn str_field<'a>(request: &'a Json, key: &str) -> Result<&'a str, EquivError> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| EquivError::bad_request(format!("missing string field {key:?}")))
+}
+
+fn notion_field(request: &Json) -> Result<Equivalence, EquivError> {
+    Equivalence::from_str(str_field(request, "notion")?)
+}
+
+fn state_field(session: &EquivSession, request: &Json, key: &str) -> Result<StateId, EquivError> {
+    let name = str_field(request, key)?;
+    let fsp = session.fsp();
+    if let Some(id) = fsp.state_by_name(name) {
+        return Ok(id);
+    }
+    // Anonymous states (e.g. from the CCS representative construction) are
+    // addressed by the same `s<i>` label that `classify` reports for them.
+    if let Some(index) = name.strip_prefix('s').and_then(|d| d.parse().ok()) {
+        let id = StateId::from_index(index);
+        if fsp.contains_state(id) && fsp.state_name(id).is_none() {
+            return Ok(id);
+        }
+    }
+    Err(EquivError::bad_request(format!(
+        "process has no state named {name:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(service: &Service, text: &str) -> String {
+        let escaped = Json::str(text).to_string();
+        let response = service.handle_line(&format!(r#"{{"op":"open","text":{escaped}}}"#));
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(true)), "{response}");
+        value.get("session").unwrap().as_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn open_pair_classify_close_round_trip() {
+        let service = Service::default();
+        let id = open(&service, "trans p tau q\ntrans q a r\ntrans s a t");
+
+        let response = service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"observational","left":"p","right":"s"}}"#
+        ));
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("equivalent"), Some(&Json::Bool(true)));
+
+        let response = service.handle_line(&format!(
+            r#"{{"op":"classify","session":"{id}","notion":"observational"}}"#
+        ));
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("classes").and_then(Json::as_i64), Some(2));
+
+        let response = service.handle_line(&format!(
+            r#"{{"op":"partition","session":"{id}","notion":"strong"}}"#
+        ));
+        let value = json::parse(&response).unwrap();
+        let assignment = value.get("assignment").unwrap().as_obj().unwrap();
+        assert_eq!(assignment.len(), 5);
+
+        let response = service.handle_line(&format!(r#"{{"op":"close","session":"{id}"}}"#));
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("closed"), Some(&Json::Bool(true)));
+
+        // The handle is now dead.
+        let response = service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"strong","left":"p","right":"q"}}"#
+        ));
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("unknown-session")
+        );
+    }
+
+    #[test]
+    fn ccs_expressions_open_via_the_representative_construction() {
+        let service = Service::default();
+        let response = service.handle_line(r#"{"op":"open","format":"ccs","text":"(a+b).c"}"#);
+        let value = json::parse(&response).unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(true)), "{response}");
+        assert!(value.get("states").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn every_failure_mode_has_its_stable_code() {
+        let service = Service::default();
+        let cases = [
+            ("not json at all", "bad-request"),
+            (r#"{"op":"warp"}"#, "bad-request"),
+            (r#"{"op":"open","text":"trans"}"#, "process"),
+            (r#"{"op":"open","format":"ccs","text":"((("}"#, "expression"),
+            (
+                r#"{"op":"pair","session":"s999","notion":"strong","left":"p","right":"q"}"#,
+                "unknown-session",
+            ),
+        ];
+        for (line, code) in cases {
+            let value = json::parse(&service.handle_line(line)).unwrap();
+            assert_eq!(value.get("ok"), Some(&Json::Bool(false)), "{line}");
+            assert_eq!(
+                value.get("code").and_then(Json::as_str),
+                Some(code),
+                "{line}"
+            );
+        }
+        // Unknown notion and unknown state need a live session.
+        let id = open(&service, "trans p a q");
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"telepathy","left":"p","right":"q"}}"#
+        )))
+        .unwrap();
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("unknown-notion")
+        );
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"strong","left":"p","right":"zz"}}"#
+        )))
+        .unwrap();
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("bad-request")
+        );
+    }
+
+    #[test]
+    fn stats_report_coalescing_counters() {
+        let service = Service::default();
+        let id = open(&service, "trans p a q\ntrans r a q");
+        for _ in 0..3 {
+            let _ = service.handle_line(&format!(
+                r#"{{"op":"pair","session":"{id}","notion":"strong","left":"p","right":"r"}}"#
+            ));
+        }
+        let value = json::parse(&service.handle_line(r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(value.get("sessions").and_then(Json::as_i64), Some(1));
+        assert_eq!(value.get("pair_queries").and_then(Json::as_i64), Some(3));
+        // All three sequential queries hit the session cache after the
+        // first: exactly one refinement ever ran.
+        assert_eq!(value.get("refinements").and_then(Json::as_i64), Some(1));
+        assert!(value.get("resident_bytes").and_then(Json::as_i64).unwrap() > 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The TCP front end: line-oriented JSON over `std::net`, one thread per
+//! connection, all connections sharing one [`Service`].
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crate::protocol::Service;
+
+/// A bound (but not yet serving) equivalence server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+/// A server running on a background thread (used by tests and in-process
+/// embedding; the accept loop never returns, so the handle is detached on
+/// drop).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    _thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for asserting on stats from outside).
+    #[must_use]
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) in front of
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, service: Service) -> io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+        })
+    }
+
+    /// The bound local address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared service.
+    #[must_use]
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Serves forever on the calling thread: accepts connections and spawns
+    /// one handler thread each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accept error (transient per-connection I/O errors
+    /// are swallowed by the per-connection threads).
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let service = Arc::clone(&self.service);
+            thread::spawn(move || {
+                // A torn-down client mid-response is not a server error.
+                let _ = serve_connection(&service, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Moves the accept loop onto a background thread, returning the
+    /// resolved address and shared service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the local-address query failure.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let service = Arc::clone(&self.service);
+        let thread = thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            service,
+            _thread: thread,
+        })
+    }
+}
+
+fn serve_connection(service: &Service, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_a_round_trip_over_tcp() {
+        let handle = Server::bind("127.0.0.1:0", Service::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        assert!(client.ping().unwrap());
+        let opened = client.open_fsp("trans p tau q\ntrans q a r").unwrap();
+        assert_eq!(opened.states, 3);
+        assert!(client
+            .pair(&opened.session, "observational", "p", "q")
+            .unwrap());
+        assert!(client.close_session(&opened.session).unwrap());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_and_connections_are_independent() {
+        let handle = Server::bind("127.0.0.1:0", Service::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut a = crate::client::Client::connect(handle.addr()).unwrap();
+        let opened = a.open_fsp("trans p a q").unwrap();
+        // A second connection sees the same registry.
+        let mut b = crate::client::Client::connect(handle.addr()).unwrap();
+        assert!(b.pair(&opened.session, "strong", "p", "p").unwrap());
+    }
+}

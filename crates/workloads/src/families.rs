@@ -219,7 +219,7 @@ pub fn det_blowup(n: usize, window: usize) -> Fsp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccs_equiv::{equivalent, limited, strong, Equivalence};
+    use ccs_equiv::{limited, strong, Equivalence, Query};
     use ccs_fsp::ops;
 
     #[test]
@@ -239,16 +239,26 @@ mod tests {
 
     #[test]
     fn cycles_of_different_sizes_are_equivalent() {
-        assert!(equivalent(&cycle(3, "a"), &cycle(5, "a"), Equivalence::Strong).unwrap());
-        assert!(equivalent(&cycle(3, "a"), &cycle(5, "a"), Equivalence::Failure).unwrap());
+        let three = cycle(3, "a");
+        let five = cycle(5, "a");
+        assert!(Query::new(Equivalence::Strong)
+            .between(&three, &five)
+            .unwrap());
+        assert!(Query::new(Equivalence::Failure)
+            .between(&three, &five)
+            .unwrap());
     }
 
     #[test]
     fn tau_chain_is_weakly_equivalent_to_a_single_action() {
         let long = tau_chain(10);
         let short = tau_chain(1);
-        assert!(equivalent(&long, &short, Equivalence::Observational).unwrap());
-        assert!(!equivalent(&long, &short, Equivalence::Strong).unwrap());
+        assert!(Query::new(Equivalence::Observational)
+            .between(&long, &short)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Strong)
+            .between(&long, &short)
+            .unwrap());
     }
 
     #[test]
@@ -263,17 +273,24 @@ mod tests {
 
     #[test]
     fn counters_relate_by_divisibility() {
-        assert!(equivalent(&counter(2), &counter(2), Equivalence::Language).unwrap());
-        assert!(!equivalent(&counter(2), &counter(3), Equivalence::Language).unwrap());
+        let lang = Query::new(Equivalence::Language);
+        assert!(lang.between(&counter(2), &counter(2)).unwrap());
+        assert!(!lang.between(&counter(2), &counter(3)).unwrap());
     }
 
     #[test]
     fn vending_machines_differ_observationally_but_not_by_traces() {
         let internal = vending_machine(true);
         let external = vending_machine(false);
-        assert!(equivalent(&internal, &external, Equivalence::Trace).unwrap());
-        assert!(!equivalent(&internal, &external, Equivalence::Observational).unwrap());
-        assert!(!equivalent(&internal, &external, Equivalence::Failure).unwrap());
+        assert!(Query::new(Equivalence::Trace)
+            .between(&internal, &external)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Observational)
+            .between(&internal, &external)
+            .unwrap());
+        assert!(!Query::new(Equivalence::Failure)
+            .between(&internal, &external)
+            .unwrap());
     }
 
     #[test]
@@ -294,18 +311,21 @@ mod tests {
         assert!(!ccs_equiv::language::language_equivalent_states(&f, e_a, e_b).holds);
         // The classification agrees between the determinized engine and the
         // representative-scan oracle on the blowup shape.
-        let mut session = ccs_equiv::EquivSession::for_process(&f);
+        let session = ccs_equiv::EquivSession::for_process(&f);
         let oracle = session.representative_scan_partition(Equivalence::Language);
-        assert_eq!(session.classify_all(Equivalence::Language), &oracle);
+        assert_eq!(
+            session.classify_all(Equivalence::Language).as_ref(),
+            &oracle
+        );
         // The arena really blows up past the state count: the 2^w + 2^{w-1}
         // shared core arena dominates the n original states.
         let g = det_blowup(16, 6);
-        let mut s = ccs_equiv::EquivSession::for_process(&g);
+        let s = ccs_equiv::EquivSession::for_process(&g);
         let _ = s.classify_all(Equivalence::Language);
         assert!(
-            s.subset_automaton().num_subsets() > g.num_states(),
+            s.subset_arena_size() > g.num_states(),
             "expected subset blowup, got {} subsets over {} states",
-            s.subset_automaton().num_subsets(),
+            s.subset_arena_size(),
             g.num_states()
         );
     }

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn session_and_free_functions_agree_on_a_batch() {
         let batch = weak_query_batch(20, 12, 9);
-        let mut session = EquivSession::for_process(&batch.fsp);
+        let session = EquivSession::for_process(&batch.fsp);
         let batched = session.equivalent_pairs(Equivalence::Observational, &batch.pairs);
         let wp = weak::weak_partition(&batch.fsp);
         for (&(p, q), &got) in batch.pairs.iter().zip(&batched) {

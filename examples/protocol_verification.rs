@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example protocol_verification`.
 
-use ccs_equiv::{equivalent, strong, weak, Equivalence};
+use ccs_equiv::{strong, weak, Equivalence, Query};
 use ccs_fsp::{format, Fsp};
 
 /// The specification: the service alternates `send` and `deliver` forever.
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!(
             "  {notion:<16} {}",
-            if equivalent(&spec, &good, notion)? {
+            if Query::new(notion).between(&spec, &good)? {
                 "matches spec"
             } else {
                 "VIOLATES spec"
@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!(
             "  {notion:<16} {}",
-            if equivalent(&spec, &buggy, notion)? {
+            if Query::new(notion).between(&spec, &buggy)? {
                 "matches spec"
             } else {
                 "VIOLATES spec"

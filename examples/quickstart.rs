@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use ccs_equiv::{equivalent, failures, witness, Equivalence};
+use ccs_equiv::{failures, witness, Equivalence, Query};
 use ccs_fsp::{format, ops};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Equivalence::Observational,
         Equivalence::Strong,
     ] {
-        let verdict = equivalent(&merged, &split, notion)?;
+        let verdict = Query::new(notion).between(&merged, &split)?;
         println!(
             "{notion:<22} {}",
             if verdict { "equivalent" } else { "DIFFERENT" }

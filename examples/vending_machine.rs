@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example vending_machine`.
 
-use ccs_equiv::{equivalent, limited, strong, Equivalence};
+use ccs_equiv::{limited, strong, Equivalence, Query};
 use ccs_fsp::{dot, ops};
 use ccs_workloads::families;
 
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Equivalence::Observational,
         Equivalence::Strong,
     ] {
-        let verdict = equivalent(&external, &internal, notion)?;
+        let verdict = Query::new(notion).between(&external, &internal)?;
         println!(
             "{notion:<16} {}",
             if verdict {

@@ -16,6 +16,9 @@
 //!   Sections 4–5.
 //! * [`workloads`] — random and structured process generators used by tests
 //!   and benchmarks.
+//! * [`server`] — equivalence-as-a-service: the line-oriented JSON wire
+//!   protocol over TCP, its session registry and batching layer, and the
+//!   matching blocking client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,4 +28,5 @@ pub use ccs_expr as expr;
 pub use ccs_fsp as fsp;
 pub use ccs_partition as partition;
 pub use ccs_reductions as reductions;
+pub use ccs_server as server;
 pub use ccs_workloads as workloads;

@@ -1,7 +1,7 @@
 //! End-to-end pipeline tests for star expressions: parse → representative
 //! FSP → equivalence checking, exercising every crate in the workspace.
 
-use ccs_equiv::{equivalent, Equivalence};
+use ccs_equiv::{Equivalence, Query};
 use ccs_expr::{ccs_equivalent, construct, language_equivalent, parse};
 
 /// The motivating property of Section 2.3: expressions equal as regular
@@ -103,7 +103,7 @@ fn ccs_equivalence_problem_is_strong_equivalence_of_representatives() {
         let fr = construct::representative(&er);
         assert_eq!(
             ccs_equivalent(&el, &er),
-            equivalent(&fl, &fr, Equivalence::Strong).unwrap(),
+            Query::new(Equivalence::Strong).between(&fl, &fr).unwrap(),
             "{l} vs {r}"
         );
     }

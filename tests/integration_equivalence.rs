@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the equivalence hierarchy of Table II /
 //! Proposition 2.2.3 checked on generated workloads.
 
-use ccs_equiv::{equivalent, Equivalence};
+use ccs_equiv::{Equivalence, Query};
 use ccs_fsp::ops;
 use ccs_workloads::{families, random, RandomConfig};
 
@@ -16,11 +16,21 @@ fn implication_hierarchy_on_random_restricted_pairs() {
         } else {
             random::random_fsp(&RandomConfig::sized(10, seed + 1000))
         };
-        let strong = equivalent(&base, &other, Equivalence::Strong).unwrap();
-        let weak = equivalent(&base, &other, Equivalence::Observational).unwrap();
-        let failure = equivalent(&base, &other, Equivalence::Failure).unwrap();
-        let language = equivalent(&base, &other, Equivalence::Language).unwrap();
-        let k1 = equivalent(&base, &other, Equivalence::KObservational(1)).unwrap();
+        let strong = Query::new(Equivalence::Strong)
+            .between(&base, &other)
+            .unwrap();
+        let weak = Query::new(Equivalence::Observational)
+            .between(&base, &other)
+            .unwrap();
+        let failure = Query::new(Equivalence::Failure)
+            .between(&base, &other)
+            .unwrap();
+        let language = Query::new(Equivalence::Language)
+            .between(&base, &other)
+            .unwrap();
+        let k1 = Query::new(Equivalence::KObservational(1))
+            .between(&base, &other)
+            .unwrap();
         // Strong implies observational implies failure implies language = ≈₁.
         if strong {
             assert!(weak, "seed {seed}: ~ must imply ≈");
@@ -59,7 +69,7 @@ fn deterministic_collapse() {
             Equivalence::KObservational(2),
         ] {
             assert_eq!(
-                equivalent(&left, &right, notion).unwrap(),
+                Query::new(notion).between(&left, &right).unwrap(),
                 fast,
                 "seed {seed}, notion {notion}"
             );
@@ -67,7 +77,9 @@ fn deterministic_collapse() {
         // Strong equivalence may be finer in general, but for deterministic
         // *complete* processes it coincides with language equivalence too.
         assert_eq!(
-            equivalent(&left, &right, Equivalence::Strong).unwrap(),
+            Query::new(Equivalence::Strong)
+                .between(&left, &right)
+                .unwrap(),
             fast
         );
     }
@@ -150,7 +162,7 @@ fn inflated_pairs_are_equivalent_under_every_notion() {
             Equivalence::Failure,
         ] {
             assert!(
-                equivalent(&base, &inflated, notion).unwrap(),
+                Query::new(notion).between(&base, &inflated).unwrap(),
                 "seed {seed}, notion {notion}"
             );
         }

@@ -1,7 +1,7 @@
 //! End-to-end verification of the paper's reductions (Lemma 4.2,
 //! Theorem 4.1(b)(c), Theorem 5.1) on families of instances.
 
-use ccs_equiv::{kobs, language, Equivalence};
+use ccs_equiv::{kobs, language, Equivalence, Query};
 use ccs_fsp::format;
 use ccs_reductions::gadgets;
 use ccs_workloads::{random, RandomConfig};
@@ -88,7 +88,9 @@ fn universality_gadget_end_to_end() {
         let trivial = gadgets::trivial_nfa(&["a", "b"]);
         assert_eq!(
             output_universal,
-            ccs_equiv::equivalent(&gadget, &trivial, Equivalence::KObservational(1)).unwrap(),
+            Query::new(Equivalence::KObservational(1))
+                .between(&gadget, &trivial)
+                .unwrap(),
             "modulus {modulus}"
         );
     }
