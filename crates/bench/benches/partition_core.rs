@@ -69,9 +69,9 @@ fn bench_deterministic(c: &mut Criterion) {
         let mut dfa = Dfa::new(n, 2, 0);
         let inst = prebuilt(instances::complete_deterministic(n, 2, 7));
         for s in 0..n {
-            dfa.set_class(s, inst.initial_blocks()[s]);
+            dfa.set_class(s, inst.initial_blocks()[s] as usize);
             for l in 0..2 {
-                dfa.set_transition(s, l, inst.successors(l, s)[0]);
+                dfa.set_transition(s, l, inst.successors(l, s)[0].index());
             }
         }
         group.bench_with_input(BenchmarkId::new("hopcroft", n), &dfa, |b, dfa| {

@@ -1,6 +1,12 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
 //! tables (E7 solver matrix, WP weak-pipeline table, PAR
-//! parallel-refinement table, and the DET determinization table).
+//! parallel-refinement table, the DET determinization table, and the MEM
+//! resident-bytes table).
+//!
+//! The report header stamps the host core count (`host: cores=N …`).  When
+//! the baseline was recorded on a host with a different core count, PAR
+//! regressions are downgraded to warnings — thread-scaling numbers from a
+//! different machine shape are not comparable enough to fail CI on.
 //!
 //! Usage:
 //!
@@ -32,6 +38,7 @@ enum Section {
     Wp,
     Par,
     Det,
+    Mem,
 }
 
 /// Extracts the tracked tables from a report dump.
@@ -43,6 +50,10 @@ enum Section {
 /// par-2 par-4 speedup4` (timings in columns 3–6, the speedup ratio again
 /// derived and not compared); DET rows are `family states subsets notion
 /// rep-scan det speedup` (timings in columns 4–5, the speedup derived).
+/// MEM rows come in two shapes: 5-token session rows `family states subsets
+/// session-bytes arena-bytes` and 4-token CSR rows `family states edges
+/// csr-bytes` — byte counts ride the same ratio check as timings, so a
+/// memory blow-up trips the comparison exactly like a slowdown would.
 fn parse_report(text: &str) -> Rows {
     let mut rows = Rows::new();
     let mut section = Section::None;
@@ -57,6 +68,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::Par
             } else if trimmed.contains("DET:") {
                 Section::Det
+            } else if trimmed.contains("MEM:") {
+                Section::Mem
             } else {
                 Section::None
             };
@@ -110,10 +123,42 @@ fn parse_report(text: &str) -> Rows {
                     .collect();
                 rows.insert(key, timings);
             }
+            Section::Mem if tokens.len() == 5 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("mem/{}/{}", tokens[0], tokens[1]);
+                let cols = ["session", "arena"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[3..5])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Mem if tokens.len() == 4 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("mem/{}/{}", tokens[0], tokens[1]);
+                let timings = vec![(
+                    "csr".to_owned(),
+                    tokens[3].parse().expect("checked numeric"),
+                )];
+                rows.insert(key, timings);
+            }
             _ => {}
         }
     }
     rows
+}
+
+/// Extracts the host core count from a report's `host: cores=N …` header
+/// line, if present (reports predating the header have none).
+fn host_cores(text: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let trimmed = line.trim();
+        if !trimmed.starts_with("host:") {
+            return None;
+        }
+        trimmed
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("cores=").and_then(|v| v.parse().ok()))
+    })
 }
 
 struct Options {
@@ -170,14 +215,30 @@ fn main() -> ExitCode {
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
     };
-    let baseline = parse_report(&read(&opts.baseline));
-    let current = parse_report(&read(&opts.current));
+    let baseline_text = read(&opts.baseline);
+    let current_text = read(&opts.current);
+    let baseline = parse_report(&baseline_text);
+    let current = parse_report(&current_text);
     if baseline.is_empty() {
         eprintln!("no tracked rows found in baseline {}", opts.baseline);
         return ExitCode::from(2);
     }
+    let base_cores = host_cores(&baseline_text);
+    let cur_cores = host_cores(&current_text);
+    // Thread-scaling numbers only transfer between identically shaped hosts;
+    // when the baseline's core count is unknown or differs, PAR slowdowns are
+    // reported but do not fail the comparison.
+    let par_comparable = base_cores.is_some() && base_cores == cur_cores;
+    if !par_comparable {
+        println!(
+            "note: baseline cores={} vs current cores={} — PAR slowdowns downgraded to warnings",
+            base_cores.map_or_else(|| "unknown".to_owned(), |c| c.to_string()),
+            cur_cores.map_or_else(|| "unknown".to_owned(), |c| c.to_string()),
+        );
+    }
 
     let mut regressions = 0usize;
+    let mut warnings = 0usize;
     let mut compared = 0usize;
     let mut missing = 0usize;
     for (key, base_timings) in &baseline {
@@ -193,17 +254,26 @@ fn main() -> ExitCode {
             compared += 1;
             let ratio = cur / base;
             if ratio > opts.threshold {
-                println!(
-                    "REGRESSION  {key} [{col}]: {base:.2} ms -> {cur:.2} ms ({:.0}% slower)",
-                    (ratio - 1.0) * 100.0
-                );
-                regressions += 1;
+                if key.starts_with("par/") && !par_comparable {
+                    println!(
+                        "WARN  {key} [{col}]: {base:.2} -> {cur:.2} ({:.0}% worse; core count \
+                         differs from baseline, not counted)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    warnings += 1;
+                } else {
+                    println!(
+                        "REGRESSION  {key} [{col}]: {base:.2} -> {cur:.2} ({:.0}% worse)",
+                        (ratio - 1.0) * 100.0
+                    );
+                    regressions += 1;
+                }
             }
         }
     }
     println!(
-        "compared {compared} timings over {} rows: {regressions} regression(s), {missing} missing \
-         row(s) (threshold {:.0}%, floor {} ms)",
+        "compared {compared} values over {} rows: {regressions} regression(s), {warnings} \
+         warning(s), {missing} missing row(s) (threshold {:.0}%, floor {})",
         baseline.len(),
         (opts.threshold - 1.0) * 100.0,
         opts.floor_ms
@@ -221,6 +291,7 @@ mod tests {
 
     const SAMPLE: &str = "\
 ccs-equiv experiment report (wall-clock, release recommended)
+host: cores=4 CCS_THREADS=unset
 
 == E7: generalized partitioning on the CSR core — solver matrix per family ==
    (ks-both = both-halves baseline, ks-small = smaller-half upgrade)
@@ -243,6 +314,13 @@ ccs-equiv experiment report (wall-clock, release recommended)
   family   states   subsets     notion   rep-scan ms     det ms   speedup
   blowup      256      7000   language        120.00      10.00      12.0
 
+== MEM: resident bytes — honest capacity-based accounting per family ==
+   (session = EquivSession::approx_resident_bytes after classify_all; ...)
+  family   states   subsets    session B      arena B
+  blowup      256       639      1400000       600000
+  family   states      edges        csr B
+  random     1024       3072       200000
+
 == E8: strong equivalence, equivalent pairs (Theorem 3.1) ==
   states     check ms      classes
      256        10.00           17
@@ -251,7 +329,15 @@ ccs-equiv experiment report (wall-clock, release recommended)
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 7);
+        assert_eq!(
+            rows["mem/blowup/256"],
+            vec![
+                ("session".to_owned(), 1_400_000.0),
+                ("arena".to_owned(), 600_000.0)
+            ]
+        );
+        assert_eq!(rows["mem/random/1024"], vec![("csr".to_owned(), 200_000.0)]);
         assert_eq!(
             rows["det/blowup/language/256"],
             vec![("rep-scan".to_owned(), 120.0), ("det".to_owned(), 10.0)]
@@ -289,5 +375,16 @@ ccs-equiv experiment report (wall-clock, release recommended)
     fn header_lines_are_not_rows() {
         let rows = parse_report("== E7: x ==\nfamily states edges a b c d\n");
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn host_cores_reads_the_header() {
+        assert_eq!(host_cores(SAMPLE), Some(4));
+        assert_eq!(host_cores("host: cores=1 CCS_THREADS=2\n"), Some(1));
+        // Reports predating the header parse as unknown.
+        assert_eq!(
+            host_cores("ccs-equiv experiment report\n== E7: x ==\n"),
+            None
+        );
     }
 }

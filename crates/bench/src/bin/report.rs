@@ -196,6 +196,63 @@ fn det_determinized_classification() {
     }
 }
 
+fn mem_resident_footprint() {
+    println!("\n== MEM: resident bytes — honest capacity-based accounting per family ==");
+    println!(
+        "   (session = EquivSession::approx_resident_bytes after classify_all on all three\n    \
+         PSPACE notions; arena = the subset-automaton share; csr = Instance CSR bytes;\n    \
+         blowup window = 8)"
+    );
+    println!(
+        "{:>8} {:>8} {:>9} {:>14} {:>14}",
+        "family", "states", "subsets", "session B", "arena B"
+    );
+    for &n in &[64usize, 128, 256, 512] {
+        let fsp = families::det_blowup(n, 8);
+        let session = EquivSession::for_process(&fsp);
+        for notion in [
+            Equivalence::Language,
+            Equivalence::Trace,
+            Equivalence::Failure,
+        ] {
+            let _ = session.classify_all(notion);
+        }
+        println!(
+            "{:>8} {:>8} {:>9} {:>14} {:>14}",
+            "blowup",
+            fsp.num_states(),
+            session.subset_arena_size(),
+            session.approx_resident_bytes(),
+            session.subset_arena_bytes()
+        );
+    }
+    println!(
+        "{:>8} {:>8} {:>10} {:>14}",
+        "family", "states", "edges", "csr B"
+    );
+    let families: [InstanceFamily; 2] = [
+        ("random", |n| {
+            ccs_workloads::instances::random(n, 2, 3 * n, 42)
+        }),
+        ("dense", |n| {
+            ccs_workloads::instances::dense_random(n, 4, 8, 16, 42)
+        }),
+    ];
+    for (family, make) in families {
+        for &n in &[1024usize, 4096] {
+            let inst = make(n);
+            let _ = inst.num_edges();
+            println!(
+                "{:>8} {:>8} {:>10} {:>14}",
+                family,
+                inst.num_elements(),
+                inst.num_edges(),
+                inst.resident_bytes()
+            );
+        }
+    }
+}
+
 fn e8_strong_equivalence() {
     println!("\n== E8: strong equivalence, equivalent pairs (Theorem 3.1) ==");
     println!("{:>8} {:>12} {:>12}", "states", "check ms", "classes");
@@ -339,6 +396,11 @@ const TABLES: &[(&str, &str, fn())] = &[
         "PSPACE-notion classification: subset arena vs representative scan",
         det_determinized_classification,
     ),
+    (
+        "mem",
+        "resident bytes per family/size (honest capacity accounting)",
+        mem_resident_footprint,
+    ),
     ("e8", "strong equivalence scaling", e8_strong_equivalence),
     (
         "e9",
@@ -398,6 +460,12 @@ fn main() {
     }
     let want = |name: &str| selected.is_empty() || selected.iter().any(|a| a == name);
     println!("ccs-equiv experiment report (wall-clock, release recommended)");
+    // Stamp the host shape so `compare_report` can tell whether PAR timings
+    // from another container are comparable at all (cores) and whether the
+    // worker pool was pinned (CCS_THREADS).
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ccs_threads = std::env::var("CCS_THREADS").unwrap_or_else(|_| "unset".to_owned());
+    println!("host: cores={cores} CCS_THREADS={ccs_threads}");
     for (name, _, run) in TABLES {
         if want(name) {
             run();

@@ -36,6 +36,20 @@
 //!   that exposed them) land in a refutation cache — so a session's later
 //!   queries early-exit on first contact with anything already decided.
 //!
+//! # Memory layout
+//!
+//! Subset ids are `u32` ([`SubsetId`]) and the arena stores member sets in
+//! one of two compact representations ([`SubsetRepr`]), chosen from the
+//! state count at construction: *dense* fixed-width bitsets (one `u64` word
+//! row per subset) when the ground set is small enough that a row beats a
+//! member list, or *sparse* sorted `u32` runs concatenated in one flat
+//! array behind a CSR offset table.  Interning hashes subsets by the XOR of
+//! their mixed members (a SplitMix64-based fingerprint) — order- and
+//! representation-independent — into a `u64 → id` table, so the member data
+//! is stored exactly once (the old layout duplicated every member list as a
+//! `HashMap` key).  Transitions, annotations, the refusal-antichain intern
+//! and the [`PairCache`] congruence all ride the same 32-bit ids.
+//!
 //! The worst case is still exponential — as Theorem 4.1(b) demands — but
 //! the exponential work is paid **once per subset**, not once per pair.
 
@@ -46,13 +60,18 @@ use ccs_fsp::{ActionId, Fsp, StateId};
 use ccs_partition::{solve, Algorithm, Dfa, Partition};
 
 use crate::check::Equivalence;
+use crate::compact::{narrow, subset_fingerprint};
 use crate::failures::maximal_refusals;
 
-/// Interned identifier of a subset state inside a [`SubsetAutomaton`].
-pub type SubsetId = usize;
+/// Interned identifier of a subset state inside a [`SubsetAutomaton`] — a
+/// compact 32-bit id (`u32::MAX` is reserved as the unexplored sentinel).
+pub type SubsetId = u32;
 
-/// Sentinel for a transition that has not been computed yet.
-const UNEXPLORED: usize = usize::MAX;
+/// Sentinel for a transition (or start slot) that has not been computed yet.
+const UNEXPLORED: u32 = u32::MAX;
+
+/// Sentinel for a refusal-antichain class that has not been interned yet.
+const REFUSAL_UNSET: u32 = u32::MAX;
 
 /// The three PSPACE notions the determinization layer decides.  Each picks a
 /// different per-subset output class over the same arena.
@@ -80,31 +99,215 @@ impl DetNotion {
     }
 }
 
+/// How a [`SubsetAutomaton`] stores its member sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubsetRepr {
+    /// Fixed-width bitsets: `⌈n/64⌉` `u64` words per subset.  Constant-size
+    /// rows, `O(1)` membership, and the densest choice once subsets average
+    /// more than a couple of words' worth of members — the regime of the
+    /// determinization blow-up families.
+    Dense,
+    /// Sorted `u32` member runs concatenated in one flat array behind a CSR
+    /// offset table.  Four bytes per member: the better choice when the
+    /// ground set is large but subsets stay small.
+    Sparse,
+}
+
+impl SubsetRepr {
+    /// Largest ground set for which the automatic choice picks
+    /// [`SubsetRepr::Dense`]: a bitset row is then at most 64 bytes, which
+    /// beats sparse runs as soon as subsets average ≥ 16 members — and
+    /// subset constructions over small ground sets are exactly the ones
+    /// whose subsets get fat.
+    pub const DENSE_MAX_STATES: usize = 512;
+
+    /// The representation used for a ground set of `num_states` states when
+    /// the caller does not force one.
+    #[must_use]
+    pub fn choose(num_states: usize) -> Self {
+        if num_states <= Self::DENSE_MAX_STATES {
+            SubsetRepr::Dense
+        } else {
+            SubsetRepr::Sparse
+        }
+    }
+}
+
+/// The member storage behind the arena — see [`SubsetRepr`].
+#[derive(Clone, Debug)]
+enum MemberStore {
+    Dense {
+        /// `u64` words per subset row (`⌈num_states/64⌉`).
+        words: usize,
+        bits: Vec<u64>,
+    },
+    Sparse {
+        offsets: Vec<u32>,
+        data: Vec<u32>,
+    },
+}
+
+impl MemberStore {
+    fn new(repr: SubsetRepr, num_states: usize) -> Self {
+        match repr {
+            SubsetRepr::Dense => MemberStore::Dense {
+                words: num_states.div_ceil(64),
+                bits: Vec::new(),
+            },
+            SubsetRepr::Sparse => MemberStore::Sparse {
+                offsets: vec![0],
+                data: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends a subset (sorted, duplicate-free members) and returns nothing;
+    /// the caller assigns the next dense id.
+    fn push(&mut self, members: &[u32]) {
+        match self {
+            MemberStore::Dense { words, bits } => {
+                let base = bits.len();
+                bits.resize(base + *words, 0);
+                for &m in members {
+                    bits[base + (m as usize >> 6)] |= 1u64 << (m & 63);
+                }
+            }
+            MemberStore::Sparse { offsets, data } => {
+                data.extend_from_slice(members);
+                offsets.push(narrow(data.len()));
+            }
+        }
+    }
+
+    /// Number of members of a subset.
+    fn len(&self, id: SubsetId) -> usize {
+        match self {
+            MemberStore::Dense { words, bits } => bits[id as usize * *words..][..*words]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum(),
+            MemberStore::Sparse { offsets, .. } => {
+                (offsets[id as usize + 1] - offsets[id as usize]) as usize
+            }
+        }
+    }
+
+    /// Whether the stored subset equals `members` (sorted, duplicate-free).
+    fn matches(&self, id: SubsetId, members: &[u32]) -> bool {
+        match self {
+            MemberStore::Dense { words, bits } => {
+                let row = &bits[id as usize * *words..][..*words];
+                row.iter().map(|w| w.count_ones() as usize).sum::<usize>() == members.len()
+                    && members
+                        .iter()
+                        .all(|&m| row[m as usize >> 6] & (1u64 << (m & 63)) != 0)
+            }
+            MemberStore::Sparse { offsets, data } => {
+                &data[offsets[id as usize] as usize..offsets[id as usize + 1] as usize] == members
+            }
+        }
+    }
+
+    /// Iterates the members of a subset in ascending order.
+    fn iter(&self, id: SubsetId) -> MemberIter<'_> {
+        match self {
+            MemberStore::Dense { words, bits } => MemberIter::Dense {
+                row: &bits[id as usize * *words..][..*words],
+                word: 0,
+                current: 0,
+            },
+            MemberStore::Sparse { offsets, data } => MemberIter::Sparse(
+                data[offsets[id as usize] as usize..offsets[id as usize + 1] as usize].iter(),
+            ),
+        }
+    }
+
+    /// The materialized sorted member list of a subset.
+    fn collect(&self, id: SubsetId) -> Vec<u32> {
+        self.iter(id).collect()
+    }
+
+    /// Heap bytes held by the store, from live container capacities.
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            MemberStore::Dense { bits, .. } => bits.capacity() * size_of::<u64>(),
+            MemberStore::Sparse { offsets, data } => {
+                (offsets.capacity() + data.capacity()) * size_of::<u32>()
+            }
+        }
+    }
+}
+
+/// Ascending member iterator over either representation.
+enum MemberIter<'a> {
+    Dense {
+        row: &'a [u64],
+        /// Index of the next word to load.
+        word: usize,
+        /// Remaining bits of the last loaded word.
+        current: u64,
+    },
+    Sparse(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for MemberIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            MemberIter::Dense { row, word, current } => {
+                while *current == 0 {
+                    if *word >= row.len() {
+                        return None;
+                    }
+                    *current = row[*word];
+                    *word += 1;
+                }
+                let bit = current.trailing_zeros();
+                *current &= *current - 1;
+                Some(narrow((*word - 1) * 64) + bit)
+            }
+            MemberIter::Sparse(it) => it.next().copied(),
+        }
+    }
+}
+
 /// A memoized, interned subset automaton over one process.
 ///
-/// Subsets are sorted, duplicate-free, ε-closed member lists, hashed and
-/// interned once; transitions are computed lazily against a caller-provided
+/// Subsets are sorted, duplicate-free, ε-closed member sets stored compactly
+/// (see [`SubsetRepr`]) and interned once via an order-independent
+/// fingerprint; transitions are computed lazily against a caller-provided
 /// [`SaturatedView`] and cached forever.  Id [`SubsetAutomaton::DEAD`] is
 /// the empty subset, which makes the (explored part of the) automaton a
 /// *complete* DFA — the shape the partition core's [`Dfa`] wants.
 #[derive(Clone, Debug)]
 pub struct SubsetAutomaton {
     num_actions: usize,
-    /// `subsets[id]` — the sorted member list (state indices).
-    subsets: Vec<Vec<usize>>,
-    intern: HashMap<Vec<usize>, SubsetId>,
+    repr: SubsetRepr,
+    store: MemberStore,
+    num_subsets: u32,
+    /// Fingerprint → interned id.  Distinct subsets with colliding
+    /// fingerprints overflow into `intern_spill` (vanishingly rare).
+    intern: HashMap<u64, SubsetId>,
+    intern_spill: Vec<(u64, SubsetId)>,
     /// Row-major lazy transition table: `delta[id·|Σ| + a]`.
-    delta: Vec<usize>,
+    delta: Vec<u32>,
     /// Per-subset acceptance bit (some member is accepting).
     accepting: Vec<bool>,
-    /// Per-subset weakly-enabled observable actions (sorted indices): the
-    /// columns whose [`SubsetAutomaton::step`] is not the dead state.
-    enabled: Vec<Vec<usize>>,
-    /// Lazily interned refusal-antichain class per subset.
-    refusal_class: Vec<Option<usize>>,
-    antichain_intern: HashMap<Vec<Vec<usize>>, usize>,
-    /// Memoized ε-closure start subset per original state.
-    start_ids: Vec<Option<SubsetId>>,
+    /// Per-subset weakly-enabled observable actions: sorted action indices,
+    /// concatenated behind a CSR offset table — the columns whose
+    /// [`SubsetAutomaton::step`] is not the dead state.
+    enabled_offsets: Vec<u32>,
+    enabled_data: Vec<u32>,
+    /// Lazily interned refusal-antichain class per subset
+    /// ([`REFUSAL_UNSET`] until computed).
+    refusal_class: Vec<u32>,
+    /// Length-prefixed flattened antichain → class id.
+    antichain_intern: HashMap<Vec<u32>, u32>,
+    /// Memoized ε-closure start subset per original state
+    /// ([`UNEXPLORED`] until computed).
+    start_ids: Vec<u32>,
     /// Acceptance per *original* state, captured at construction so subset
     /// annotations never need the process again.
     state_accepting: Vec<bool>,
@@ -115,38 +318,58 @@ impl SubsetAutomaton {
     /// The empty subset — the dead state of the complete DFA.
     pub const DEAD: SubsetId = 0;
 
-    /// Creates an empty automaton for `fsp`, capturing the acceptance flags
-    /// (the only fact the annotations need from the process itself; all
-    /// transition structure comes from the [`SaturatedView`] passed to each
-    /// exploring call, which must be the view of the same process).
+    /// Creates an empty automaton for `fsp` with the representation
+    /// [`SubsetRepr::choose`] picks for its state count, capturing the
+    /// acceptance flags (the only fact the annotations need from the process
+    /// itself; all transition structure comes from the [`SaturatedView`]
+    /// passed to each exploring call, which must be the view of the same
+    /// process).
     #[must_use]
     pub fn new(fsp: &Fsp) -> Self {
+        Self::with_repr(fsp, SubsetRepr::choose(fsp.num_states()))
+    }
+
+    /// Like [`SubsetAutomaton::new`] with an explicit member representation
+    /// — both produce identical ids, transitions and classes (the property
+    /// suite asserts it); only the byte layout differs.
+    #[must_use]
+    pub fn with_repr(fsp: &Fsp, repr: SubsetRepr) -> Self {
         let mut auto = SubsetAutomaton {
             num_actions: fsp.num_actions(),
-            subsets: Vec::new(),
+            repr,
+            store: MemberStore::new(repr, fsp.num_states()),
+            num_subsets: 0,
             intern: HashMap::new(),
+            intern_spill: Vec::new(),
             delta: Vec::new(),
             accepting: Vec::new(),
-            enabled: Vec::new(),
+            enabled_offsets: vec![0],
+            enabled_data: Vec::new(),
             refusal_class: Vec::new(),
             antichain_intern: HashMap::new(),
-            start_ids: vec![None; fsp.num_states()],
+            start_ids: vec![UNEXPLORED; fsp.num_states()],
             state_accepting: fsp.state_ids().map(|s| fsp.is_accepting(s)).collect(),
             steps_computed: 0,
         };
-        let dead = auto.intern_members(Vec::new(), &[]);
+        let dead = auto.intern_new(subset_fingerprint(&[]), &[], &[]);
         debug_assert_eq!(dead, Self::DEAD);
         // The dead state self-loops on every action.
         for a in 0..auto.num_actions {
-            auto.delta[Self::DEAD * auto.num_actions + a] = Self::DEAD;
+            auto.delta[Self::DEAD as usize * auto.num_actions + a] = Self::DEAD;
         }
         auto
+    }
+
+    /// The member representation this arena stores subsets in.
+    #[must_use]
+    pub fn repr(&self) -> SubsetRepr {
+        self.repr
     }
 
     /// Number of interned subsets (the arena size).
     #[must_use]
     pub fn num_subsets(&self) -> usize {
-        self.subsets.len()
+        self.num_subsets as usize
     }
 
     /// Number of observable actions (the DFA label alphabet).
@@ -161,80 +384,129 @@ impl SubsetAutomaton {
         self.steps_computed
     }
 
-    /// The sorted member list of a subset.
+    /// Heap bytes held by the arena — member store, fingerprint intern,
+    /// transition table and annotations — measured from live container
+    /// capacities.
     #[must_use]
-    pub fn subset(&self, id: SubsetId) -> &[usize] {
-        &self.subsets[id]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let antichain_keys: usize = self
+            .antichain_intern
+            .keys()
+            .map(|k| k.capacity() * size_of::<u32>())
+            .sum();
+        self.store.resident_bytes()
+            + self.intern.capacity() * (size_of::<(u64, SubsetId)>() + 1)
+            + self.intern_spill.capacity() * size_of::<(u64, SubsetId)>()
+            + self.delta.capacity() * size_of::<u32>()
+            + self.accepting.capacity()
+            + (self.enabled_offsets.capacity() + self.enabled_data.capacity()) * size_of::<u32>()
+            + self.refusal_class.capacity() * size_of::<u32>()
+            + self.antichain_intern.capacity() * (size_of::<(Vec<u32>, u32)>() + 1)
+            + antichain_keys
+            + self.start_ids.capacity() * size_of::<u32>()
+            + self.state_accepting.capacity()
+    }
+
+    /// The materialized sorted member list of a subset (state indices).
+    #[must_use]
+    pub fn subset(&self, id: SubsetId) -> Vec<u32> {
+        self.store.collect(id)
+    }
+
+    /// Number of members of a subset, without materializing it.
+    #[must_use]
+    pub fn subset_len(&self, id: SubsetId) -> usize {
+        self.store.len(id)
     }
 
     /// Whether the subset contains an accepting state.
     #[must_use]
     pub fn is_accepting(&self, id: SubsetId) -> bool {
-        self.accepting[id]
+        self.accepting[id as usize]
     }
 
     /// The weakly-enabled observable actions of the subset (sorted action
     /// indices) — exactly the columns whose [`SubsetAutomaton::step`] is not
     /// [`SubsetAutomaton::DEAD`].
     #[must_use]
-    pub fn enabled(&self, id: SubsetId) -> &[usize] {
-        &self.enabled[id]
+    pub fn enabled(&self, id: SubsetId) -> &[u32] {
+        &self.enabled_data[self.enabled_offsets[id as usize] as usize
+            ..self.enabled_offsets[id as usize + 1] as usize]
     }
 
-    /// Interns `members` (must be sorted, duplicate-free, and ε-closed),
-    /// computing the acceptance and enabled-set annotations on first sight.
-    fn intern_members(&mut self, members: Vec<usize>, view_enabled: &[usize]) -> SubsetId {
-        if let Some(&id) = self.intern.get(&members) {
-            return id;
+    /// Finds an already-interned subset by fingerprint + member comparison.
+    fn lookup(&self, fp: u64, members: &[u32]) -> Option<SubsetId> {
+        let &id = self.intern.get(&fp)?;
+        if self.store.matches(id, members) {
+            return Some(id);
         }
-        let id = self.subsets.len();
-        self.intern.insert(members.clone(), id);
+        self.intern_spill
+            .iter()
+            .find(|&&(f, sid)| f == fp && self.store.matches(sid, members))
+            .map(|&(_, sid)| sid)
+    }
+
+    /// Interns a subset known to be absent, with its annotations.
+    fn intern_new(&mut self, fp: u64, members: &[u32], enabled: &[u32]) -> SubsetId {
+        let id = self.num_subsets;
+        assert!(id < UNEXPLORED, "subset arena exceeds the 32-bit id range");
+        self.num_subsets += 1;
+        self.store.push(members);
         self.accepting
-            .push(members.iter().any(|&s| self.state_accepting[s]));
-        self.enabled.push(view_enabled.to_vec());
-        self.subsets.push(members);
-        self.refusal_class.push(None);
+            .push(members.iter().any(|&s| self.state_accepting[s as usize]));
+        self.enabled_data.extend_from_slice(enabled);
+        self.enabled_offsets.push(narrow(self.enabled_data.len()));
+        self.refusal_class.push(REFUSAL_UNSET);
         self.delta
             .extend(std::iter::repeat(UNEXPLORED).take(self.num_actions));
+        match self.intern.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => self.intern_spill.push((fp, id)),
+        }
         id
     }
 
     /// Computes the enabled-action set of a member list from the view's CSR
     /// columns (`|Σ|·|X|` slice-emptiness checks).
-    fn enabled_of(&self, view: &SaturatedView, members: &[usize]) -> Vec<usize> {
+    fn enabled_of(&self, view: &SaturatedView, members: &[u32]) -> Vec<u32> {
         (0..self.num_actions)
             .filter(|&a| {
                 members.iter().any(|&x| {
                     !view
-                        .successors(StateId::from_index(x), ActionId::from_index(a))
+                        .successors(StateId::from_index(x as usize), ActionId::from_index(a))
                         .is_empty()
                 })
             })
+            .map(narrow)
             .collect()
     }
 
-    /// Interns an arbitrary ε-closed member list.
-    fn intern_subset(&mut self, view: &SaturatedView, members: Vec<usize>) -> SubsetId {
-        if let Some(&id) = self.intern.get(&members) {
+    /// Interns an arbitrary ε-closed member list (sorted, duplicate-free).
+    fn intern_subset(&mut self, view: &SaturatedView, members: &[u32]) -> SubsetId {
+        let fp = subset_fingerprint(members);
+        if let Some(id) = self.lookup(fp, members) {
             return id;
         }
-        let enabled = self.enabled_of(view, &members);
-        self.intern_members(members, &enabled)
+        let enabled = self.enabled_of(view, members);
+        self.intern_new(fp, members, &enabled)
     }
 
     /// The start subset of an original state: its ε-closure, interned
     /// (memoized per state).
     pub fn start(&mut self, view: &SaturatedView, p: StateId) -> SubsetId {
-        if let Some(id) = self.start_ids[p.index()] {
-            return id;
+        if self.start_ids[p.index()] != UNEXPLORED {
+            return self.start_ids[p.index()];
         }
-        let members: Vec<usize> = view
+        let members: Vec<u32> = view
             .epsilon_successors(p)
             .iter()
-            .map(|s| s.index())
+            .map(|s| narrow(s.index()))
             .collect();
-        let id = self.intern_subset(view, members);
-        self.start_ids[p.index()] = Some(id);
+        let id = self.intern_subset(view, &members);
+        self.start_ids[p.index()] = id;
         id
     }
 
@@ -242,25 +514,29 @@ impl SubsetAutomaton {
     /// view's columns already fold in the trailing ε-closure, so the union
     /// of member columns is itself ε-closed) and memoized forever.
     pub fn step(&mut self, view: &SaturatedView, id: SubsetId, action: ActionId) -> SubsetId {
-        let slot = id * self.num_actions + action.index();
+        let slot = id as usize * self.num_actions + action.index();
         if self.delta[slot] != UNEXPLORED {
             return self.delta[slot];
         }
         self.steps_computed += 1;
-        let target = if self.enabled[id].binary_search(&action.index()).is_err() {
+        let target = if self
+            .enabled(id)
+            .binary_search(&narrow(action.index()))
+            .is_err()
+        {
             Self::DEAD
         } else {
-            let mut members: Vec<usize> = Vec::new();
-            for &x in &self.subsets[id] {
+            let mut members: Vec<u32> = Vec::new();
+            for x in self.store.iter(id) {
                 members.extend(
-                    view.successors(StateId::from_index(x), action)
+                    view.successors(StateId::from_index(x as usize), action)
                         .iter()
-                        .map(|s| s.index()),
+                        .map(|s| narrow(s.index())),
                 );
             }
             members.sort_unstable();
             members.dedup();
-            self.intern_subset(view, members)
+            self.intern_subset(view, &members)
         };
         self.delta[slot] = target;
         target
@@ -270,14 +546,22 @@ impl SubsetAutomaton {
     /// (Section 5): two subsets share a class iff their antichains of
     /// maximal refusal sets are identical, so the failure checkers compare
     /// one integer instead of two set families.  Lazily memoized.
-    pub fn refusal_class(&mut self, view: &SaturatedView, id: SubsetId) -> usize {
-        if let Some(class) = self.refusal_class[id] {
-            return class;
+    pub fn refusal_class(&mut self, view: &SaturatedView, id: SubsetId) -> u32 {
+        if self.refusal_class[id as usize] != REFUSAL_UNSET {
+            return self.refusal_class[id as usize];
         }
-        let antichain = maximal_refusals(view, &self.subsets[id]);
-        let fresh = self.antichain_intern.len();
-        let class = *self.antichain_intern.entry(antichain).or_insert(fresh);
-        self.refusal_class[id] = Some(class);
+        let members = self.store.collect(id);
+        let antichain = maximal_refusals(view, &members);
+        // Length-prefixed flattening is injective over sorted member lists.
+        let mut key: Vec<u32> =
+            Vec::with_capacity(antichain.len() + antichain.iter().map(Vec::len).sum::<usize>());
+        for set in &antichain {
+            key.push(narrow(set.len()));
+            key.extend_from_slice(set);
+        }
+        let fresh = narrow(self.antichain_intern.len());
+        let class = *self.antichain_intern.entry(key).or_insert(fresh);
+        self.refusal_class[id as usize] = class;
         class
     }
 
@@ -285,8 +569,8 @@ impl SubsetAutomaton {
     /// until no `(subset, action)` slot is missing.  After this the explored
     /// arena is a complete DFA.
     pub fn explore(&mut self, view: &SaturatedView) {
-        let mut next = 0;
-        while next < self.subsets.len() {
+        let mut next: SubsetId = 0;
+        while (next as usize) < self.num_subsets() {
             for a in 0..self.num_actions {
                 self.step(view, next, ActionId::from_index(a));
             }
@@ -294,14 +578,16 @@ impl SubsetAutomaton {
         }
     }
 
-    /// The fully-explored dense transition table (row-major, `|Σ|` columns).
+    /// The fully-explored dense transition table (row-major, `|Σ|` columns)
+    /// — compact 32-bit targets, exactly what
+    /// [`Dfa::from_subset_automaton`] adopts.
     ///
     /// # Panics
     ///
     /// Panics if some slot is still unexplored — call
     /// [`SubsetAutomaton::explore`] first.
     #[must_use]
-    pub fn transition_table(&self) -> &[usize] {
+    pub fn transition_table(&self) -> &[u32] {
         assert!(
             !self.delta.contains(&UNEXPLORED),
             "transition table not fully explored"
@@ -312,13 +598,13 @@ impl SubsetAutomaton {
     /// The per-subset output classes of a notion: acceptance bits for
     /// language, non-emptiness for traces, `1 +` the interned refusal
     /// antichain (dead state `0`) for failures.
-    pub fn classes(&mut self, view: &SaturatedView, notion: DetNotion) -> Vec<usize> {
+    pub fn classes(&mut self, view: &SaturatedView, notion: DetNotion) -> Vec<u32> {
         match notion {
-            DetNotion::Language => self.accepting.iter().map(|&a| usize::from(a)).collect(),
-            DetNotion::Trace => (0..self.num_subsets())
-                .map(|id| usize::from(id != Self::DEAD))
+            DetNotion::Language => self.accepting.iter().map(|&a| u32::from(a)).collect(),
+            DetNotion::Trace => (0..self.num_subsets)
+                .map(|id| u32::from(id != Self::DEAD))
                 .collect(),
-            DetNotion::Failure => (0..self.num_subsets())
+            DetNotion::Failure => (0..self.num_subsets)
                 .map(|id| {
                     if id == Self::DEAD {
                         0
@@ -340,7 +626,7 @@ impl SubsetAutomaton {
         y: SubsetId,
     ) -> bool {
         match notion {
-            DetNotion::Language => self.accepting[x] != self.accepting[y],
+            DetNotion::Language => self.accepting[x as usize] != self.accepting[y as usize],
             DetNotion::Trace => (x == Self::DEAD) != (y == Self::DEAD),
             DetNotion::Failure => {
                 if (x == Self::DEAD) != (y == Self::DEAD) {
@@ -374,12 +660,15 @@ pub fn determinized_partition(
     let classes = auto.classes(view, notion);
     let dfa = Dfa::from_subset_automaton(
         auto.num_actions(),
-        SubsetAutomaton::DEAD,
+        SubsetAutomaton::DEAD as usize,
         auto.transition_table(),
         &classes,
     );
     let over_subsets = solve(&dfa.to_instance(), algorithm);
-    let assignment: Vec<usize> = starts.iter().map(|&s| over_subsets.block_of(s)).collect();
+    let assignment: Vec<usize> = starts
+        .iter()
+        .map(|&s| over_subsets.block_of(s as usize))
+        .collect();
     Partition::from_assignment(&assignment)
 }
 
@@ -389,31 +678,33 @@ pub fn determinized_partition(
 ///
 /// One cache serves every pair query of a session against one notion; the
 /// arena ids it stores are those of the session's shared
-/// [`SubsetAutomaton`], so the cache must never be reused across automata.
+/// [`SubsetAutomaton`] — compact `u32`s throughout, halving both the
+/// congruence array and the refutation set against the old `usize` layout —
+/// so the cache must never be reused across automata.
 #[derive(Clone, Debug, Default)]
 pub struct PairCache {
     /// Parent array of the proven-equivalent congruence (grows with the
     /// arena; a root points to itself).
-    proven: Vec<usize>,
+    proven: Vec<u32>,
     /// Canonically-ordered refuted pairs.
     refuted: std::collections::HashSet<(SubsetId, SubsetId)>,
 }
 
-fn find(parent: &mut [usize], mut x: usize) -> usize {
-    while parent[x] != x {
-        parent[x] = parent[parent[x]]; // path halving
-        x = parent[x];
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize]; // path halving
+        x = parent[x as usize];
     }
     x
 }
 
 /// Unions two ids; returns `false` if they were already merged.
-fn union(parent: &mut [usize], a: usize, b: usize) -> bool {
+fn union(parent: &mut [u32], a: u32, b: u32) -> bool {
     let (ra, rb) = (find(parent, a), find(parent, b));
     if ra == rb {
         return false;
     }
-    parent[ra.max(rb)] = ra.min(rb);
+    parent[ra.max(rb) as usize] = ra.min(rb);
     true
 }
 
@@ -434,17 +725,26 @@ impl PairCache {
         self.refuted.len()
     }
 
+    /// Heap bytes held by the cache (congruence array plus refutation set),
+    /// measured from live container capacities.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.proven.capacity() * size_of::<u32>()
+            + self.refuted.capacity() * (size_of::<(SubsetId, SubsetId)>() + 1)
+    }
+
     /// Whether the pair is already in the committed proven congruence — the
     /// `O(α)` early-exit of [`PairCache::equivalent`] (diagnostic).
     pub fn is_proven(&mut self, a: SubsetId, b: SubsetId) -> bool {
-        let needed = a.max(b) + 1;
+        let needed = a.max(b) as usize + 1;
         Self::grow(&mut self.proven, needed);
         find(&mut self.proven, a) == find(&mut self.proven, b)
     }
 
-    fn grow(parent: &mut Vec<usize>, n: usize) {
+    fn grow(parent: &mut Vec<u32>, n: usize) {
         while parent.len() < n {
-            parent.push(parent.len());
+            parent.push(narrow(parent.len()));
         }
     }
 
@@ -527,6 +827,7 @@ mod tests {
         let (mut auto, view) = arena(&f);
         assert_eq!(auto.num_subsets(), 1);
         assert!(auto.subset(SubsetAutomaton::DEAD).is_empty());
+        assert_eq!(auto.subset_len(SubsetAutomaton::DEAD), 0);
         assert!(!auto.is_accepting(SubsetAutomaton::DEAD));
         let a = f.action_id("a").unwrap();
         assert_eq!(
@@ -542,12 +843,13 @@ mod tests {
         let p = f.state_by_name("p").unwrap();
         let sp = auto.start(&view, p);
         assert_eq!(auto.subset(sp).len(), 2); // {p, q}
+        assert_eq!(auto.subset_len(sp), 2);
         assert_eq!(auto.start(&view, p), sp);
         let a = f.action_id("a").unwrap();
         let after = auto.step(&view, sp, a);
         assert!(auto.is_accepting(after));
         // Enabled set: `a` is weakly enabled at {p, q}, nothing at {r}.
-        assert_eq!(auto.enabled(sp), &[a.index()]);
+        assert_eq!(auto.enabled(sp), &[narrow(a.index())]);
         assert!(auto.enabled(after).is_empty());
     }
 
@@ -606,7 +908,7 @@ mod tests {
         auto.explore(&view);
         let table = auto.transition_table();
         assert_eq!(table.len(), auto.num_subsets() * auto.num_actions());
-        assert!(table.iter().all(|&t| t < auto.num_subsets()));
+        assert!(table.iter().all(|&t| (t as usize) < auto.num_subsets()));
     }
 
     #[test]
@@ -675,6 +977,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The tentpole invariant of the representation split: dense-bitset and
+    /// sparse-run arenas intern identical ids in identical order, compute
+    /// identical transition tables, and classify identically — only the
+    /// byte layout differs.
+    #[test]
+    fn dense_and_sparse_reprs_build_identical_arenas() {
+        let f = format::parse(
+            "trans p tau q\ntrans q a r\ntrans r tau p\ntrans s a t\ntrans s tau s\n\
+             trans t b p\ntrans q b s\naccept r t",
+        )
+        .unwrap();
+        let closure = tau_closure(&f);
+        let view = SaturatedView::build(&f, &closure);
+        let mut dense = SubsetAutomaton::with_repr(&f, SubsetRepr::Dense);
+        let mut sparse = SubsetAutomaton::with_repr(&f, SubsetRepr::Sparse);
+        assert_eq!(dense.repr(), SubsetRepr::Dense);
+        assert_eq!(sparse.repr(), SubsetRepr::Sparse);
+        for s in f.state_ids() {
+            assert_eq!(dense.start(&view, s), sparse.start(&view, s), "{s}");
+        }
+        dense.explore(&view);
+        sparse.explore(&view);
+        assert_eq!(dense.num_subsets(), sparse.num_subsets());
+        assert_eq!(dense.transition_table(), sparse.transition_table());
+        for id in 0..narrow(dense.num_subsets()) {
+            assert_eq!(dense.subset(id), sparse.subset(id), "subset {id}");
+            assert_eq!(dense.enabled(id), sparse.enabled(id), "enabled {id}");
+            assert_eq!(dense.is_accepting(id), sparse.is_accepting(id));
+        }
+        for notion in [DetNotion::Language, DetNotion::Trace, DetNotion::Failure] {
+            assert_eq!(
+                dense.classes(&view, notion),
+                sparse.classes(&view, notion),
+                "{notion:?}"
+            );
+        }
+        // Sparse stores this small arena in fewer bytes than its old
+        // usize-list self would have; both stay honest about their footprint.
+        assert!(dense.resident_bytes() > 0);
+        assert!(sparse.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn automatic_repr_choice_follows_the_ground_set() {
+        assert_eq!(SubsetRepr::choose(1), SubsetRepr::Dense);
+        assert_eq!(
+            SubsetRepr::choose(SubsetRepr::DENSE_MAX_STATES),
+            SubsetRepr::Dense
+        );
+        assert_eq!(
+            SubsetRepr::choose(SubsetRepr::DENSE_MAX_STATES + 1),
+            SubsetRepr::Sparse
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::{HashSet, VecDeque};
 use ccs_fsp::saturate::{tau_closure, SaturatedView};
 use ccs_fsp::{ops, Fsp, StateId};
 
+use crate::compact::narrow;
 use crate::language::{closure_of_view, subset_step_view, Subset};
 
 /// A single failure pair `(trace, refusal)`, with action names spelled out.
@@ -47,14 +48,14 @@ pub struct FailureResult {
 /// `|Σ|` slice-emptiness checks per member instead of a τ-closure walk.
 /// Shared with the [`determinize`](crate::determinize) layer, whose
 /// per-subset failure annotation interns exactly this antichain.
-pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Vec<usize>> {
-    let all_actions: Vec<usize> = (0..view.num_actions()).collect();
-    let mut refusals: Vec<Vec<usize>> = subset
+pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[u32]) -> Vec<Vec<u32>> {
+    let all_actions: Vec<u32> = (0..narrow(view.num_actions())).collect();
+    let mut refusals: Vec<Vec<u32>> = subset
         .iter()
         .map(|&x| {
-            let enabled: Vec<usize> = view
-                .weakly_enabled(StateId::from_index(x))
-                .map(|a| a.index())
+            let enabled: Vec<u32> = view
+                .weakly_enabled(StateId::from_index(x as usize))
+                .map(|a| narrow(a.index()))
                 .collect();
             all_actions
                 .iter()
@@ -66,8 +67,8 @@ pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Ve
     refusals.sort();
     refusals.dedup();
     // Keep only maximal sets under inclusion.
-    let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|x| b.contains(x));
-    let maximal: Vec<Vec<usize>> = refusals
+    let is_subset = |a: &[u32], b: &[u32]| a.iter().all(|x| b.contains(x));
+    let maximal: Vec<Vec<u32>> = refusals
         .iter()
         .filter(|r| {
             !refusals
@@ -79,17 +80,20 @@ pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[usize]) -> Vec<Ve
     maximal
 }
 
-fn name_set(fsp: &Fsp, actions: &[usize]) -> Vec<String> {
+fn name_set(fsp: &Fsp, actions: &[u32]) -> Vec<String> {
     actions
         .iter()
-        .map(|&a| fsp.action_name(ccs_fsp::ActionId::from_index(a)).to_owned())
+        .map(|&a| {
+            fsp.action_name(ccs_fsp::ActionId::from_index(a as usize))
+                .to_owned()
+        })
         .collect()
 }
 
 /// Picks a refusal set present in the downward closure of `left` antichain
 /// but not of `right` (both given as antichains of maximal refusals).
-fn distinguishing_refusal(left: &[Vec<usize>], right: &[Vec<usize>]) -> Option<Vec<usize>> {
-    let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|x| b.contains(x));
+fn distinguishing_refusal(left: &[Vec<u32>], right: &[Vec<u32>]) -> Option<Vec<u32>> {
+    let is_subset = |a: &[u32], b: &[u32]| a.iter().all(|x| b.contains(x));
     left.iter()
         .find(|l| !right.iter().any(|r| is_subset(l, r)))
         .cloned()

@@ -95,8 +95,8 @@ pub(crate) fn refine_level(view: &SaturatedView, prev: &Partition) -> Partition 
 }
 
 /// The set of `prev`-classes represented in a subset.
-fn class_set(prev: &Partition, subset: &[usize]) -> Vec<usize> {
-    let mut classes: Vec<usize> = subset.iter().map(|&x| prev.block_of(x)).collect();
+fn class_set(prev: &Partition, subset: &[u32]) -> Vec<usize> {
+    let mut classes: Vec<usize> = subset.iter().map(|&x| prev.block_of(x as usize)).collect();
     classes.sort_unstable();
     classes.dedup();
     classes

@@ -15,6 +15,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use ccs_fsp::saturate::{tau_closure, SaturatedView, TauClosure};
 use ccs_fsp::{ops, ActionId, Fsp, Label, StateId};
 
+use crate::compact::narrow;
+
 /// Outcome of a language-equivalence (or universality) test, with a witness
 /// word when the answer is negative.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,13 +29,18 @@ pub struct LanguageResult {
     pub witness: Option<Vec<String>>,
 }
 
-/// A *subset state*: sorted, duplicate-free state indices, closed under
-/// `⇒ε`.
-pub(crate) type Subset = Vec<usize>;
+/// A *subset state*: sorted, duplicate-free compact 32-bit state indices,
+/// closed under `⇒ε` (state counts are checked against the 32-bit range at
+/// process ingestion, so the narrowing here is total).
+pub(crate) type Subset = Vec<u32>;
 
 /// The ε-closure of a single state, as a subset state.
 pub(crate) fn closure_of(closure: &TauClosure, p: StateId) -> Subset {
-    closure.successors(p).iter().map(|s| s.index()).collect()
+    closure
+        .successors(p)
+        .iter()
+        .map(|s| narrow(s.index()))
+        .collect()
 }
 
 /// One determinized step: all states reachable from `subset` by one
@@ -41,13 +48,13 @@ pub(crate) fn closure_of(closure: &TauClosure, p: StateId) -> Subset {
 pub(crate) fn subset_step(
     fsp: &Fsp,
     closure: &TauClosure,
-    subset: &[usize],
+    subset: &[u32],
     action: ActionId,
 ) -> Subset {
-    let mut out: Vec<usize> = Vec::new();
+    let mut out: Vec<u32> = Vec::new();
     for &x in subset {
-        for y in fsp.successors(StateId::from_index(x), Label::Act(action)) {
-            out.extend(closure.successors(y).iter().map(|s| s.index()));
+        for y in fsp.successors(StateId::from_index(x as usize), Label::Act(action)) {
+            out.extend(closure.successors(y).iter().map(|s| narrow(s.index())));
         }
     }
     out.sort_unstable();
@@ -60,7 +67,7 @@ pub(crate) fn subset_step(
 pub(crate) fn closure_of_view(view: &SaturatedView, p: StateId) -> Subset {
     view.epsilon_successors(p)
         .iter()
-        .map(|s| s.index())
+        .map(|s| narrow(s.index()))
         .collect()
 }
 
@@ -68,13 +75,13 @@ pub(crate) fn closure_of_view(view: &SaturatedView, p: StateId) -> Subset {
 /// single slice lookup in a prebuilt [`SaturatedView`] (the view's columns
 /// already fold in the leading and trailing ε-closures, which is equivalent
 /// on ε-closed subsets).
-pub(crate) fn subset_step_view(view: &SaturatedView, subset: &[usize], action: ActionId) -> Subset {
-    let mut out: Vec<usize> = Vec::new();
+pub(crate) fn subset_step_view(view: &SaturatedView, subset: &[u32], action: ActionId) -> Subset {
+    let mut out: Vec<u32> = Vec::new();
     for &x in subset {
         out.extend(
-            view.successors(StateId::from_index(x), action)
+            view.successors(StateId::from_index(x as usize), action)
                 .iter()
-                .map(|s| s.index()),
+                .map(|s| narrow(s.index())),
         );
     }
     out.sort_unstable();
@@ -83,10 +90,10 @@ pub(crate) fn subset_step_view(view: &SaturatedView, subset: &[usize], action: A
 }
 
 /// Whether a subset state contains an accepting state.
-pub(crate) fn subset_accepting(fsp: &Fsp, subset: &[usize]) -> bool {
+pub(crate) fn subset_accepting(fsp: &Fsp, subset: &[u32]) -> bool {
     subset
         .iter()
-        .any(|&x| fsp.is_accepting(StateId::from_index(x)))
+        .any(|&x| fsp.is_accepting(StateId::from_index(x as usize)))
 }
 
 /// Tests whether the weak languages of two states of the same process are

@@ -58,8 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The compact-core invariant: ids narrow through the checked helpers only,
+// never through a bare `as` cast that could silently truncate.
+#![deny(clippy::cast_possible_truncation)]
 
 mod check;
+mod compact;
 pub mod deterministic;
 pub mod determinize;
 mod error;

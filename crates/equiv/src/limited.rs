@@ -49,6 +49,18 @@ impl LimitedHierarchy {
         self.levels.len() - 1
     }
 
+    /// Heap bytes held by the hierarchy's levels, measured from live
+    /// container capacities.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.levels.capacity() * std::mem::size_of::<Partition>()
+            + self
+                .levels
+                .iter()
+                .map(Partition::resident_bytes)
+                .sum::<usize>()
+    }
+
     /// Returns `true` iff `p ≃ₖ q`.
     #[must_use]
     pub fn equivalent_at(&self, k: usize, p: StateId, q: StateId) -> bool {

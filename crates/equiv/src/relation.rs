@@ -85,7 +85,10 @@ pub fn partition_to_pairs(partition: &Partition) -> Vec<(StateId, StateId)> {
     for block in partition.blocks() {
         for &a in block {
             for &b in block {
-                out.push((StateId::from_index(a), StateId::from_index(b)));
+                out.push((
+                    StateId::from_index(a.index()),
+                    StateId::from_index(b.index()),
+                ));
             }
         }
     }

@@ -555,41 +555,62 @@ impl EquivSession {
         self.refinements.load(Ordering::Relaxed)
     }
 
-    /// A rough resident-size estimate in bytes: the process itself plus
-    /// every cache the session has materialized so far.  Used by the
-    /// `ccs-server` registry for LRU byte accounting; the estimate is
-    /// deliberately simple (element counts × word sizes) — it tracks growth,
-    /// not allocator truth.
+    /// Heap bytes held by the session's subset arena (0 until some PSPACE
+    /// query builds it) — the determinization share of
+    /// [`EquivSession::approx_resident_bytes`], exposed for the `mem`
+    /// report table.
+    #[must_use]
+    pub fn subset_arena_bytes(&self) -> usize {
+        let det = self.det.lock().expect("det lock poisoned");
+        det.automaton
+            .as_ref()
+            .map_or(0, SubsetAutomaton::resident_bytes)
+    }
+
+    /// Resident size of the session in bytes: the process itself plus every
+    /// cache the session has materialized so far, each measured from its
+    /// live container capacities (`resident_bytes` on the artifact).  Used
+    /// by the `ccs-server` registry for LRU byte accounting and by the `mem`
+    /// report table.  Allocator slack and per-allocation headers are not
+    /// counted, so the figure is a measured lower bound on allocator truth —
+    /// but an honest count of what the structures hold, not an element-count
+    /// guess.
     #[must_use]
     pub fn approx_resident_bytes(&self) -> usize {
-        const WORD: usize = std::mem::size_of::<usize>();
-        let fsp = &self.fsp;
-        let mut bytes = fsp.num_states() * 4 * WORD + fsp.num_transitions() * 3 * WORD;
-        if self.closure.get().is_some() {
-            // Closure is at worst n² pairs; charge the realistic CSR form.
-            bytes += fsp.num_states() * 2 * WORD + fsp.num_transitions() * 2 * WORD;
+        let mut bytes = self.fsp.resident_bytes();
+        if let Some(closure) = self.closure.get() {
+            bytes += closure.resident_bytes();
         }
         if let Some(view) = self.view.get() {
-            bytes += view.num_weak_edges() * 2 * WORD;
+            bytes += view.resident_bytes();
         }
         for inst in [self.strong_instance.get(), self.weak_instance.get()]
             .into_iter()
             .flatten()
         {
-            bytes += inst.num_edges() * 3 * WORD + inst.num_elements() * WORD;
+            bytes += inst.resident_bytes();
+        }
+        if let Some((_, hierarchy)) = self.limited.lock().expect("limited lock poisoned").as_ref() {
+            bytes += hierarchy.resident_bytes();
         }
         {
             let det = self.det.lock().expect("det lock poisoned");
             if let Some(auto) = det.automaton.as_ref() {
-                bytes += auto.num_subsets() * (auto.num_actions() + 2) * WORD;
+                bytes += auto.resident_bytes();
             }
+            bytes += det
+                .pair_caches
+                .values()
+                .map(PairCache::resident_bytes)
+                .sum::<usize>();
         }
         {
             let map = self.partitions.lock().expect("partitions lock poisoned");
-            bytes += map.values().filter(|cell| cell.get().is_some()).count()
-                * fsp.num_states()
-                * 2
-                * WORD;
+            bytes += map
+                .values()
+                .filter_map(|cell| cell.get())
+                .map(|p| p.resident_bytes())
+                .sum::<usize>();
         }
         bytes
     }

@@ -131,12 +131,12 @@ pub fn quotient(fsp: &Fsp) -> Fsp {
     // Create one state per class, named after its smallest representative.
     let class_states: Vec<StateId> = (0..sp.num_classes())
         .map(|c| {
-            let rep = StateId::from_index(sp.partition().block(c)[0]);
+            let rep = StateId::from_index(sp.partition().block(c)[0].index());
             b.state(&format!("[{}]", fsp.state_label(rep)))
         })
         .collect();
     for c in 0..sp.num_classes() {
-        let rep = StateId::from_index(sp.partition().block(c)[0]);
+        let rep = StateId::from_index(sp.partition().block(c)[0].index());
         for var in fsp.extensions(rep) {
             b.add_extension(class_states[c], fsp.var_name(*var));
         }

@@ -177,10 +177,14 @@ impl FspBuilder {
     /// * [`FspError::EmptyProcess`] if no states were created.
     /// * [`FspError::UnknownState`] if a transition targets a state index
     ///   that was never created.
+    /// * [`FspError::TooManyStates`] if the ground set outgrew the packed
+    ///   32-bit id space (reachable via the id-resizing transition path;
+    ///   named-state creation fails fast inside [`StateId::from_index`]).
     pub fn build(self) -> Result<Fsp, FspError> {
         if self.states.is_empty() {
             return Err(FspError::EmptyProcess);
         }
+        StateId::try_from_index(self.states.len() - 1)?;
         let start = match self.start {
             Some(s) => s,
             None => StateId::from_index(0),

@@ -38,6 +38,14 @@ pub enum FspError {
         /// Description of the mismatch.
         message: String,
     },
+    /// The process needs more states than the packed 32-bit identifier
+    /// space can address.  Raised by the checked ingestion conversion
+    /// ([`StateId::try_from_index`](crate::StateId::try_from_index)) instead
+    /// of silently truncating ids.
+    TooManyStates {
+        /// The state index (or count) that did not fit.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for FspError {
@@ -62,6 +70,10 @@ impl fmt::Display for FspError {
             FspError::AlphabetMismatch { message } => {
                 write!(f, "alphabet mismatch: {message}")
             }
+            FspError::TooManyStates { requested } => write!(
+                f,
+                "process needs state index {requested}, beyond the 32-bit id space"
+            ),
         }
     }
 }
@@ -94,6 +106,9 @@ mod tests {
             },
             FspError::AlphabetMismatch {
                 message: "left has action 'a' missing on the right".into(),
+            },
+            FspError::TooManyStates {
+                requested: usize::MAX,
             },
         ];
         for e in errors {

@@ -54,6 +54,17 @@ impl Interner {
             .enumerate()
             .map(|(i, n)| (i as u32, n.as_str()))
     }
+
+    /// Heap bytes held by the interner, measured from live container
+    /// capacities (string storage is counted once per table).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let strings: usize = self.names.iter().map(String::capacity).sum();
+        let keys: usize = self.by_name.keys().map(String::capacity).sum();
+        self.names.capacity() * std::mem::size_of::<String>()
+            + strings
+            + keys
+            + self.by_name.capacity() * (std::mem::size_of::<(String, u32)>() + 1)
+    }
 }
 
 #[cfg(test)]

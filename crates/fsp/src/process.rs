@@ -116,6 +116,28 @@ impl Fsp {
         self.vars.len()
     }
 
+    /// Heap bytes held by the process, measured from live container
+    /// capacities: per-state transition lists, names and extension sets,
+    /// plus the two interners.  Allocator slack and per-node overheads are
+    /// excluded, so this is a measured lower bound, not allocator truth.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let per_state: usize = self
+            .states
+            .iter()
+            .map(|st| {
+                st.name.as_ref().map_or(0, String::capacity)
+                    + st.extensions.len() * std::mem::size_of::<VarId>()
+                    + st.transitions.capacity() * std::mem::size_of::<Transition>()
+            })
+            .sum();
+        self.name.capacity()
+            + self.states.capacity() * std::mem::size_of::<StateData>()
+            + per_state
+            + self.actions.resident_bytes()
+            + self.vars.resident_bytes()
+    }
+
     /// The start state `p0`.
     #[must_use]
     pub fn start(&self) -> StateId {

@@ -70,6 +70,18 @@ impl TauClosure {
     pub fn num_pairs(&self) -> usize {
         self.succ.iter().map(Vec::len).sum()
     }
+
+    /// Heap bytes held by the closure, measured from live container
+    /// capacities (allocator slack and per-allocation headers excluded).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.succ.capacity() * std::mem::size_of::<Vec<StateId>>()
+            + self
+                .succ
+                .iter()
+                .map(|row| row.capacity() * std::mem::size_of::<StateId>())
+                .sum::<usize>()
+    }
 }
 
 /// Computes the reflexive–transitive τ-closure by one BFS per state.
@@ -258,8 +270,11 @@ pub struct SaturatedView {
     num_states: usize,
     num_actions: usize,
     /// `offsets[p·(|Σ|+1) + c] .. offsets[p·(|Σ|+1) + c + 1]` delimits the
-    /// targets of column `c` at state `p`; column `|Σ|` is ε.
-    offsets: Vec<usize>,
+    /// targets of column `c` at state `p`; column `|Σ|` is ε.  Stored as
+    /// `u32` — the weak relation of any process this crate can hold stays
+    /// far below 2³² edges, and the offset table is one of the largest
+    /// resident structures of a session.
+    offsets: Vec<u32>,
     targets: Vec<StateId>,
 }
 
@@ -271,21 +286,24 @@ impl SaturatedView {
         let n = fsp.num_states();
         let k = fsp.num_actions();
         let slots = n * (k + 1);
-        let mut offsets = vec![0usize; slots + 1];
-        let mut targets = Vec::new();
+        let narrow = |len: usize| {
+            u32::try_from(len).expect("weak edge count exceeds the 32-bit offset range")
+        };
+        let mut offsets = vec![0u32; slots + 1];
+        let mut targets: Vec<StateId> = Vec::new();
         let mut cur_slot = 0usize;
         for edge in weak_edges(fsp, closure) {
             let slot = edge.from.index() * (k + 1) + edge.action.map_or(k, ActionId::index);
             debug_assert!(slot >= cur_slot, "weak_edges must stream in slot order");
             while cur_slot < slot {
                 cur_slot += 1;
-                offsets[cur_slot] = targets.len();
+                offsets[cur_slot] = narrow(targets.len());
             }
             targets.push(edge.to);
         }
         while cur_slot < slots {
             cur_slot += 1;
-            offsets[cur_slot] = targets.len();
+            offsets[cur_slot] = narrow(targets.len());
         }
         SaturatedView {
             num_states: n,
@@ -313,10 +331,18 @@ impl SaturatedView {
         self.targets.len()
     }
 
+    /// Heap bytes held by the CSR view (offset table plus target array),
+    /// measured from live container capacities.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.targets.capacity() * std::mem::size_of::<StateId>()
+    }
+
     #[inline]
     fn column(&self, p: StateId, col: usize) -> &[StateId] {
         let slot = p.index() * (self.num_actions + 1) + col;
-        &self.targets[self.offsets[slot]..self.offsets[slot + 1]]
+        &self.targets[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
     }
 
     /// The weak successor set `{q | p ⇒a q}`, sorted and duplicate-free.

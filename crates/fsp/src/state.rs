@@ -24,7 +24,21 @@ impl StateId {
     /// Panics if `index` does not fit in a `u32`.
     #[must_use]
     pub fn from_index(index: usize) -> Self {
-        StateId(u32::try_from(index).expect("state index exceeds u32::MAX"))
+        Self::try_from_index(index).expect("state index exceeds u32::MAX")
+    }
+
+    /// The checked form of [`StateId::from_index`]: the single ingestion
+    /// gate through which untrusted state counts (parsed text, wire
+    /// requests, generator parameters) enter the packed 32-bit id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FspError::TooManyStates`] if `index` exceeds `u32::MAX` —
+    /// ids are never silently truncated.
+    pub fn try_from_index(index: usize) -> Result<Self, crate::FspError> {
+        u32::try_from(index)
+            .map(StateId)
+            .map_err(|_| crate::FspError::TooManyStates { requested: index })
     }
 
     /// Returns the dense index of this state.
@@ -61,6 +75,21 @@ mod tests {
         for i in [0usize, 1, 7, 4096] {
             assert_eq!(StateId::from_index(i).index(), i);
         }
+    }
+
+    #[test]
+    fn oversize_index_is_a_clean_error_not_a_truncation() {
+        assert_eq!(
+            StateId::try_from_index(u32::MAX as usize).unwrap().index(),
+            u32::MAX as usize
+        );
+        let err = StateId::try_from_index(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::FspError::TooManyStates {
+                requested
+            } if requested == u32::MAX as usize + 1
+        ));
     }
 
     #[test]

@@ -3,20 +3,29 @@
 
 use std::fmt;
 
+use crate::ids::StateId;
+
 /// A complete DFA over the label alphabet `0..num_labels`, with an arbitrary
 /// output class per state.
 ///
 /// The classical accepting/non-accepting dichotomy corresponds to classes `1`
 /// and `0`; the more general per-state class plays the role of the extension
 /// set of an FSP and seeds the initial partition of minimization.
+///
+/// The transition table is stored flat and compact — one packed [`StateId`]
+/// per `(state, label)` slot in row-major order, plus a `u32` class per
+/// state — so a complete DFA costs `4·(k+1)` bytes per state with no
+/// per-state heap allocation.  This matters because the determinization
+/// layer of `ccs-equiv` materializes subset automata as [`Dfa`]s whose state
+/// counts are exponential in the process size.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Dfa {
     num_labels: usize,
     start: usize,
-    /// `delta[state][label]` — the unique successor.
-    delta: Vec<Vec<usize>>,
+    /// `delta[state·num_labels + label]` — the unique successor.
+    delta: Vec<StateId>,
     /// Output class per state.
-    class: Vec<usize>,
+    class: Vec<u32>,
 }
 
 impl Dfa {
@@ -25,15 +34,21 @@ impl Dfa {
     ///
     /// # Panics
     ///
-    /// Panics if `start >= num_states` or `num_states == 0`.
+    /// Panics if `start >= num_states`, `num_states == 0`, or the state
+    /// count exceeds the packed 32-bit id range.
     #[must_use]
     pub fn new(num_states: usize, num_labels: usize, start: usize) -> Self {
         assert!(num_states > 0, "a DFA needs at least one state");
         assert!(start < num_states, "start state out of range");
+        let mut delta = Vec::with_capacity(num_states * num_labels);
+        for s in 0..num_states {
+            let id = StateId::from_index(s);
+            delta.extend(std::iter::repeat(id).take(num_labels));
+        }
         Dfa {
             num_labels,
             start,
-            delta: (0..num_states).map(|s| vec![s; num_labels]).collect(),
+            delta,
             class: vec![0; num_states],
         }
     }
@@ -41,7 +56,7 @@ impl Dfa {
     /// Number of states.
     #[must_use]
     pub fn num_states(&self) -> usize {
-        self.delta.len()
+        self.class.len()
     }
 
     /// Number of labels.
@@ -64,16 +79,19 @@ impl Dfa {
     pub fn set_transition(&mut self, state: usize, label: usize, target: usize) {
         assert!(label < self.num_labels, "label out of range");
         assert!(target < self.num_states(), "target out of range");
-        self.delta[state][label] = target;
+        assert!(state < self.num_states(), "state out of range");
+        self.delta[state * self.num_labels + label] = StateId::from_index(target);
     }
 
     /// Sets the output class of a state.
     ///
     /// # Panics
     ///
-    /// Panics if `state` is out of range.
+    /// Panics if `state` is out of range or `class` exceeds `u32::MAX`
+    /// (classes are stored compactly alongside the packed state ids).
     pub fn set_class(&mut self, state: usize, class: usize) {
-        self.class[state] = class;
+        self.class[state] =
+            u32::try_from(class).expect("output class exceeds the 32-bit class range");
     }
 
     /// Marks a state as accepting (class `1`) or non-accepting (class `0`).
@@ -84,25 +102,29 @@ impl Dfa {
     /// The unique successor `δ(state, label)`.
     #[must_use]
     pub fn step(&self, state: usize, label: usize) -> usize {
-        self.delta[state][label]
+        assert!(label < self.num_labels, "label out of range");
+        self.delta[state * self.num_labels + label].index()
     }
 
     /// The output class of a state.
     #[must_use]
     pub fn class(&self, state: usize) -> usize {
-        self.class[state]
+        self.class[state] as usize
     }
 
-    /// The output classes of all states, indexed by state.
+    /// The output classes of all states, indexed by state, as compact
+    /// 32-bit ids.
     #[must_use]
-    pub fn classes(&self) -> &[usize] {
+    pub fn classes(&self) -> &[u32] {
         &self.class
     }
 
     /// Adopts the dense transition table of a fully-explored subset
     /// automaton (or any complete deterministic table): `delta[s·k + l]` is
     /// the successor of state `s` under label `l`, and `classes[s]` its
-    /// output class.  The number of states is `classes.len()`.
+    /// output class — both already compact `u32`s, which is exactly what the
+    /// determinization layer produces.  The number of states is
+    /// `classes.len()`.
     ///
     /// This is the bridge the `ccs-equiv` determinization layer uses to hand
     /// its interned subset arena to the partition-refinement solvers: the
@@ -118,8 +140,8 @@ impl Dfa {
     pub fn from_subset_automaton(
         num_labels: usize,
         start: usize,
-        delta: &[usize],
-        classes: &[usize],
+        delta: &[u32],
+        classes: &[u32],
     ) -> Self {
         let n = classes.len();
         assert!(n > 0, "a DFA needs at least one state");
@@ -129,14 +151,19 @@ impl Dfa {
             n * num_labels,
             "transition table must be dense (num_states × num_labels)"
         );
-        let mut dfa = Dfa::new(n, num_labels, start);
-        for s in 0..n {
-            dfa.set_class(s, classes[s]);
-            for l in 0..num_labels {
-                dfa.set_transition(s, l, delta[s * num_labels + l]);
-            }
+        let packed: Vec<StateId> = delta
+            .iter()
+            .map(|&t| {
+                assert!((t as usize) < n, "target out of range");
+                StateId::from_index(t as usize)
+            })
+            .collect();
+        Dfa {
+            num_labels,
+            start,
+            delta: packed,
+            class: classes.to_vec(),
         }
-        dfa
     }
 
     /// Returns `true` iff the state's class is non-zero.
@@ -159,6 +186,14 @@ impl Dfa {
         self.is_accepting(self.run(word))
     }
 
+    /// Heap bytes held by the DFA (transition table and class array),
+    /// measured from live container capacities.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.delta.capacity() * size_of::<StateId>() + self.class.capacity() * size_of::<u32>()
+    }
+
     /// Converts the DFA into a generalized-partitioning
     /// [`Instance`](crate::Instance)
     /// (Section 3's deterministic case), seeding the initial partition with
@@ -168,9 +203,9 @@ impl Dfa {
         let mut inst = crate::Instance::new(self.num_states(), self.num_labels);
         inst.reserve_edges(self.num_states() * self.num_labels);
         for s in 0..self.num_states() {
-            inst.set_initial_block(s, self.class[s]);
+            inst.set_initial_block(s, self.class[s] as usize);
             for l in 0..self.num_labels {
-                inst.add_edge(l, s, self.delta[s][l]);
+                inst.add_edge(l, s, self.step(s, l));
             }
         }
         inst
@@ -235,9 +270,9 @@ mod tests {
     #[test]
     fn from_subset_automaton_round_trips() {
         let d = even_ones();
-        let delta: Vec<usize> = (0..d.num_states())
+        let delta: Vec<u32> = (0..d.num_states())
             .flat_map(|s| (0..d.num_labels()).map(move |l| (s, l)))
-            .map(|(s, l)| d.step(s, l))
+            .map(|(s, l)| u32::try_from(d.step(s, l)).unwrap())
             .collect();
         let rebuilt = Dfa::from_subset_automaton(d.num_labels(), d.start(), &delta, d.classes());
         assert_eq!(rebuilt, d);
@@ -248,6 +283,14 @@ mod tests {
     #[should_panic(expected = "must be dense")]
     fn from_subset_automaton_rejects_ragged_tables() {
         let _ = Dfa::from_subset_automaton(2, 0, &[0, 1, 1], &[0, 1]);
+    }
+
+    #[test]
+    fn transition_table_is_flat_and_compact() {
+        // 3 states × 2 labels: 6 packed targets + 3 class words, all 4-byte.
+        let d = Dfa::new(3, 2, 0);
+        assert!(d.resident_bytes() >= (6 + 3) * 4);
+        assert_eq!(d.step(2, 1), 2); // self-loop init survives the flat layout
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub fn equivalent(left: &Dfa, right: &Dfa) -> DfaEquivalence {
 }
 
 #[cfg(test)]
+// Test RNG draws narrow by `as` on purpose; the lint guards library code.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
 

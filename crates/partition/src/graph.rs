@@ -10,15 +10,25 @@
 //! and consecutive lists of the same label — on the same cache lines, which
 //! is where the refinement solvers spend almost all of their time.
 //!
+//! All four arrays are 32-bit: targets are packed [`StateId`]s and offsets
+//! are `u32` positions into the target arrays, which halves the resident
+//! bytes of the core on 64-bit targets and doubles how many adjacent list
+//! entries fit a cache line.  Builders reject ground sets larger than
+//! [`crate::ids::MAX_ELEMENTS`] up front
+//! ([`GraphBuilder::try_new`] reports [`IdOverflow`] instead of panicking),
+//! so no conversion inside the hot paths can truncate.
+//!
 //! Graphs are built through a [`GraphBuilder`] that records a flat edge
 //! list — one edge at a time with [`GraphBuilder::add_edge`] or in bulk with
 //! [`GraphBuilder::extend_edges`] — and, at [`GraphBuilder::build`] time,
 //! sorts it, removes duplicate parallel edges (the `fₗ` are set-valued, so
 //! parallel edges carry no information), and lays out both CSR directions in
-//! `O(m log m)`.  The builder also records the maximum fan-out
-//! `c = max |fₗ(x)|` so that [`LabeledGraph::max_fanout`] — the parameter of
-//! the Kanellakis–Smolka `O(c²·n·log n)` bound — is an `O(1)` field read
-//! instead of a rescan.
+//! `O(m log m)`.  Recorded edges are packed `(LabelId, StateId, StateId)`
+//! triples (12 bytes instead of 24), and since id packing is monotonic the
+//! packed triples sort exactly like the `(label, from, to)` index triples.
+//! The builder also records the maximum fan-out `c = max |fₗ(x)|` so that
+//! [`LabeledGraph::max_fanout`] — the parameter of the Kanellakis–Smolka
+//! `O(c²·n·log n)` bound — is an `O(1)` field read instead of a rescan.
 //!
 //! A built graph is not a dead end: [`LabeledGraph::merged_with`] folds a
 //! batch of new edges into an existing layout by a sorted two-way merge in
@@ -26,22 +36,28 @@
 //! [`Instance::add_edge`](crate::Instance::add_edge)/solve interleavings
 //! cheap — the full edge list is never re-sorted.
 
+use crate::ids::{self, IdOverflow, LabelId, StateId};
+
+/// A packed `(label, from, to)` edge triple; monotonic id packing makes its
+/// derived tuple order identical to the index-triple order.
+type Edge = (LabelId, StateId, StateId);
+
 /// An immutable flat CSR representation of `k` labelled relations over the
 /// ground set `0..n`.
 ///
 /// Successor and predecessor lists are sorted, duplicate-free, and returned
-/// as slices into contiguous storage.
+/// as slices of packed [`StateId`]s into contiguous storage.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LabeledGraph {
     num_elements: usize,
     num_labels: usize,
     /// `succ_offsets[label·n + x] .. succ_offsets[label·n + x + 1]` delimits
     /// `fₗ(x)` inside [`LabeledGraph::succ_targets`].
-    succ_offsets: Vec<usize>,
-    succ_targets: Vec<usize>,
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<StateId>,
     /// Same layout for the inverse relations.
-    pred_offsets: Vec<usize>,
-    pred_targets: Vec<usize>,
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<StateId>,
     /// `|E|` after deduplication, summed over all labels.
     num_edges: usize,
     /// `max |fₗ(x)|`, computed once at build time.
@@ -50,6 +66,11 @@ pub struct LabeledGraph {
 
 impl LabeledGraph {
     /// An empty graph over `num_elements` elements and `num_labels` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the packed id range (see
+    /// [`GraphBuilder::try_new`] for the fallible form).
     #[must_use]
     pub fn empty(num_elements: usize, num_labels: usize) -> Self {
         GraphBuilder::new(num_elements, num_labels).build()
@@ -79,6 +100,18 @@ impl LabeledGraph {
         self.max_fanout
     }
 
+    /// Heap bytes held by the four CSR arrays, measured from live container
+    /// capacities (allocator slack excluded) — the honest figure behind the
+    /// `mem` report table and the server's session byte budgets.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.succ_offsets.capacity() * size_of::<u32>()
+            + self.succ_targets.capacity() * size_of::<StateId>()
+            + self.pred_offsets.capacity() * size_of::<u32>()
+            + self.pred_targets.capacity() * size_of::<StateId>()
+    }
+
     #[inline]
     fn slot(&self, label: usize, element: usize) -> usize {
         debug_assert!(label < self.num_labels && element < self.num_elements);
@@ -92,11 +125,11 @@ impl LabeledGraph {
     ///
     /// Panics if `label` or `element` is out of range.
     #[must_use]
-    pub fn successors(&self, label: usize, element: usize) -> &[usize] {
+    pub fn successors(&self, label: usize, element: usize) -> &[StateId] {
         assert!(label < self.num_labels, "label out of range");
         assert!(element < self.num_elements, "element out of range");
         let s = self.slot(label, element);
-        &self.succ_targets[self.succ_offsets[s]..self.succ_offsets[s + 1]]
+        &self.succ_targets[self.succ_offsets[s] as usize..self.succ_offsets[s + 1] as usize]
     }
 
     /// The predecessor list `{y | x ∈ fₗ(y)}`, sorted and duplicate-free, as
@@ -106,28 +139,34 @@ impl LabeledGraph {
     ///
     /// Panics if `label` or `element` is out of range.
     #[must_use]
-    pub fn predecessors(&self, label: usize, element: usize) -> &[usize] {
+    pub fn predecessors(&self, label: usize, element: usize) -> &[StateId] {
         assert!(label < self.num_labels, "label out of range");
         assert!(element < self.num_elements, "element out of range");
         let s = self.slot(label, element);
-        &self.pred_targets[self.pred_offsets[s]..self.pred_offsets[s + 1]]
+        &self.pred_targets[self.pred_offsets[s] as usize..self.pred_offsets[s + 1] as usize]
     }
 
-    /// Iterates over every edge as `(label, from, to)`, in sorted order.
-    ///
-    /// This walks the successor CSR directly, so it is allocation-free and
-    /// the edges come out exactly in the canonical `(label, from, to)` order
-    /// the builder sorted them into — which is what lets
-    /// [`LabeledGraph::merged_with`] fold new edges in with a linear merge.
-    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+    /// Walks the successor CSR as packed edge triples, in the canonical
+    /// sorted `(label, from, to)` order — the stream
+    /// [`LabeledGraph::merged_with`] merges new edges into.
+    fn packed_edges(&self) -> impl Iterator<Item = Edge> + '_ {
         let n = self.num_elements;
         // With n == 0 the range is empty, so the divisions below never run.
         (0..self.num_labels * n).flat_map(move |slot| {
-            let (label, from) = (slot / n, slot % n);
-            self.succ_targets[self.succ_offsets[slot]..self.succ_offsets[slot + 1]]
+            let label = LabelId::from_index(slot / n);
+            let from = StateId::from_index(slot % n);
+            self.succ_targets
+                [self.succ_offsets[slot] as usize..self.succ_offsets[slot + 1] as usize]
                 .iter()
                 .map(move |&to| (label, from, to))
         })
+    }
+
+    /// Iterates over every edge as `(label, from, to)` indices, in sorted
+    /// order.  Allocation-free: this widens the packed CSR walk.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.packed_edges()
+            .map(|(l, from, to)| (l.index(), from.index(), to.index()))
     }
 
     /// Returns a new graph containing this graph's edges plus `extra`,
@@ -140,16 +179,23 @@ impl LabeledGraph {
     /// Panics if any extra edge mentions an out-of-range label or element.
     #[must_use]
     pub fn merged_with(&self, extra: &[(usize, usize, usize)]) -> LabeledGraph {
-        for &(l, from, to) in extra {
-            assert!(l < self.num_labels, "label out of range");
-            assert!(from < self.num_elements, "source element out of range");
-            assert!(to < self.num_elements, "target element out of range");
-        }
-        let mut fresh: Vec<(usize, usize, usize)> = extra.to_vec();
+        let mut fresh: Vec<Edge> = extra
+            .iter()
+            .map(|&(l, from, to)| {
+                assert!(l < self.num_labels, "label out of range");
+                assert!(from < self.num_elements, "source element out of range");
+                assert!(to < self.num_elements, "target element out of range");
+                (
+                    LabelId::from_index(l),
+                    StateId::from_index(from),
+                    StateId::from_index(to),
+                )
+            })
+            .collect();
         fresh.sort_unstable();
         fresh.dedup();
         let mut merged = Vec::with_capacity(self.num_edges + fresh.len());
-        let mut old = self.edges().peekable();
+        let mut old = self.packed_edges().peekable();
         let mut new = fresh.into_iter().peekable();
         loop {
             match (old.peek(), new.peek()) {
@@ -184,42 +230,45 @@ impl LabeledGraph {
 /// Lays out a sorted, duplicate-free edge list as a [`LabeledGraph`] in
 /// `O(m + k·n)`.  Shared by [`GraphBuilder::build`] (which sorts first) and
 /// [`LabeledGraph::merged_with`] (which merges two sorted streams).
-fn layout(n: usize, k: usize, edges: &[(usize, usize, usize)]) -> LabeledGraph {
+fn layout(n: usize, k: usize, edges: &[Edge]) -> LabeledGraph {
     debug_assert!(
         edges.windows(2).all(|w| w[0] < w[1]),
         "edges sorted+deduped"
     );
+    // Offsets are u32 positions into the target arrays; the ground-set check
+    // bounds n and k but not m, so the edge count gets its own check here.
+    let _ = ids::narrow(edges.len());
     let slots = k * n;
 
     // Successors: edges are sorted by (label, from, to), so the target
     // column *is* the flat successor array once per-slot counts are
     // prefix-summed into offsets.
-    let mut succ_offsets = vec![0usize; slots + 1];
+    let mut succ_offsets = vec![0u32; slots + 1];
     for &(l, from, _) in edges {
-        succ_offsets[l * n + from + 1] += 1;
+        succ_offsets[l.index() * n + from.index() + 1] += 1;
     }
-    let mut max_fanout = 0;
+    let mut max_fanout: u32 = 0;
     for i in 0..slots {
         max_fanout = max_fanout.max(succ_offsets[i + 1]);
         succ_offsets[i + 1] += succ_offsets[i];
     }
-    let succ_targets: Vec<usize> = edges.iter().map(|&(_, _, to)| to).collect();
+    let succ_targets: Vec<StateId> = edges.iter().map(|&(_, _, to)| to).collect();
 
     // Predecessors: count per (label, to) slot, prefix-sum, then place
     // sources with a moving cursor.  Scanning the sorted edge list keeps
     // each predecessor list sorted by source.
-    let mut pred_offsets = vec![0usize; slots + 1];
+    let mut pred_offsets = vec![0u32; slots + 1];
     for &(l, _, to) in edges {
-        pred_offsets[l * n + to + 1] += 1;
+        pred_offsets[l.index() * n + to.index() + 1] += 1;
     }
     for i in 0..slots {
         pred_offsets[i + 1] += pred_offsets[i];
     }
     let mut cursor = pred_offsets.clone();
-    let mut pred_targets = vec![0usize; edges.len()];
+    let mut pred_targets = vec![StateId::from_index(0); edges.len()];
     for &(l, from, to) in edges {
-        let s = l * n + to;
-        pred_targets[cursor[s]] = from;
+        let s = l.index() * n + to.index();
+        pred_targets[cursor[s] as usize] = from;
         cursor[s] += 1;
     }
 
@@ -231,51 +280,83 @@ fn layout(n: usize, k: usize, edges: &[(usize, usize, usize)]) -> LabeledGraph {
         succ_targets,
         pred_offsets,
         pred_targets,
-        max_fanout,
+        max_fanout: max_fanout as usize,
     }
 }
 
 /// Accumulates a flat edge list and lays it out as a [`LabeledGraph`].
 ///
 /// ```
-/// use ccs_partition::GraphBuilder;
+/// use ccs_partition::{GraphBuilder, StateId};
 /// let mut b = GraphBuilder::new(3, 1);
 /// b.add_edge(0, 0, 2);
 /// b.add_edge(0, 0, 1);
 /// b.add_edge(0, 0, 2); // duplicate parallel edge: removed at build time
 /// let g = b.build();
 /// assert_eq!(g.num_edges(), 2);
-/// assert_eq!(g.successors(0, 0), &[1, 2]);
-/// assert_eq!(g.predecessors(0, 2), &[0]);
+/// assert_eq!(g.successors(0, 0), &[StateId::from_index(1), StateId::from_index(2)]);
+/// assert_eq!(g.predecessors(0, 2), &[StateId::from_index(0)]);
 /// assert_eq!(g.max_fanout(), 2);
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GraphBuilder {
     num_elements: usize,
     num_labels: usize,
-    edges: Vec<(usize, usize, usize)>,
+    edges: Vec<Edge>,
 }
 
 impl GraphBuilder {
     /// Creates a builder for a graph over `num_elements` elements and
     /// `num_labels` relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the packed id range; use
+    /// [`GraphBuilder::try_new`] at ingestion boundaries that must fail
+    /// cleanly instead.
     #[must_use]
     pub fn new(num_elements: usize, num_labels: usize) -> Self {
-        GraphBuilder {
-            num_elements,
-            num_labels,
-            edges: Vec::new(),
+        match GraphBuilder::try_new(num_elements, num_labels) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Like [`GraphBuilder::new`], pre-allocating room for `edges` edges.
-    #[must_use]
-    pub fn with_edge_capacity(num_elements: usize, num_labels: usize, edges: usize) -> Self {
-        GraphBuilder {
+    /// Creates a builder, reporting an [`IdOverflow`] when the ground set or
+    /// label alphabet cannot be addressed by packed 32-bit ids — the checked
+    /// ingestion entry point.  Once construction succeeds, no id conversion
+    /// in [`GraphBuilder::add_edge`] or [`GraphBuilder::build`] can fail.
+    pub fn try_new(num_elements: usize, num_labels: usize) -> Result<Self, IdOverflow> {
+        ids::check_ground_set(num_elements)?;
+        ids::check_ground_set(num_labels)?;
+        Ok(GraphBuilder {
             num_elements,
             num_labels,
-            edges: Vec::with_capacity(edges),
-        }
+            edges: Vec::new(),
+        })
+    }
+
+    /// Like [`GraphBuilder::new`], pre-allocating room for `edges` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the packed id range.
+    #[must_use]
+    pub fn with_edge_capacity(num_elements: usize, num_labels: usize, edges: usize) -> Self {
+        let mut b = GraphBuilder::new(num_elements, num_labels);
+        b.edges.reserve(edges);
+        b
+    }
+
+    /// Like [`GraphBuilder::try_new`], pre-allocating room for `edges` edges.
+    pub fn try_with_edge_capacity(
+        num_elements: usize,
+        num_labels: usize,
+        edges: usize,
+    ) -> Result<Self, IdOverflow> {
+        let mut b = GraphBuilder::try_new(num_elements, num_labels)?;
+        b.edges.reserve(edges);
+        Ok(b)
     }
 
     /// Number of elements `n`.
@@ -311,7 +392,13 @@ impl GraphBuilder {
         assert!(label < self.num_labels, "label out of range");
         assert!(from < self.num_elements, "source element out of range");
         assert!(to < self.num_elements, "target element out of range");
-        self.edges.push((label, from, to));
+        // The range asserts against the checked ground set make these packs
+        // infallible.
+        self.edges.push((
+            LabelId::from_index(label),
+            StateId::from_index(from),
+            StateId::from_index(to),
+        ));
     }
 
     /// Records a whole batch of `(label, from, to)` edges — the streaming
@@ -352,6 +439,10 @@ impl GraphBuilder {
 mod tests {
     use super::*;
 
+    fn s(i: usize) -> StateId {
+        StateId::from_index(i)
+    }
+
     #[test]
     fn empty_graph_has_no_edges() {
         let g = LabeledGraph::empty(4, 2);
@@ -377,10 +468,10 @@ mod tests {
         b.add_edge(0, 2, 4);
         let g = b.build();
         assert_eq!(g.num_edges(), 4);
-        assert_eq!(g.successors(0, 0), &[1, 4]);
-        assert_eq!(g.successors(1, 3), &[0]);
-        assert_eq!(g.predecessors(0, 4), &[0, 2]);
-        assert_eq!(g.predecessors(1, 0), &[3]);
+        assert_eq!(g.successors(0, 0), &[s(1), s(4)]);
+        assert_eq!(g.successors(1, 3), &[s(0)]);
+        assert_eq!(g.predecessors(0, 4), &[s(0), s(2)]);
+        assert_eq!(g.predecessors(1, 0), &[s(3)]);
         assert_eq!(g.max_fanout(), 2);
     }
 
@@ -391,11 +482,11 @@ mod tests {
         b.add_edge(1, 1, 0);
         b.add_edge(2, 1, 1);
         let g = b.build();
-        assert_eq!(g.successors(0, 1), &[2]);
-        assert_eq!(g.successors(1, 1), &[0]);
-        assert_eq!(g.successors(2, 1), &[1]);
+        assert_eq!(g.successors(0, 1), &[s(2)]);
+        assert_eq!(g.successors(1, 1), &[s(0)]);
+        assert_eq!(g.successors(2, 1), &[s(1)]);
         assert!(g.successors(0, 0).is_empty());
-        assert_eq!(g.predecessors(2, 1), &[1]);
+        assert_eq!(g.predecessors(2, 1), &[s(1)]);
         assert!(g.predecessors(0, 1).is_empty());
     }
 
@@ -423,6 +514,21 @@ mod tests {
     }
 
     #[test]
+    fn oversize_ground_sets_are_rejected_cleanly() {
+        let err = GraphBuilder::try_new(crate::ids::MAX_ELEMENTS + 1, 1)
+            .expect_err("oversize ground set must not build");
+        assert_eq!(err.index, crate::ids::MAX_ELEMENTS);
+        assert!(GraphBuilder::try_with_edge_capacity(4, usize::MAX, 0).is_err());
+        assert!(GraphBuilder::try_new(16, 2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the packed 32-bit id range")]
+    fn oversize_ground_sets_panic_on_the_infallible_path() {
+        let _ = GraphBuilder::new(crate::ids::MAX_ELEMENTS + 1, 1);
+    }
+
+    #[test]
     fn edges_iterates_in_sorted_order() {
         let mut b = GraphBuilder::new(4, 2);
         b.extend_edges([(1, 3, 0), (0, 0, 2), (0, 0, 1), (0, 0, 2)]);
@@ -445,8 +551,8 @@ mod tests {
         full.extend_edges(extra);
         assert_eq!(merged, full.build());
         assert_eq!(merged.num_edges(), 6); // duplicates collapse
-        assert_eq!(merged.successors(0, 0), &[1, 4]);
-        assert_eq!(merged.predecessors(0, 4), &[0]);
+        assert_eq!(merged.successors(0, 0), &[s(1), s(4)]);
+        assert_eq!(merged.predecessors(0, 4), &[s(0)]);
         assert_eq!(merged.max_fanout(), 2);
     }
 
@@ -475,5 +581,17 @@ mod tests {
         assert_eq!(b.num_recorded_edges(), 6);
         let g = b.build();
         assert_eq!(g.max_fanout(), 5);
+    }
+
+    #[test]
+    fn resident_bytes_reflect_the_packed_layout() {
+        let mut b = GraphBuilder::new(8, 1);
+        for i in 0..7 {
+            b.add_edge(0, i, i + 1);
+        }
+        let g = b.build();
+        // Two offset tables of 9 u32 entries and two target arrays of 7
+        // packed ids: all 32-bit.
+        assert_eq!(g.resident_bytes(), (9 + 9 + 7 + 7) * 4);
     }
 }

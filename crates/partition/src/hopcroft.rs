@@ -5,6 +5,7 @@
 use std::collections::VecDeque;
 
 use crate::graph::GraphBuilder;
+use crate::ids;
 use crate::{Dfa, Partition};
 
 /// Computes the coarsest partition of a complete DFA's states that is
@@ -15,7 +16,7 @@ pub fn minimize(dfa: &Dfa) -> Partition {
     let n = dfa.num_states();
     let k = dfa.num_labels();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
 
     // Flat CSR predecessor lists per label.
@@ -27,15 +28,15 @@ pub fn minimize(dfa: &Dfa) -> Partition {
     }
     let graph = builder.build();
 
-    // Initial partition by output class.
-    let classes: Vec<usize> = (0..n).map(|s| dfa.class(s)).collect();
-    let (mut block_of, mut blocks) = Partition::from_raw_assignment(&classes);
+    // Initial partition by output class — compact u32 block ids over packed
+    // state ids, straight from the DFA's own compact class array.
+    let (mut block_of, mut blocks) = Partition::from_raw_assignment(dfa.classes());
 
     // Worklist of (block id, label) pairs.  Starting with every pair is
     // simpler than Hopcroft's "all but the largest" and has the same
     // asymptotic complexity up to a constant.
-    let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
-    for b in 0..blocks.len() {
+    let mut worklist: VecDeque<(u32, usize)> = VecDeque::new();
+    for b in 0..ids::narrow(blocks.len()) {
         for l in 0..k {
             worklist.push_back((b, l));
         }
@@ -49,26 +50,28 @@ pub fn minimize(dfa: &Dfa) -> Partition {
     while let Some((a, l)) = worklist.pop_front() {
         epoch += 1;
         // X = pre_l(A) for the current contents of A.
-        let mut touched: Vec<usize> = Vec::new();
-        for &y in &blocks[a] {
-            for &p in graph.predecessors(l, y) {
-                if marked[p] != epoch {
-                    marked[p] = epoch;
-                    let b = block_of[p];
-                    if touched_stamp[b] != epoch {
-                        touched_stamp[b] = epoch;
+        let mut touched: Vec<u32> = Vec::new();
+        for &y in &blocks[a as usize] {
+            for &p in graph.predecessors(l, y.index()) {
+                if marked[p.index()] != epoch {
+                    marked[p.index()] = epoch;
+                    let b = block_of[p.index()];
+                    if touched_stamp[b as usize] != epoch {
+                        touched_stamp[b as usize] = epoch;
                         touched.push(b);
                     }
                 }
             }
         }
         for &d in &touched {
-            let (inside, outside): (Vec<usize>, Vec<usize>) =
-                blocks[d].iter().partition(|&&s| marked[s] == epoch);
+            let (inside, outside): (Vec<crate::ids::StateId>, Vec<crate::ids::StateId>) = blocks
+                [d as usize]
+                .iter()
+                .partition(|&&s| marked[s.index()] == epoch);
             if inside.is_empty() || outside.is_empty() {
                 continue;
             }
-            let new_id = blocks.len();
+            let new_id = ids::narrow(blocks.len());
             // Keep the larger part in place; the smaller part gets the new id
             // (so re-processing enqueues the smaller half, Hopcroft's trick —
             // sound here, unlike in the relational case, because the fₗ are
@@ -79,9 +82,9 @@ pub fn minimize(dfa: &Dfa) -> Partition {
                 (outside, inside)
             };
             for &s in &moved {
-                block_of[s] = new_id;
+                block_of[s.index()] = new_id;
             }
-            blocks[d] = keep;
+            blocks[d as usize] = keep;
             blocks.push(moved);
             touched_stamp.push(0);
             for label in 0..k {
@@ -108,7 +111,7 @@ pub fn minimized_dfa(dfa: &Dfa) -> Dfa {
         partition.block_of(dfa.start()),
     );
     for b in 0..num_blocks {
-        let representative = partition.block(b)[0];
+        let representative = partition.block(b)[0].index();
         out.set_class(b, dfa.class(representative));
         for l in 0..dfa.num_labels() {
             out.set_transition(b, l, partition.block_of(dfa.step(representative, l)));
@@ -118,6 +121,8 @@ pub fn minimized_dfa(dfa: &Dfa) -> Dfa {
 }
 
 #[cfg(test)]
+// Test RNG draws narrow by `as` on purpose; the lint guards library code.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::{solve, Algorithm};

@@ -1,0 +1,222 @@
+//! Compact 32-bit id newtypes for the CSR core and the partition state.
+//!
+//! The refinement solvers spend their time chasing adjacency lists and
+//! block-membership arrays, so the working-set size of those arrays *is* the
+//! constant factor.  Storing element, label and block identities as packed
+//! `u32`s instead of `usize` halves every hot array on 64-bit targets.
+//!
+//! Each newtype wraps a [`NonZeroU32`] holding `index + 1`.  The `+1`
+//! packing donates the zero bit pattern to the compiler as a niche, so
+//! `Option<StateId>` / `Option<BlockId>` are 4 bytes — memo tables of
+//! "maybe-computed" ids cost no more than the ids themselves.  Packing is
+//! monotonic, so the derived `Ord` agrees with index order and sorted edge
+//! tuples of packed ids sort exactly like their index triples.
+//!
+//! The packed range is `0 ..= u32::MAX - 1` ([`MAX_INDEX`]); conversions out
+//! of `usize` are checked in one place ([`StateId::try_from_index`] and
+//! friends) and surface as an [`IdOverflow`] instead of a silent truncation.
+//! Ground sets therefore hold at most [`MAX_ELEMENTS`] elements — builders
+//! reject anything larger up front so no later conversion can fail.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// Largest index representable by a packed id (`u32::MAX - 1`; the packed
+/// value is `index + 1`).
+pub const MAX_INDEX: usize = (u32::MAX - 1) as usize;
+
+/// Largest ground-set size whose every index fits a packed id
+/// (`MAX_INDEX + 1`).
+pub const MAX_ELEMENTS: usize = MAX_INDEX + 1;
+
+/// A `usize` index did not fit the packed 32-bit id range.
+///
+/// Raised by the checked conversions ([`StateId::try_from_index`] etc.) and
+/// by [`GraphBuilder::try_new`](crate::GraphBuilder::try_new) for ground
+/// sets larger than [`MAX_ELEMENTS`].  Callers at ingestion boundaries (the
+/// `ccs-equiv` session layer, the wire protocol) turn this into their own
+/// error type instead of truncating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// The offending index or size.
+    pub index: usize,
+}
+
+impl fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "index {} exceeds the packed 32-bit id range (max {MAX_INDEX})",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
+/// Checks that a ground-set *size* (not an index) is addressable by packed
+/// ids, i.e. `n <= MAX_ELEMENTS`.
+pub(crate) fn check_ground_set(n: usize) -> Result<(), IdOverflow> {
+    if n <= MAX_ELEMENTS {
+        Ok(())
+    } else {
+        Err(IdOverflow { index: n - 1 })
+    }
+}
+
+/// Narrows a count already known to be bounded by a checked ground-set size
+/// (block counts, group counts, edge counts after a layout-time check).
+///
+/// # Panics
+///
+/// Panics if the count exceeds `u32::MAX` — which the callers' up-front
+/// ground-set checks make unreachable.
+pub(crate) fn narrow(count: usize) -> u32 {
+    u32::try_from(count).expect("count exceeds u32 range despite checked ground set")
+}
+
+macro_rules! packed_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(transparent)]
+        pub struct $name(NonZeroU32);
+
+        impl $name {
+            /// Packs a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds [`MAX_INDEX`].
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                match Self::try_from_index(index) {
+                    Ok(id) => id,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+
+            /// Packs a dense index, reporting overflow instead of panicking —
+            /// the single checked `usize` → id conversion used at every
+            /// ingestion boundary.
+            pub fn try_from_index(index: usize) -> Result<Self, IdOverflow> {
+                u32::try_from(index)
+                    .ok()
+                    .and_then(|raw| raw.checked_add(1))
+                    .and_then(NonZeroU32::new)
+                    .map($name)
+                    .ok_or(IdOverflow { index })
+            }
+
+            /// The dense index this id packs.
+            #[must_use]
+            pub fn index(self) -> usize {
+                (self.0.get() - 1) as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            /// Prints the bare index, so collections of ids read like the
+            /// index lists they replace.
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.index())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.index())
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> Self {
+                value.index()
+            }
+        }
+    };
+}
+
+packed_id! {
+    /// Packed identity of a ground-set element (a process state under the
+    /// Lemma 3.1 reduction).
+    StateId
+}
+
+packed_id! {
+    /// Packed identity of one of the `k` labelled relations.
+    LabelId
+}
+
+packed_id! {
+    /// Packed identity of a partition block.
+    BlockId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_order() {
+        for i in [0usize, 1, 7, 4096, MAX_INDEX] {
+            assert_eq!(StateId::from_index(i).index(), i);
+            assert_eq!(BlockId::from_index(i).index(), i);
+            assert_eq!(LabelId::from_index(i).index(), i);
+        }
+        assert!(StateId::from_index(1) < StateId::from_index(2));
+        assert!(BlockId::from_index(0) < BlockId::from_index(MAX_INDEX));
+    }
+
+    #[test]
+    fn option_niche_is_free() {
+        use std::mem::size_of;
+        assert_eq!(size_of::<StateId>(), 4);
+        assert_eq!(size_of::<Option<StateId>>(), 4);
+        assert_eq!(size_of::<Option<BlockId>>(), 4);
+        assert_eq!(size_of::<Option<LabelId>>(), 4);
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_truncation() {
+        assert_eq!(
+            StateId::try_from_index(MAX_INDEX + 1),
+            Err(IdOverflow {
+                index: MAX_INDEX + 1
+            })
+        );
+        assert_eq!(
+            StateId::try_from_index(usize::MAX),
+            Err(IdOverflow { index: usize::MAX })
+        );
+        let msg = IdOverflow { index: usize::MAX }.to_string();
+        assert!(msg.contains("exceeds the packed 32-bit id range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the packed 32-bit id range")]
+    fn from_index_panics_on_overflow() {
+        let _ = StateId::from_index(MAX_INDEX + 1);
+    }
+
+    #[test]
+    fn ground_set_check_bounds() {
+        assert!(check_ground_set(0).is_ok());
+        assert!(check_ground_set(MAX_ELEMENTS).is_ok());
+        assert_eq!(
+            check_ground_set(MAX_ELEMENTS + 1),
+            Err(IdOverflow {
+                index: MAX_ELEMENTS
+            })
+        );
+    }
+
+    #[test]
+    fn debug_prints_bare_indices() {
+        assert_eq!(format!("{:?}", StateId::from_index(5)), "5");
+        assert_eq!(
+            format!("{:?}", vec![BlockId::from_index(0), BlockId::from_index(2)]),
+            "[0, 2]"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 use std::sync::OnceLock;
 
 use crate::graph::{GraphBuilder, LabeledGraph};
+use crate::ids::{IdOverflow, StateId};
 
 /// An instance of the generalized partitioning problem (Section 3).
 ///
@@ -17,22 +18,24 @@ use crate::graph::{GraphBuilder, LabeledGraph};
 /// the full edge list.  Successor and predecessor queries are slice views
 /// into contiguous storage, and [`Instance::num_edges`] /
 /// [`Instance::max_fanout`] are `O(1)` field reads of layout-computed
-/// values.
+/// values.  All per-element arrays are 32-bit ([`StateId`] targets, `u32`
+/// offsets and initial-block ids); ground sets beyond the packed id range
+/// are rejected by [`Instance::try_new`] with an [`IdOverflow`].
 ///
 /// ```
-/// use ccs_partition::Instance;
+/// use ccs_partition::{Instance, StateId};
 /// let mut inst = Instance::new(3, 2);
 /// inst.set_initial_block(2, 1);    // element 2 starts in its own block
 /// inst.add_edge(0, 0, 1);          // f₀(0) ∋ 1
 /// inst.add_edge(1, 1, 2);          // f₁(1) ∋ 2
 /// inst.add_edge(0, 0, 1);          // parallel duplicate: ignored
 /// assert_eq!(inst.num_edges(), 2);
-/// assert_eq!(inst.successors(0, 0), &[1]);
-/// assert_eq!(inst.predecessors(1, 2), &[1]);
+/// assert_eq!(inst.successors(0, 0), &[StateId::from_index(1)]);
+/// assert_eq!(inst.predecessors(1, 2), &[StateId::from_index(1)]);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Instance {
-    initial_block: Vec<usize>,
+    initial_block: Vec<u32>,
     /// Edges already laid out as a CSR graph.
     base: LabeledGraph,
     /// Edges recorded since `base` was laid out (duplicates allowed).
@@ -44,9 +47,21 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance over `num_elements` elements and `num_labels`
     /// relations, with every element initially in block `0` and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the packed 32-bit id range; use
+    /// [`Instance::try_new`] at ingestion boundaries that must fail cleanly.
     #[must_use]
     pub fn new(num_elements: usize, num_labels: usize) -> Self {
         Instance::from_graph(LabeledGraph::empty(num_elements, num_labels))
+    }
+
+    /// Creates an instance, reporting an [`IdOverflow`] when the ground set
+    /// or label alphabet cannot be addressed by packed 32-bit ids — the
+    /// checked ingestion entry point mirroring [`GraphBuilder::try_new`].
+    pub fn try_new(num_elements: usize, num_labels: usize) -> Result<Self, IdOverflow> {
+        GraphBuilder::try_new(num_elements, num_labels).map(|b| Instance::from_graph(b.build()))
     }
 
     /// Wraps an already-populated [`GraphBuilder`], with every element
@@ -94,15 +109,18 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics if `element` is out of range.
+    /// Panics if `element` is out of range or `block` exceeds `u32::MAX`
+    /// (block ids are stored compactly; a ground set that fits 32-bit ids
+    /// never needs more blocks than that).
     pub fn set_initial_block(&mut self, element: usize, block: usize) {
         assert!(element < self.num_elements(), "element out of range");
-        self.initial_block[element] = block;
+        self.initial_block[element] =
+            u32::try_from(block).expect("initial block id exceeds the 32-bit block range");
     }
 
-    /// The initial block assignment.
+    /// The initial block assignment, as dense 32-bit block ids.
     #[must_use]
-    pub fn initial_blocks(&self) -> &[usize] {
+    pub fn initial_blocks(&self) -> &[u32] {
         &self.initial_block
     }
 
@@ -147,17 +165,17 @@ impl Instance {
         }
     }
 
-    /// The successor list `fₗ(x)`, sorted and duplicate-free — a slice into
-    /// the flat CSR target array.
+    /// The successor list `fₗ(x)`, sorted and duplicate-free — a slice of
+    /// packed [`StateId`]s into the flat CSR target array.
     #[must_use]
-    pub fn successors(&self, label: usize, element: usize) -> &[usize] {
+    pub fn successors(&self, label: usize, element: usize) -> &[StateId] {
         self.graph().successors(label, element)
     }
 
     /// The predecessor list `{y | x ∈ fₗ(y)}`, sorted and duplicate-free — a
-    /// slice into the flat CSR source array.
+    /// slice of packed [`StateId`]s into the flat CSR source array.
     #[must_use]
-    pub fn predecessors(&self, label: usize, element: usize) -> &[usize] {
+    pub fn predecessors(&self, label: usize, element: usize) -> &[StateId] {
         self.graph().predecessors(label, element)
     }
 
@@ -167,6 +185,18 @@ impl Instance {
     #[must_use]
     pub fn max_fanout(&self) -> usize {
         self.graph().max_fanout()
+    }
+
+    /// Heap bytes held by the instance (initial assignment, base CSR,
+    /// pending edges, and the lazily merged layout if materialized),
+    /// measured from live container capacities.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.initial_block.capacity() * size_of::<u32>()
+            + self.base.resident_bytes()
+            + self.pending.capacity() * size_of::<(usize, usize, usize)>()
+            + self.merged.get().map_or(0, LabeledGraph::resident_bytes)
     }
 
     /// Verifies that `partition` (given as a block assignment over the same
@@ -193,7 +223,7 @@ impl Instance {
                     let mut hit: Vec<usize> = self
                         .successors(label, x)
                         .iter()
-                        .map(|&y| partition.block_of(y))
+                        .map(|&y| partition.block_of(y.index()))
                         .collect();
                     hit.sort_unstable();
                     hit.dedup();
@@ -202,8 +232,8 @@ impl Instance {
                 let Some(&first) = block.first() else {
                     continue;
                 };
-                let expected = signature(first);
-                if block.iter().any(|&x| signature(x) != expected) {
+                let expected = signature(first.index());
+                if block.iter().any(|&x| signature(x.index()) != expected) {
                     return false;
                 }
             }
@@ -228,6 +258,10 @@ mod tests {
     use super::*;
     use crate::Partition;
 
+    fn s(i: usize) -> StateId {
+        StateId::from_index(i)
+    }
+
     #[test]
     fn construction_and_queries() {
         let mut inst = Instance::new(4, 2);
@@ -237,9 +271,9 @@ mod tests {
         assert_eq!(inst.num_elements(), 4);
         assert_eq!(inst.num_labels(), 2);
         assert_eq!(inst.num_edges(), 3);
-        assert_eq!(inst.successors(0, 0), &[1, 2]);
-        assert_eq!(inst.predecessors(0, 2), &[0]);
-        assert_eq!(inst.predecessors(1, 0), &[3]);
+        assert_eq!(inst.successors(0, 0), &[s(1), s(2)]);
+        assert_eq!(inst.predecessors(0, 2), &[s(0)]);
+        assert_eq!(inst.predecessors(1, 0), &[s(3)]);
         assert_eq!(inst.max_fanout(), 2);
     }
 
@@ -248,6 +282,14 @@ mod tests {
         let inst = Instance::new(3, 1);
         assert_eq!(inst.max_fanout(), 0);
         assert_eq!(inst.num_edges(), 0);
+    }
+
+    #[test]
+    fn oversize_ground_sets_fail_cleanly() {
+        let err = Instance::try_new(crate::ids::MAX_ELEMENTS + 1, 1)
+            .expect_err("oversize ground set must not build");
+        assert_eq!(err.index, crate::ids::MAX_ELEMENTS);
+        assert!(Instance::try_new(8, 2).is_ok());
     }
 
     #[test]
@@ -260,8 +302,8 @@ mod tests {
         inst.add_edge(0, 0, 1);
         inst.add_edge(1, 0, 1);
         assert_eq!(inst.num_edges(), 2);
-        assert_eq!(inst.successors(0, 0), &[1]);
-        assert_eq!(inst.predecessors(0, 1), &[0]);
+        assert_eq!(inst.successors(0, 0), &[s(1)]);
+        assert_eq!(inst.predecessors(0, 1), &[s(0)]);
         assert_eq!(inst.max_fanout(), 1);
     }
 
@@ -273,7 +315,7 @@ mod tests {
         assert_eq!(inst.max_fanout(), 1);
         inst.add_edge(0, 0, 2);
         assert_eq!(inst.num_edges(), 2);
-        assert_eq!(inst.successors(0, 0), &[1, 2]);
+        assert_eq!(inst.successors(0, 0), &[s(1), s(2)]);
         assert_eq!(inst.max_fanout(), 2);
     }
 
@@ -322,7 +364,7 @@ mod tests {
         // Mutation after adoption still works through the merge path.
         inst.add_edge(0, 3, 0);
         assert_eq!(inst.num_edges(), 4);
-        assert_eq!(inst.successors(0, 3), &[0]);
+        assert_eq!(inst.successors(0, 3), &[s(0)]);
     }
 
     #[test]
@@ -370,7 +412,7 @@ mod tests {
         assert_eq!(inst.num_elements(), 3);
         assert_eq!(inst.num_edges(), 2);
         assert_eq!(inst.initial_blocks(), &[0, 0, 0]);
-        assert_eq!(inst.successors(0, 1), &[2]);
+        assert_eq!(inst.successors(0, 1), &[s(2)]);
     }
 
     #[test]

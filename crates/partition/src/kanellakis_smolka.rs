@@ -45,6 +45,7 @@
 use std::collections::HashMap;
 
 use crate::graph::LabeledGraph;
+use crate::ids::{self, StateId};
 use crate::{Instance, Partition};
 
 /// The initial fine partition shared by [`refine`] and the sharded
@@ -53,29 +54,30 @@ use crate::{Instance, Partition};
 /// stable with respect to the single initial splitter group (the whole set).
 ///
 /// Returns the live `(block_of, blocks)` state the worklist loop then
-/// refines.  Both engines must start from this exact seed — it is part of
-/// the determinism contract checked by `tests/parallel_determinism.rs`.
+/// refines, in the compact 32-bit layout the loops keep hot.  Both engines
+/// must start from this exact seed — it is part of the determinism contract
+/// checked by `tests/parallel_determinism.rs`.
 pub(crate) fn initial_fine_partition(
     instance: &Instance,
     graph: &LabeledGraph,
-) -> (Vec<usize>, Vec<Vec<usize>>) {
+) -> (Vec<u32>, Vec<Vec<StateId>>) {
     let n = instance.num_elements();
     let num_labels = instance.num_labels();
-    let mut block_of: Vec<usize> = vec![0; n];
-    let mut blocks: Vec<Vec<usize>> = Vec::new();
-    let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
+    let mut block_of: Vec<u32> = vec![0; n];
+    let mut blocks: Vec<Vec<StateId>> = Vec::new();
+    let mut sig_to_block: HashMap<(u32, Vec<bool>), u32> = HashMap::new();
     for (x, block) in block_of.iter_mut().enumerate() {
         let sig: Vec<bool> = (0..num_labels)
             .map(|l| !graph.successors(l, x).is_empty())
             .collect();
         let key = (instance.initial_blocks()[x], sig);
-        let fresh = sig_to_block.len();
+        let fresh = ids::narrow(sig_to_block.len());
         let id = *sig_to_block.entry(key).or_insert(fresh);
-        if id == blocks.len() {
+        if id as usize == blocks.len() {
             blocks.push(Vec::new());
         }
         *block = id;
-        blocks[id].push(x);
+        blocks[id as usize].push(StateId::from_index(x));
     }
     (block_of, blocks)
 }
@@ -91,7 +93,7 @@ pub(crate) fn initial_fine_partition(
 pub fn refine(instance: &Instance) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
     let num_labels = instance.num_labels();
     // Hoist the CSR view out of the hot loops: querying through `Instance`
@@ -99,14 +101,16 @@ pub fn refine(instance: &Instance) -> Partition {
     let graph = instance.graph();
 
     // --- Fine partition: the shared per-label "has a successor" seed.
+    // Elements are packed `StateId`s and block/group ids raw `u32`s
+    // throughout the loop — only the epoch stamps stay 64-bit.
     let (mut block_of, mut blocks) = initial_fine_partition(instance, graph);
 
     // --- Splitter groups: unions of blocks (split siblings stay together).
     // Invariant: the partition is stable with respect to every group; a
     // compound group (≥ 2 blocks) is pending splitter work.
-    let mut group_of: Vec<usize> = vec![0; blocks.len()];
-    let mut groups: Vec<Vec<usize>> = vec![(0..blocks.len()).collect()];
-    let mut worklist: Vec<usize> = Vec::new();
+    let mut group_of: Vec<u32> = vec![0; blocks.len()];
+    let mut groups: Vec<Vec<u32>> = vec![(0..ids::narrow(blocks.len())).collect()];
+    let mut worklist: Vec<u32> = Vec::new();
     let mut on_worklist: Vec<bool> = vec![false];
     if groups[0].len() >= 2 {
         worklist.push(0);
@@ -121,73 +125,73 @@ pub fn refine(instance: &Instance) -> Partition {
     let mut epoch: u64 = 0;
 
     while let Some(s) = worklist.pop() {
-        on_worklist[s] = false;
-        if groups[s].len() < 2 {
+        on_worklist[s as usize] = false;
+        if groups[s as usize].len() < 2 {
             continue;
         }
         // Extract the smaller of the group's first two blocks as the active
         // splitter B; the co-fragment (the rest of the group) remains
         // pending, so |B| ≤ |group|/2 — the smaller half.
         let (pos, b) = {
-            let b0 = groups[s][0];
-            let b1 = groups[s][1];
-            if blocks[b0].len() <= blocks[b1].len() {
+            let b0 = groups[s as usize][0];
+            let b1 = groups[s as usize][1];
+            if blocks[b0 as usize].len() <= blocks[b1 as usize].len() {
                 (0, b0)
             } else {
                 (1, b1)
             }
         };
-        groups[s].swap_remove(pos);
-        let own_group = groups.len();
+        groups[s as usize].swap_remove(pos);
+        let own_group = ids::narrow(groups.len());
         groups.push(vec![b]);
         on_worklist.push(false);
-        group_of[b] = own_group;
-        if groups[s].len() >= 2 {
-            on_worklist[s] = true;
+        group_of[b as usize] = own_group;
+        if groups[s as usize].len() >= 2 {
+            on_worklist[s as usize] = true;
             worklist.push(s);
         }
 
         // Snapshot: splits below may refine B itself; its fragments all stay
         // in `own_group`, which is re-enqueued when it turns compound.
-        let splitter_elems = blocks[b].clone();
+        let splitter_elems = blocks[b as usize].clone();
         for label in 0..num_labels {
             epoch += 1;
             // Classify every predecessor x of B: does x also reach the
             // co-fragment S \ B?  Decided by scanning x's ≤ c successors —
             // the co-fragment itself is never scanned.
-            let mut touched: Vec<usize> = Vec::new();
+            let mut touched: Vec<u32> = Vec::new();
             for &y in &splitter_elems {
-                for &x in graph.predecessors(label, y) {
-                    if elem_stamp[x] == epoch {
+                for &x in graph.predecessors(label, y.index()) {
+                    if elem_stamp[x.index()] == epoch {
                         continue;
                     }
-                    elem_stamp[x] = epoch;
-                    elem_in_rest[x] = graph
-                        .successors(label, x)
+                    elem_stamp[x.index()] = epoch;
+                    elem_in_rest[x.index()] = graph
+                        .successors(label, x.index())
                         .iter()
-                        .any(|&z| group_of[block_of[z]] == s);
-                    let d = block_of[x];
-                    if touched_stamp[d] != epoch {
-                        touched_stamp[d] = epoch;
+                        .any(|&z| group_of[block_of[z.index()] as usize] == s);
+                    let d = block_of[x.index()];
+                    if touched_stamp[d as usize] != epoch {
+                        touched_stamp[d as usize] = epoch;
                         touched.push(d);
                     }
                 }
             }
             // Three-way split of every touched block.
             for &d in &touched {
-                let mut only_b: Vec<usize> = Vec::new();
-                let mut both: Vec<usize> = Vec::new();
-                let mut rest: Vec<usize> = Vec::new();
-                for &x in &blocks[d] {
-                    if elem_stamp[x] != epoch {
+                let mut only_b: Vec<StateId> = Vec::new();
+                let mut both: Vec<StateId> = Vec::new();
+                let mut rest: Vec<StateId> = Vec::new();
+                for &x in &blocks[d as usize] {
+                    if elem_stamp[x.index()] != epoch {
                         rest.push(x);
-                    } else if elem_in_rest[x] {
+                    } else if elem_in_rest[x.index()] {
                         both.push(x);
                     } else {
                         only_b.push(x);
                     }
                 }
-                let mut parts: Vec<Vec<usize>> = [only_b, both, rest]
+                let mut parts: Vec<Vec<StateId>> = [only_b, both, rest]
                     .into_iter()
                     .filter(|p| !p.is_empty())
                     .collect();
@@ -196,21 +200,21 @@ pub fn refine(instance: &Instance) -> Partition {
                 }
                 // The first part keeps the old id; the remaining fragments
                 // get fresh ids in the same group as their sibling.
-                let home = group_of[d];
-                blocks[d] = parts.remove(0);
+                let home = group_of[d as usize];
+                blocks[d as usize] = parts.remove(0);
                 for part in parts {
-                    let new_id = blocks.len();
+                    let new_id = ids::narrow(blocks.len());
                     for &x in &part {
-                        block_of[x] = new_id;
+                        block_of[x.index()] = new_id;
                     }
                     blocks.push(part);
                     group_of.push(home);
                     touched_stamp.push(0);
-                    groups[home].push(new_id);
+                    groups[home as usize].push(new_id);
                 }
                 // The group that gained fragments is compound again.
-                if !on_worklist[home] {
-                    on_worklist[home] = true;
+                if !on_worklist[home as usize] {
+                    on_worklist[home as usize] = true;
                     worklist.push(home);
                 }
             }
@@ -231,15 +235,16 @@ pub fn refine(instance: &Instance) -> Partition {
 pub fn refine_both_halves(instance: &Instance) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
     let graph = instance.graph();
 
-    // Live partition state, seeded from the raw initial assignment.
+    // Live partition state, seeded from the raw initial assignment —
+    // compact ids throughout, as in `refine`.
     let (mut block_of, mut blocks) = Partition::from_raw_assignment(instance.initial_blocks());
 
     // Worklist of splitter block ids (content is read at pop time).
-    let mut worklist: Vec<usize> = (0..blocks.len()).collect();
+    let mut worklist: Vec<u32> = (0..ids::narrow(blocks.len())).collect();
     let mut on_worklist = vec![true; blocks.len()];
 
     // Epoch-stamped scratch: preimage membership per element, touched marker
@@ -249,22 +254,22 @@ pub fn refine_both_halves(instance: &Instance) -> Partition {
     let mut epoch: u64 = 0;
 
     while let Some(splitter) = worklist.pop() {
-        on_worklist[splitter] = false;
+        on_worklist[splitter as usize] = false;
         // Snapshot the splitter contents: subsequent splits may move elements
         // out of `blocks[splitter]`, but every moved element ends up in a
         // block that is itself (re-)enqueued, so using the snapshot is sound.
-        let splitter_elems = blocks[splitter].clone();
+        let splitter_elems = blocks[splitter as usize].clone();
         for label in 0..instance.num_labels() {
             epoch += 1;
             // pre_ℓ(splitter)
-            let mut touched_blocks: Vec<usize> = Vec::new();
+            let mut touched_blocks: Vec<u32> = Vec::new();
             for &y in &splitter_elems {
-                for &x in graph.predecessors(label, y) {
-                    if marked[x] != epoch {
-                        marked[x] = epoch;
-                        let d = block_of[x];
-                        if touched_stamp[d] != epoch {
-                            touched_stamp[d] = epoch;
+                for &x in graph.predecessors(label, y.index()) {
+                    if marked[x.index()] != epoch {
+                        marked[x.index()] = epoch;
+                        let d = block_of[x.index()];
+                        if touched_stamp[d as usize] != epoch {
+                            touched_stamp[d as usize] = epoch;
                             touched_blocks.push(d);
                         }
                     }
@@ -272,25 +277,26 @@ pub fn refine_both_halves(instance: &Instance) -> Partition {
             }
             // Split every touched block D into D ∩ pre and D \ pre.
             for &d in &touched_blocks {
-                let (inside, outside): (Vec<usize>, Vec<usize>) =
-                    blocks[d].iter().partition(|&&x| marked[x] == epoch);
+                let (inside, outside): (Vec<StateId>, Vec<StateId>) = blocks[d as usize]
+                    .iter()
+                    .partition(|&&x| marked[x.index()] == epoch);
                 if inside.is_empty() || outside.is_empty() {
                     continue;
                 }
                 // Keep the inside part in `d`, move the outside part to a new block.
-                let new_id = blocks.len();
+                let new_id = ids::narrow(blocks.len());
                 for &x in &outside {
-                    block_of[x] = new_id;
+                    block_of[x.index()] = new_id;
                 }
-                blocks[d] = inside;
+                blocks[d as usize] = inside;
                 blocks.push(outside);
                 on_worklist.push(false);
                 touched_stamp.push(0);
                 // Re-enqueue both halves — the simple, always-sound rule;
                 // `refine` is the smaller-half upgrade.
                 for id in [d, new_id] {
-                    if !on_worklist[id] {
-                        on_worklist[id] = true;
+                    if !on_worklist[id as usize] {
+                        on_worklist[id as usize] = true;
                         worklist.push(id);
                     }
                 }
@@ -302,6 +308,8 @@ pub fn refine_both_halves(instance: &Instance) -> Partition {
 }
 
 #[cfg(test)]
+// Test RNG draws narrow by `as` on purpose; the lint guards library code.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::naive;

@@ -21,6 +21,10 @@
 //! [`GraphBuilder`] that sorts and deduplicates parallel edges and lays the
 //! CSR out once; `successors`/`predecessors` are slice views into the flat
 //! arrays, and `num_edges`/`max_fanout` are `O(1)` builder-computed values.
+//! Element, label and block identities are packed 32-bit newtypes (see
+//! [`ids`]), which halves the hot working set on 64-bit targets; ground sets
+//! beyond the packed range are rejected at construction with an
+//! [`IdOverflow`] rather than truncated.
 //!
 //! Four solvers are provided for the generalized problem:
 //!
@@ -71,11 +75,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The compact-core invariant: ids narrow through the checked helpers only,
+// never through a bare `as` cast that could silently truncate.
+#![deny(clippy::cast_possible_truncation)]
 
 pub mod dfa;
 pub mod dfa_equiv;
 pub mod graph;
 pub mod hopcroft;
+pub mod ids;
 mod instance;
 pub mod kanellakis_smolka;
 pub mod naive;
@@ -86,6 +94,7 @@ mod union_find;
 
 pub use dfa::Dfa;
 pub use graph::{GraphBuilder, LabeledGraph};
+pub use ids::{BlockId, IdOverflow, LabelId, StateId};
 pub use instance::Instance;
 pub use partition::Partition;
 pub use union_find::UnionFind;

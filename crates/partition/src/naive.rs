@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use crate::ids;
 use crate::{Instance, Partition};
 
 /// Runs the naive refinement method and returns the coarsest consistent
@@ -19,7 +20,7 @@ use crate::{Instance, Partition};
 pub fn refine(instance: &Instance) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
     let graph = instance.graph();
     let (mut block_of, initial_blocks) = Partition::from_raw_assignment(instance.initial_blocks());
@@ -27,23 +28,24 @@ pub fn refine(instance: &Instance) -> Partition {
 
     loop {
         // Signature of x: (current block, for each label the sorted set of
-        // successor blocks).
-        let mut sig_to_new: HashMap<(usize, Vec<Vec<usize>>), usize> = HashMap::new();
-        let mut next: Vec<usize> = vec![0; n];
+        // successor blocks) — all compact 32-bit ids, so the signature keys
+        // are half the size they were with `usize` blocks.
+        let mut sig_to_new: HashMap<(u32, Vec<Vec<u32>>), u32> = HashMap::new();
+        let mut next: Vec<u32> = vec![0; n];
         for x in 0..n {
             let mut per_label = Vec::with_capacity(instance.num_labels());
             for l in 0..instance.num_labels() {
-                let mut hit: Vec<usize> = graph
+                let mut hit: Vec<u32> = graph
                     .successors(l, x)
                     .iter()
-                    .map(|&y| block_of[y])
+                    .map(|&y| block_of[y.index()])
                     .collect();
                 hit.sort_unstable();
                 hit.dedup();
                 per_label.push(hit);
             }
             let key = (block_of[x], per_label);
-            let fresh = sig_to_new.len();
+            let fresh = ids::narrow(sig_to_new.len());
             let id = *sig_to_new.entry(key).or_insert(fresh);
             next[x] = id;
         }

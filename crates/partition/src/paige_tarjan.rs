@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use crate::ids::{self, StateId};
 use crate::{Instance, Partition};
 
 /// Runs the Paige–Tarjan algorithm and returns the coarsest consistent
@@ -30,7 +31,7 @@ use crate::{Instance, Partition};
 pub fn refine(instance: &Instance) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
     let num_labels = instance.num_labels();
     // Hoist the CSR view out of the hot loops.
@@ -39,43 +40,47 @@ pub fn refine(instance: &Instance) -> Partition {
     // --- Initial fine partition Q: the initial partition refined by the
     // per-label "has at least one outgoing edge" signature, so that Q is
     // stable with respect to the single initial X-block (the whole set).
-    let mut block_of: Vec<usize> = vec![0; n];
-    let mut q_blocks: Vec<Vec<usize>> = Vec::new();
+    // All live state is 32-bit: elements are packed `StateId`s, Q-/X-block
+    // ids raw `u32`s, and the edge counters `u32` values keyed by 12-byte
+    // `(label, element, x_block)` triples — half the former key size, which
+    // matters because `counts` is the algorithm's largest structure.
+    let mut block_of: Vec<u32> = vec![0; n];
+    let mut q_blocks: Vec<Vec<StateId>> = Vec::new();
     {
-        let mut sig_to_block: HashMap<(usize, Vec<bool>), usize> = HashMap::new();
+        let mut sig_to_block: HashMap<(u32, Vec<bool>), u32> = HashMap::new();
         for (x, block) in block_of.iter_mut().enumerate() {
             let sig: Vec<bool> = (0..num_labels)
                 .map(|l| !graph.successors(l, x).is_empty())
                 .collect();
             let key = (instance.initial_blocks()[x], sig);
-            let fresh = sig_to_block.len();
+            let fresh = ids::narrow(sig_to_block.len());
             let id = *sig_to_block.entry(key).or_insert(fresh);
-            if id == q_blocks.len() {
+            if id as usize == q_blocks.len() {
                 q_blocks.push(Vec::new());
             }
             *block = id;
-            q_blocks[id].push(x);
+            q_blocks[id as usize].push(StateId::from_index(x));
         }
     }
 
     // --- X partition: initially one block containing every Q-block.
-    let mut x_of_q: Vec<usize> = vec![0; q_blocks.len()];
-    let mut x_blocks: Vec<Vec<usize>> = vec![(0..q_blocks.len()).collect()];
+    let mut x_of_q: Vec<u32> = vec![0; q_blocks.len()];
+    let mut x_blocks: Vec<Vec<u32>> = vec![(0..ids::narrow(q_blocks.len())).collect()];
 
     // counts[(label, element, x_block)] = number of edges from `element`
     // under `label` into `x_block`.
-    let mut counts: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut counts: HashMap<(u32, StateId, u32), u32> = HashMap::new();
     for l in 0..num_labels {
         for x in 0..n {
             let d = graph.successors(l, x).len();
             if d > 0 {
-                counts.insert((l, x, 0), d);
+                counts.insert((ids::narrow(l), StateId::from_index(x), 0), ids::narrow(d));
             }
         }
     }
 
     // Worklist of compound X-blocks.
-    let mut worklist: Vec<usize> = Vec::new();
+    let mut worklist: Vec<u32> = Vec::new();
     let mut on_worklist: Vec<bool> = vec![false; 1];
     if x_blocks[0].len() >= 2 {
         worklist.push(0);
@@ -88,39 +93,40 @@ pub fn refine(instance: &Instance) -> Partition {
     let mut epoch: u64 = 0;
 
     while let Some(s) = worklist.pop() {
-        on_worklist[s] = false;
-        if x_blocks[s].len() < 2 {
+        on_worklist[s as usize] = false;
+        if x_blocks[s as usize].len() < 2 {
             continue;
         }
         // Choose B: the smaller of the first two Q-blocks of S.
         let (pos, b) = {
-            let q0 = x_blocks[s][0];
-            let q1 = x_blocks[s][1];
-            if q_blocks[q0].len() <= q_blocks[q1].len() {
+            let q0 = x_blocks[s as usize][0];
+            let q1 = x_blocks[s as usize][1];
+            if q_blocks[q0 as usize].len() <= q_blocks[q1 as usize].len() {
                 (0, q0)
             } else {
                 (1, q1)
             }
         };
         // Extract B from S into a fresh X-block.
-        x_blocks[s].swap_remove(pos);
-        let xb = x_blocks.len();
+        x_blocks[s as usize].swap_remove(pos);
+        let xb = ids::narrow(x_blocks.len());
         x_blocks.push(vec![b]);
         on_worklist.push(false);
-        x_of_q[b] = xb;
-        if x_blocks[s].len() >= 2 && !on_worklist[s] {
-            on_worklist[s] = true;
+        x_of_q[b as usize] = xb;
+        if x_blocks[s as usize].len() >= 2 && !on_worklist[s as usize] {
+            on_worklist[s as usize] = true;
             worklist.push(s);
         }
 
-        let b_elems = q_blocks[b].clone();
+        let b_elems = q_blocks[b as usize].clone();
         for label in 0..num_labels {
+            let l32 = ids::narrow(label);
             epoch += 1;
             // Count, for every predecessor x of B under `label`, how many of
             // its successors lie in B.
-            let mut cnt_b: HashMap<usize, usize> = HashMap::new();
+            let mut cnt_b: HashMap<StateId, u32> = HashMap::new();
             for &y in &b_elems {
-                for &x in graph.predecessors(label, y) {
+                for &x in graph.predecessors(label, y.index()) {
                     *cnt_b.entry(x).or_insert(0) += 1;
                 }
             }
@@ -131,33 +137,33 @@ pub fn refine(instance: &Instance) -> Partition {
             // group 2 = successors in both B and S \ B.
             // Elements not in cnt_b that were in pre(S) form group 3 and are
             // never touched (that is the point of the counters).
-            let mut affected_blocks: Vec<usize> = Vec::new();
-            let mut group_of: HashMap<usize, u8> = HashMap::new();
+            let mut affected_blocks: Vec<u32> = Vec::new();
+            let mut group_of: HashMap<StateId, u8> = HashMap::new();
             for (&x, &into_b) in &cnt_b {
                 let into_s = *counts
-                    .get(&(label, x, s))
+                    .get(&(l32, x, s))
                     .expect("x has an edge into B ⊆ old S, so a count for S must exist");
                 let group = if into_b == into_s { 1 } else { 2 };
                 group_of.insert(x, group);
-                let d = block_of[x];
-                if affected_stamp[d] != epoch {
-                    affected_stamp[d] = epoch;
+                let d = block_of[x.index()];
+                if affected_stamp[d as usize] != epoch {
+                    affected_stamp[d as usize] = epoch;
                     affected_blocks.push(d);
                 }
             }
             // Three-way split of every affected Q-block.
             for &d in &affected_blocks {
-                let mut part1: Vec<usize> = Vec::new();
-                let mut part2: Vec<usize> = Vec::new();
-                let mut part3: Vec<usize> = Vec::new();
-                for &x in &q_blocks[d] {
+                let mut part1: Vec<StateId> = Vec::new();
+                let mut part2: Vec<StateId> = Vec::new();
+                let mut part3: Vec<StateId> = Vec::new();
+                for &x in &q_blocks[d as usize] {
                     match group_of.get(&x) {
                         Some(1) => part1.push(x),
                         Some(2) => part2.push(x),
                         _ => part3.push(x),
                     }
                 }
-                let mut parts: Vec<Vec<usize>> = [part1, part2, part3]
+                let mut parts: Vec<Vec<StateId>> = [part1, part2, part3]
                     .into_iter()
                     .filter(|p| !p.is_empty())
                     .collect();
@@ -166,34 +172,34 @@ pub fn refine(instance: &Instance) -> Partition {
                 }
                 // Keep the first non-empty part under the old id, create new
                 // Q-blocks (in the same X-block) for the rest.
-                let home_x = x_of_q[d];
-                q_blocks[d] = parts.remove(0);
+                let home_x = x_of_q[d as usize];
+                q_blocks[d as usize] = parts.remove(0);
                 for part in parts {
-                    let new_q = q_blocks.len();
+                    let new_q = ids::narrow(q_blocks.len());
                     for &x in &part {
-                        block_of[x] = new_q;
+                        block_of[x.index()] = new_q;
                     }
                     q_blocks.push(part);
                     x_of_q.push(home_x);
                     affected_stamp.push(0);
-                    x_blocks[home_x].push(new_q);
+                    x_blocks[home_x as usize].push(new_q);
                 }
                 // The X-block that gained Q-blocks is now compound.
-                if x_blocks[home_x].len() >= 2 && !on_worklist[home_x] {
-                    on_worklist[home_x] = true;
+                if x_blocks[home_x as usize].len() >= 2 && !on_worklist[home_x as usize] {
+                    on_worklist[home_x as usize] = true;
                     worklist.push(home_x);
                 }
             }
             // Update the counters: edges into B now count toward the new
             // X-block `xb`; counts toward S shrink accordingly.
             for (&x, &into_b) in &cnt_b {
-                counts.insert((label, x, xb), into_b);
+                counts.insert((l32, x, xb), into_b);
                 let entry = counts
-                    .get_mut(&(label, x, s))
+                    .get_mut(&(l32, x, s))
                     .expect("count for old S exists");
                 *entry -= into_b;
                 if *entry == 0 {
-                    counts.remove(&(label, x, s));
+                    counts.remove(&(l32, x, s));
                 }
             }
         }
@@ -203,6 +209,8 @@ pub fn refine(instance: &Instance) -> Partition {
 }
 
 #[cfg(test)]
+// Test RNG draws narrow by `as` on purpose; the lint guards library code.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::{kanellakis_smolka, naive};

@@ -59,6 +59,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use crate::graph::LabeledGraph;
+use crate::ids::{self, StateId};
 use crate::{kanellakis_smolka, Instance, Partition};
 
 /// Default state-count threshold below which [`refine`] falls back to the
@@ -91,21 +92,23 @@ pub fn default_threads() -> usize {
 
 /// One extraction of the round's prologue: a snapshot of the active
 /// splitter block `B` and the group id of its still-pending co-fragment.
+/// Compact ids keep the per-task snapshots (and the hit lists flowing back
+/// over the channels) at half their former size.
 struct Task {
-    splitter: Vec<usize>,
-    co_group: usize,
+    splitter: Vec<StateId>,
+    co_group: u32,
 }
 
 /// Scan output for one task: per label, the deduplicated predecessors of the
 /// splitter, each tagged with whether it also reaches the co-fragment group.
-type TaskHits = Vec<Vec<(usize, bool)>>;
+type TaskHits = Vec<Vec<(StateId, bool)>>;
 
 /// The shared descriptor of one parallel round.
 struct Round {
     tasks: Vec<Task>,
     /// Frozen element → splitter-group snapshot (valid for the whole round:
     /// merges never move elements between groups).
-    elem_group: Vec<usize>,
+    elem_group: Vec<u32>,
     /// Work-stealing cursor into `tasks`.
     next: AtomicUsize,
     num_labels: usize,
@@ -126,7 +129,7 @@ enum WorkerMsg {
 fn scan_task(
     graph: &LabeledGraph,
     task: &Task,
-    elem_group: &[usize],
+    elem_group: &[u32],
     num_labels: usize,
     stamp: &mut [u64],
     epoch: &mut u64,
@@ -136,18 +139,18 @@ fn scan_task(
         *epoch += 1;
         let mut label_hits = Vec::new();
         for &y in &task.splitter {
-            for &x in graph.predecessors(label, y) {
-                if stamp[x] == *epoch {
+            for &x in graph.predecessors(label, y.index()) {
+                if stamp[x.index()] == *epoch {
                     continue;
                 }
-                stamp[x] = *epoch;
+                stamp[x.index()] = *epoch;
                 // Does x also reach the co-fragment S \ B?  Decided by
                 // scanning x's ≤ c successors against the frozen group
                 // snapshot — the co-fragment itself is never scanned.
                 let in_rest = graph
-                    .successors(label, x)
+                    .successors(label, x.index())
                     .iter()
-                    .any(|&z| elem_group[z] == task.co_group);
+                    .any(|&z| elem_group[z.index()] == task.co_group);
                 label_hits.push((x, in_rest));
             }
         }
@@ -207,7 +210,7 @@ pub fn refine(instance: &Instance, threads: usize) -> Partition {
 pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usize) -> Partition {
     let n = instance.num_elements();
     if n == 0 {
-        return Partition::from_assignment(&[]);
+        return Partition::from_assignment::<usize>(&[]);
     }
     if threads <= 1 || n < threshold {
         return kanellakis_smolka::refine(instance);
@@ -217,13 +220,14 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
 
     // Identical seed to the sequential engine (part of the determinism
     // contract): initial partition refined by per-label successor presence.
+    // As there, all live state and worker buffers are 32-bit ids.
     let (mut block_of, mut blocks) = kanellakis_smolka::initial_fine_partition(instance, graph);
 
     // Splitter groups, exactly as in the sequential engine: unions of blocks
     // (split siblings stay together); a compound group is pending work.
-    let mut group_of: Vec<usize> = vec![0; blocks.len()];
-    let mut groups: Vec<Vec<usize>> = vec![(0..blocks.len()).collect()];
-    let mut worklist: Vec<usize> = Vec::new();
+    let mut group_of: Vec<u32> = vec![0; blocks.len()];
+    let mut groups: Vec<Vec<u32>> = vec![(0..ids::narrow(blocks.len())).collect()];
+    let mut worklist: Vec<u32> = Vec::new();
     let mut on_worklist: Vec<bool> = vec![false];
     if groups[0].len() >= 2 {
         worklist.push(0);
@@ -232,7 +236,7 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
 
     // Element → group of its block, maintained incrementally: only prologue
     // extractions move blocks between groups, so merges leave it untouched.
-    let mut elem_group: Vec<usize> = vec![0; n];
+    let mut elem_group: Vec<u32> = vec![0; n];
 
     // Merge-side epoch-stamped scratch (one epoch per applied (task, label)).
     let mut elem_stamp: Vec<u64> = vec![0; n];
@@ -261,35 +265,35 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
             // drain, so a k-block group contributes k-1 tasks to the round.
             let mut tasks: Vec<Task> = Vec::new();
             while let Some(s) = worklist.pop() {
-                on_worklist[s] = false;
-                if groups[s].len() < 2 {
+                on_worklist[s as usize] = false;
+                if groups[s as usize].len() < 2 {
                     continue;
                 }
                 // Smaller of the group's first two blocks — the same rule as
                 // the sequential engine, and still at most half the group.
                 let (pos, b) = {
-                    let b0 = groups[s][0];
-                    let b1 = groups[s][1];
-                    if blocks[b0].len() <= blocks[b1].len() {
+                    let b0 = groups[s as usize][0];
+                    let b1 = groups[s as usize][1];
+                    if blocks[b0 as usize].len() <= blocks[b1 as usize].len() {
                         (0, b0)
                     } else {
                         (1, b1)
                     }
                 };
-                groups[s].swap_remove(pos);
-                let own_group = groups.len();
-                group_of[b] = own_group;
-                for &x in &blocks[b] {
-                    elem_group[x] = own_group;
+                groups[s as usize].swap_remove(pos);
+                let own_group = ids::narrow(groups.len());
+                group_of[b as usize] = own_group;
+                for &x in &blocks[b as usize] {
+                    elem_group[x.index()] = own_group;
                 }
                 groups.push(vec![b]);
                 on_worklist.push(false);
-                if groups[s].len() >= 2 {
-                    on_worklist[s] = true;
+                if groups[s as usize].len() >= 2 {
+                    on_worklist[s as usize] = true;
                     worklist.push(s);
                 }
                 tasks.push(Task {
-                    splitter: blocks[b].clone(),
+                    splitter: blocks[b as usize].clone(),
                     co_group: s,
                 });
             }
@@ -344,30 +348,30 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
                         continue;
                     }
                     epoch += 1;
-                    let mut touched: Vec<usize> = Vec::new();
+                    let mut touched: Vec<u32> = Vec::new();
                     for &(x, in_rest) in &label_hits {
-                        elem_stamp[x] = epoch;
-                        elem_in_rest[x] = in_rest;
-                        let d = block_of[x];
-                        if touched_stamp[d] != epoch {
-                            touched_stamp[d] = epoch;
+                        elem_stamp[x.index()] = epoch;
+                        elem_in_rest[x.index()] = in_rest;
+                        let d = block_of[x.index()];
+                        if touched_stamp[d as usize] != epoch {
+                            touched_stamp[d as usize] = epoch;
                             touched.push(d);
                         }
                     }
                     for &d in &touched {
-                        let mut only_b: Vec<usize> = Vec::new();
-                        let mut both: Vec<usize> = Vec::new();
-                        let mut rest: Vec<usize> = Vec::new();
-                        for &x in &blocks[d] {
-                            if elem_stamp[x] != epoch {
+                        let mut only_b: Vec<StateId> = Vec::new();
+                        let mut both: Vec<StateId> = Vec::new();
+                        let mut rest: Vec<StateId> = Vec::new();
+                        for &x in &blocks[d as usize] {
+                            if elem_stamp[x.index()] != epoch {
                                 rest.push(x);
-                            } else if elem_in_rest[x] {
+                            } else if elem_in_rest[x.index()] {
                                 both.push(x);
                             } else {
                                 only_b.push(x);
                             }
                         }
-                        let mut parts: Vec<Vec<usize>> = [only_b, both, rest]
+                        let mut parts: Vec<Vec<StateId>> = [only_b, both, rest]
                             .into_iter()
                             .filter(|p| !p.is_empty())
                             .collect();
@@ -376,20 +380,20 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
                         }
                         // First part keeps the old id; fresh fragments stay
                         // in the sibling's home group.
-                        let home = group_of[d];
-                        blocks[d] = parts.remove(0);
+                        let home = group_of[d as usize];
+                        blocks[d as usize] = parts.remove(0);
                         for part in parts {
-                            let new_id = blocks.len();
+                            let new_id = ids::narrow(blocks.len());
                             for &x in &part {
-                                block_of[x] = new_id;
+                                block_of[x.index()] = new_id;
                             }
                             blocks.push(part);
                             group_of.push(home);
                             touched_stamp.push(0);
-                            groups[home].push(new_id);
+                            groups[home as usize].push(new_id);
                         }
-                        if !on_worklist[home] {
-                            on_worklist[home] = true;
+                        if !on_worklist[home as usize] {
+                            on_worklist[home as usize] = true;
                             worklist.push(home);
                         }
                     }
@@ -404,6 +408,8 @@ pub fn refine_with_threshold(instance: &Instance, threads: usize, threshold: usi
 }
 
 #[cfg(test)]
+// Test RNG draws narrow by `as` on purpose; the lint guards library code.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::{kanellakis_smolka, naive};

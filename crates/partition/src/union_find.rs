@@ -1,19 +1,30 @@
+use crate::ids;
+
 /// A disjoint-set (UNION-FIND) structure with path compression and union by
 /// rank, as used by the `O(N·α(N))` DFA equivalence test the paper recalls
 /// from Aho, Hopcroft & Ullman (Section 3).
+///
+/// Parent links are stored as `u32` — five bytes per element together with
+/// the rank byte — since element counts are bounded by the packed 32-bit id
+/// range everywhere this structure is used.
 #[derive(Clone, Debug)]
 pub struct UnionFind {
-    parent: Vec<usize>,
+    parent: Vec<u32>,
     rank: Vec<u8>,
     num_sets: usize,
 }
 
 impl UnionFind {
     /// Creates `n` singleton sets `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the 32-bit id range.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        let _ = ids::narrow(n);
         UnionFind {
-            parent: (0..n).collect(),
+            parent: (0..n).map(ids::narrow).collect(),
             rank: vec![0; n],
             num_sets: n,
         }
@@ -43,18 +54,18 @@ impl UnionFind {
     ///
     /// Panics if `x` is out of range.
     pub fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] != root {
-            root = self.parent[root];
+        let mut root = ids::narrow(x);
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
         }
         // Path compression.
-        let mut cur = x;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
+        let mut cur = ids::narrow(x);
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
             cur = next;
         }
-        root
+        root as usize
     }
 
     /// Merges the sets containing `a` and `b`; returns `true` iff they were
@@ -66,10 +77,10 @@ impl UnionFind {
         }
         self.num_sets -= 1;
         match self.rank[ra].cmp(&self.rank[rb]) {
-            std::cmp::Ordering::Less => self.parent[ra] = rb,
-            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Less => self.parent[ra] = ids::narrow(rb),
+            std::cmp::Ordering::Greater => self.parent[rb] = ids::narrow(ra),
             std::cmp::Ordering::Equal => {
-                self.parent[rb] = ra;
+                self.parent[rb] = ids::narrow(ra);
                 self.rank[ra] += 1;
             }
         }

@@ -153,7 +153,7 @@ impl Service {
                 Json::Arr(
                     block
                         .iter()
-                        .map(|&i| Json::str(state_label(fsp, i)))
+                        .map(|&i| Json::str(state_label(fsp, i.index())))
                         .collect(),
                 )
             })
@@ -173,9 +173,8 @@ impl Service {
         let fsp = session.fsp();
         let assignment = partition
             .assignment()
-            .iter()
             .enumerate()
-            .map(|(i, &block)| (state_label(fsp, i), as_num(block)))
+            .map(|(i, block)| (state_label(fsp, i), as_num(block)))
             .collect();
         Ok(Json::obj([
             ("ok", Json::Bool(true)),

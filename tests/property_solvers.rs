@@ -62,9 +62,9 @@ proptest! {
         let inst = instances::complete_deterministic(n, labels, seed);
         let mut dfa = Dfa::new(n, labels, 0);
         for s in 0..n {
-            dfa.set_class(s, inst.initial_blocks()[s]);
+            dfa.set_class(s, inst.initial_blocks()[s] as usize);
             for l in 0..labels {
-                dfa.set_transition(s, l, inst.successors(l, s)[0]);
+                dfa.set_transition(s, l, inst.successors(l, s)[0].index());
             }
         }
         let via_hopcroft = hopcroft::minimize(&dfa);
