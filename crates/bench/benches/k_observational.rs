@@ -8,7 +8,7 @@ use std::time::Duration;
 use ccs_equiv::{kobs, weak};
 use ccs_fsp::ops;
 use ccs_reductions::gadgets;
-use ccs_workloads::{random, RandomConfig};
+use ccs_workloads::{families, random, RandomConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn small_pair(states: usize, seed: u64) -> (ccs_fsp::Fsp, ccs_fsp::Fsp) {
@@ -76,6 +76,28 @@ fn bench_lifting_gadget(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_one_arena_vs_pairwise(c: &mut Criterion) {
+    // Whole-space ≈₃ classification on the strictness ladder: per-pair
+    // synchronized BFS vs one shared subset arena with per-level signature
+    // refinement (the engine behind EquivSession's KObservational path).
+    let mut group = c.benchmark_group("kobs/one-arena");
+    let k = 3;
+    for copies in [2usize, 5] {
+        let fsp = families::kobs_ladder(copies * families::kobs_ladder_module_size(k), k);
+        group.bench_with_input(
+            BenchmarkId::new("pairwise-bfs", fsp.num_states()),
+            &fsp,
+            |b, f| b.iter(|| kobs::kobs_partition(f, k)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one-arena", fsp.num_states()),
+            &fsp,
+            |b, f| b.iter(|| kobs::kobs_partition_arena(f, k)),
+        );
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -86,6 +108,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_kobs_levels, bench_kobs_vs_weak_by_size, bench_lifting_gadget
+    targets = bench_kobs_levels, bench_kobs_vs_weak_by_size, bench_lifting_gadget,
+        bench_one_arena_vs_pairwise
 }
 criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
 //! tables (E7 solver matrix, WP weak-pipeline table, PAR
-//! parallel-refinement table, the DET determinization table, and the MEM
-//! resident-bytes table).
+//! parallel-refinement table, the DET determinization table, the KOBS
+//! one-arena ≈ₖ-sweep table, and the MEM resident-bytes table).
 //!
 //! The report header stamps the host core count (`host: cores=N …`).  When
 //! the baseline was recorded on a host with a different core count, PAR
-//! regressions are downgraded to warnings — thread-scaling numbers from a
-//! different machine shape are not comparable enough to fail CI on.
+//! regressions — and the DET table's `det-par` column, the only other
+//! thread-scaling measurement — are downgraded to warnings; thread-scaling
+//! numbers from a different machine shape are not comparable enough to
+//! fail CI on.
 //!
 //! Usage:
 //!
@@ -38,6 +40,7 @@ enum Section {
     Wp,
     Par,
     Det,
+    Kobs,
     Mem,
 }
 
@@ -49,7 +52,10 @@ enum Section {
 /// and not compared); PAR rows are `family states edges ks-small par-1
 /// par-2 par-4 speedup4` (timings in columns 3–6, the speedup ratio again
 /// derived and not compared); DET rows are `family states subsets notion
-/// rep-scan det speedup` (timings in columns 4–5, the speedup derived).
+/// rep-scan det det-par speedup` (timings in columns 4–6, the speedup
+/// derived; 7-token pre-`det-par` baselines still parse); KOBS rows are
+/// `family states subsets levels rep-bfs one-arena speedup` (timings in
+/// columns 4–5, the speedup derived).
 /// MEM rows come in two shapes: 5-token session rows `family states subsets
 /// session-bytes arena-bytes` and 4-token CSR rows `family states edges
 /// csr-bytes` — byte counts ride the same ratio check as timings, so a
@@ -68,6 +74,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::Par
             } else if trimmed.contains("DET:") {
                 Section::Det
+            } else if trimmed.contains("KOBS:") {
+                Section::Kobs
             } else if trimmed.contains("MEM:") {
                 Section::Mem
             } else {
@@ -99,13 +107,29 @@ fn parse_report(text: &str) -> Rows {
                 rows.insert(key, timings);
             }
             Section::Det
-                if tokens.len() == 7
+                if (tokens.len() == 7 || tokens.len() == 8)
                     && tokens[1..3].iter().all(|t| numeric(t))
                     && !numeric(tokens[3])
                     && tokens[4..].iter().all(|t| numeric(t)) =>
             {
                 let key = format!("det/{}/{}/{}", tokens[0], tokens[3], tokens[1]);
-                let cols = ["rep-scan", "det"];
+                // 8-token rows carry the 4-worker det-par column; 7-token
+                // baselines predate it and compare only the shared columns.
+                let cols: &[&str] = if tokens.len() == 8 {
+                    &["rep-scan", "det", "det-par"]
+                } else {
+                    &["rep-scan", "det"]
+                };
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[4..tokens.len() - 1])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Kobs if tokens.len() == 7 && tokens[1..].iter().all(|t| numeric(t)) => {
+                let key = format!("kobs/{}/{}", tokens[0], tokens[1]);
+                let cols = ["rep-bfs", "one-arena"];
                 let timings = cols
                     .iter()
                     .zip(&tokens[4..6])
@@ -254,7 +278,10 @@ fn main() -> ExitCode {
             compared += 1;
             let ratio = cur / base;
             if ratio > opts.threshold {
-                if key.starts_with("par/") && !par_comparable {
+                // PAR rows and the DET det-par column are thread-scaling
+                // measurements: only comparable between same-shape hosts.
+                let thread_scaling = key.starts_with("par/") || col == "det-par";
+                if thread_scaling && !par_comparable {
                     println!(
                         "WARN  {key} [{col}]: {base:.2} -> {cur:.2} ({:.0}% worse; core count \
                          differs from baseline, not counted)",
@@ -311,8 +338,13 @@ host: cores=4 CCS_THREADS=unset
 
 == DET: PSPACE-notion classification — shared subset automaton vs representative scan ==
    (rep-scan = one on-the-fly subset construction per (state, representative) pair; ...)
-  family   states   subsets     notion   rep-scan ms     det ms   speedup
-  blowup      256      7000   language        120.00      10.00      12.0
+  family   states   subsets     notion   rep-scan ms     det ms   det-par ms   speedup
+  blowup      256      7000   language        120.00      10.00         6.00      12.0
+
+== KOBS: exact ≈k hierarchy sweep — one-arena signature refinement vs per-pair BFS ==
+   (sweep k = 1..=4 on the ≈k strictness ladder; ...)
+  family   states   subsets  levels   rep-bfs ms  one-arena ms   speedup
+  ladder      276       265       4        60.00          8.00       7.5
 
 == MEM: resident bytes — honest capacity-based accounting per family ==
    (session = EquivSession::approx_resident_bytes after classify_all; ...)
@@ -329,7 +361,7 @@ host: cores=4 CCS_THREADS=unset
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         assert_eq!(
             rows["mem/blowup/256"],
             vec![
@@ -340,7 +372,15 @@ host: cores=4 CCS_THREADS=unset
         assert_eq!(rows["mem/random/1024"], vec![("csr".to_owned(), 200_000.0)]);
         assert_eq!(
             rows["det/blowup/language/256"],
-            vec![("rep-scan".to_owned(), 120.0), ("det".to_owned(), 10.0)]
+            vec![
+                ("rep-scan".to_owned(), 120.0),
+                ("det".to_owned(), 10.0),
+                ("det-par".to_owned(), 6.0),
+            ]
+        );
+        assert_eq!(
+            rows["kobs/ladder/276"],
+            vec![("rep-bfs".to_owned(), 60.0), ("one-arena".to_owned(), 8.0)]
         );
         assert_eq!(
             rows["par/dense/4096"],
@@ -369,6 +409,17 @@ host: cores=4 CCS_THREADS=unset
         );
         // The untracked E8 row is ignored.
         assert!(!rows.keys().any(|k| k.contains("e8")));
+    }
+
+    #[test]
+    fn legacy_det_rows_without_det_par_still_parse() {
+        let text = "== DET: x ==\n\
+                    blowup 256 7000 language 120.00 10.00 12.0\n";
+        let rows = parse_report(text);
+        assert_eq!(
+            rows["det/blowup/language/256"],
+            vec![("rep-scan".to_owned(), 120.0), ("det".to_owned(), 10.0)]
+        );
     }
 
     #[test]

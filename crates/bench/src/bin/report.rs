@@ -11,7 +11,8 @@
 //! regenerated without rerunning E7/WP/PAR; bare positional names behave
 //! the same way.
 //!
-//! The E7, WP, PAR and DET tables are additionally tracked for regressions:
+//! The E7, WP, PAR, DET and KOBS tables are additionally tracked for
+//! regressions:
 //! the scheduled CI job diffs them against the committed snapshot under
 //! `crates/bench/baselines/` with the `compare_report` binary.
 
@@ -159,11 +160,12 @@ fn det_determinized_classification() {
     println!("\n== DET: PSPACE-notion classification — shared subset automaton vs representative scan ==");
     println!(
         "   (rep-scan = one on-the-fly subset construction per (state, representative) pair;\n    \
-         det = one memoized subset arena + one product-DFA refinement; blowup window = 8)"
+         det = one memoized subset arena + one product-DFA refinement; det-par = the same\n    \
+         arena explored and refined at 4 workers; blowup window = 8)"
     );
     println!(
-        "{:>8} {:>8} {:>9} {:>10} {:>13} {:>10} {:>9}",
-        "family", "states", "subsets", "notion", "rep-scan ms", "det ms", "speedup"
+        "{:>8} {:>8} {:>9} {:>10} {:>13} {:>10} {:>12} {:>9}",
+        "family", "states", "subsets", "notion", "rep-scan ms", "det ms", "det-par ms", "speedup"
     );
     let notions = [
         ("language", Equivalence::Language),
@@ -177,22 +179,81 @@ fn det_determinized_classification() {
             let (scan, t_scan) = time_ms(|| scan_session.representative_scan_partition(notion));
             let det_session = EquivSession::for_process(&fsp);
             let (det, t_det) = time_ms(|| det_session.classify_all(notion));
+            let par_session = EquivSession::with_algorithm(
+                fsp.clone(),
+                Algorithm::KanellakisSmolkaParallel { threads: 4 },
+            );
+            let (det_par, t_det_par) = time_ms(|| par_session.classify_all(notion));
             assert_eq!(
                 det.as_ref(),
                 &scan,
                 "determinized engine diverged from the oracle"
             );
+            assert_eq!(
+                det_par, det,
+                "4-worker arena exploration diverged from sequential"
+            );
             println!(
-                "{:>8} {:>8} {:>9} {:>10} {:>13.2} {:>10.2} {:>9.1}",
+                "{:>8} {:>8} {:>9} {:>10} {:>13.2} {:>10.2} {:>12.2} {:>9.1}",
                 "blowup",
                 fsp.num_states(),
                 det_session.subset_arena_size(),
                 name,
                 t_scan,
                 t_det,
+                t_det_par,
                 t_scan / t_det
             );
         }
+    }
+}
+
+fn kobs_one_arena_sweep() {
+    println!(
+        "\n== KOBS: exact ≈k hierarchy sweep — one-arena signature refinement vs per-pair BFS =="
+    );
+    println!(
+        "   (sweep k = 1..=4 on the ≈k strictness ladder; rep-bfs = per-pair synchronized-BFS\n    \
+         oracle re-run per level; one-arena = one shared subset arena, one signature\n    \
+         refinement per level through a warm EquivSession)"
+    );
+    println!(
+        "{:>8} {:>8} {:>9} {:>7} {:>12} {:>13} {:>9}",
+        "family", "states", "subsets", "levels", "rep-bfs ms", "one-arena ms", "speedup"
+    );
+    const K: usize = 4;
+    let module = families::kobs_ladder_module_size(K);
+    for &copies in &[2usize, 5, 12] {
+        let fsp = families::kobs_ladder(copies * module, K);
+        let (oracle, t_bfs) = time_ms(|| {
+            (1..=K)
+                .map(|k| kobs::kobs_partition(&fsp, k))
+                .collect::<Vec<_>>()
+        });
+        let session = EquivSession::for_process(&fsp);
+        let (arena, t_arena) = time_ms(|| {
+            (1..=K)
+                .map(|k| session.classify_all(Equivalence::KObservational(k)))
+                .collect::<Vec<_>>()
+        });
+        for (k, (expected, got)) in oracle.iter().zip(&arena).enumerate() {
+            assert_eq!(
+                got.as_ref(),
+                expected,
+                "one-arena ≈{} diverged from the per-pair oracle",
+                k + 1
+            );
+        }
+        println!(
+            "{:>8} {:>8} {:>9} {:>7} {:>12.2} {:>13.2} {:>9.1}",
+            "ladder",
+            fsp.num_states(),
+            session.subset_arena_size(),
+            K,
+            t_bfs,
+            t_arena,
+            t_bfs / t_arena
+        );
     }
 }
 
@@ -395,6 +456,11 @@ const TABLES: &[(&str, &str, fn())] = &[
         "det",
         "PSPACE-notion classification: subset arena vs representative scan",
         det_determinized_classification,
+    ),
+    (
+        "kobs",
+        "exact ≈k sweep: one-arena refinement vs per-pair BFS",
+        kobs_one_arena_sweep,
     ),
     (
         "mem",

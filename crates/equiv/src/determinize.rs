@@ -57,7 +57,7 @@ use std::collections::HashMap;
 
 use ccs_fsp::saturate::SaturatedView;
 use ccs_fsp::{ActionId, Fsp, StateId};
-use ccs_partition::{solve, Algorithm, Dfa, Partition};
+use ccs_partition::{par, solve, Algorithm, Dfa, Partition};
 
 use crate::check::Equivalence;
 use crate::compact::{narrow, subset_fingerprint};
@@ -131,6 +131,22 @@ impl SubsetRepr {
             SubsetRepr::Sparse
         }
     }
+}
+
+/// Result of one speculative `(subset, action)` frontier task, computed by a
+/// worker of the sharded exploration against the frozen round-start arena.
+enum StepResult {
+    /// The slot was already filled by an earlier lazy step — nothing to do.
+    Done,
+    /// The action is not weakly enabled: the transition is dead.
+    Dead,
+    /// A computed successor: its ε-closed sorted member set, fingerprint,
+    /// and the enabled-action set interning needs if the subset is new.
+    Target {
+        members: Vec<u32>,
+        fp: u64,
+        enabled: Vec<u32>,
+    },
 }
 
 /// The member storage behind the arena — see [`SubsetRepr`].
@@ -312,6 +328,10 @@ pub struct SubsetAutomaton {
     /// annotations never need the process again.
     state_accepting: Vec<bool>,
     steps_computed: usize,
+    /// Number of `delta` slots still holding [`UNEXPLORED`], maintained by
+    /// interning and stepping — makes the completeness check of
+    /// [`SubsetAutomaton::transition_table`] `O(1)` instead of a table scan.
+    unexplored_slots: usize,
 }
 
 impl SubsetAutomaton {
@@ -350,6 +370,7 @@ impl SubsetAutomaton {
             start_ids: vec![UNEXPLORED; fsp.num_states()],
             state_accepting: fsp.state_ids().map(|s| fsp.is_accepting(s)).collect(),
             steps_computed: 0,
+            unexplored_slots: 0,
         };
         let dead = auto.intern_new(subset_fingerprint(&[]), &[], &[]);
         debug_assert_eq!(dead, Self::DEAD);
@@ -357,6 +378,7 @@ impl SubsetAutomaton {
         for a in 0..auto.num_actions {
             auto.delta[Self::DEAD as usize * auto.num_actions + a] = Self::DEAD;
         }
+        auto.unexplored_slots -= auto.num_actions;
         auto
     }
 
@@ -460,6 +482,7 @@ impl SubsetAutomaton {
         self.refusal_class.push(REFUSAL_UNSET);
         self.delta
             .extend(std::iter::repeat(UNEXPLORED).take(self.num_actions));
+        self.unexplored_slots += self.num_actions;
         match self.intern.entry(fp) {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(id);
@@ -539,6 +562,7 @@ impl SubsetAutomaton {
             self.intern_subset(view, &members)
         };
         self.delta[slot] = target;
+        self.unexplored_slots -= 1;
         target
     }
 
@@ -578,6 +602,136 @@ impl SubsetAutomaton {
         }
     }
 
+    /// [`SubsetAutomaton::explore`] sharded across `threads` scoped workers,
+    /// gated by the shared sequential-fallback knob: ground sets below
+    /// [`par::sequential_threshold`] states (`CCS_PAR_THRESHOLD`, default
+    /// [`par::DEFAULT_SEQUENTIAL_THRESHOLD`]) run the sequential loop
+    /// outright, where per-round coordination would dominate.
+    ///
+    /// Deterministic: for every thread count the resulting arena is
+    /// **byte-identical** to the sequential build — same subset ids in the
+    /// same intern order, same delta table, same spill lists (the root
+    /// `arena_determinism` suite enforces this at 1/2/8 threads).
+    pub fn explore_with(&mut self, view: &SaturatedView, threads: usize) {
+        self.explore_with_threshold(view, threads, par::sequential_threshold());
+    }
+
+    /// [`SubsetAutomaton::explore_with`] with an explicit sequential-fallback
+    /// threshold on the ground-set size (pass `0` to force the sharded
+    /// rounds, as the determinism suite does).
+    ///
+    /// Exploration proceeds in frontier *rounds*: every subset interned
+    /// before the round starts but not yet expanded contributes one task per
+    /// action.  Workers compute successor member sets (ε-closed unions over
+    /// the frozen [`SaturatedView`]), fingerprints, and speculative
+    /// enabled-sets against the round-start arena — which is immutable for
+    /// the whole round — into thread-local buffers; the merge barrier then
+    /// interns the results **in task order**, which is exactly the order the
+    /// sequential loop computes them in, so id assignment (and every
+    /// downstream artifact) cannot depend on the thread count.
+    pub fn explore_with_threshold(
+        &mut self,
+        view: &SaturatedView,
+        threads: usize,
+        threshold: usize,
+    ) {
+        if threads <= 1 || self.state_accepting.len() < threshold {
+            self.explore(view);
+            return;
+        }
+        let mut next: SubsetId = 0;
+        while (next as usize) < self.num_subsets() {
+            let round_end: SubsetId = narrow(self.num_subsets());
+            let num_tasks = (round_end - next) as usize * self.num_actions;
+            let results = {
+                let frozen = &*self;
+                par::sharded_map_with(num_tasks, threads, Vec::new, |buf, t| {
+                    frozen.frontier_task(
+                        view,
+                        next + narrow(t / frozen.num_actions),
+                        t % frozen.num_actions,
+                        buf,
+                    )
+                })
+            };
+            for (t, result) in results.into_iter().enumerate() {
+                self.merge_step(
+                    next + narrow(t / self.num_actions),
+                    t % self.num_actions,
+                    result,
+                );
+            }
+            next = round_end;
+        }
+    }
+
+    /// One speculative frontier step, computed by a worker against the
+    /// frozen round-start arena: a pure function of `(id, action)` and the
+    /// view, so any worker may run it in any order.  `buf` is the worker's
+    /// reusable member-union buffer.
+    fn frontier_task(
+        &self,
+        view: &SaturatedView,
+        id: SubsetId,
+        action: usize,
+        buf: &mut Vec<u32>,
+    ) -> StepResult {
+        if self.delta[id as usize * self.num_actions + action] != UNEXPLORED {
+            return StepResult::Done;
+        }
+        if self.enabled(id).binary_search(&narrow(action)).is_err() {
+            return StepResult::Dead;
+        }
+        buf.clear();
+        for x in self.store.iter(id) {
+            buf.extend(
+                view.successors(
+                    StateId::from_index(x as usize),
+                    ActionId::from_index(action),
+                )
+                .iter()
+                .map(|s| narrow(s.index())),
+            );
+        }
+        buf.sort_unstable();
+        buf.dedup();
+        let members = buf.clone();
+        let fp = subset_fingerprint(&members);
+        // Speculative: only consulted if the merge finds the subset is new,
+        // but computing it here keeps the merge barrier allocation-free.
+        let enabled = self.enabled_of(view, &members);
+        StepResult::Target {
+            members,
+            fp,
+            enabled,
+        }
+    }
+
+    /// Applies one task's result at the merge barrier — replaying exactly
+    /// what the sequential [`SubsetAutomaton::step`] would have done at this
+    /// point of the exploration order.  Duplicate targets discovered by
+    /// several tasks of one round resolve through [`SubsetAutomaton::lookup`]
+    /// to the id the earliest task interned.
+    fn merge_step(&mut self, id: SubsetId, action: usize, result: StepResult) {
+        let target = match result {
+            StepResult::Done => return,
+            StepResult::Dead => Self::DEAD,
+            StepResult::Target {
+                members,
+                fp,
+                enabled,
+            } => match self.lookup(fp, &members) {
+                Some(t) => t,
+                None => self.intern_new(fp, &members, &enabled),
+            },
+        };
+        let slot = id as usize * self.num_actions + action;
+        debug_assert_eq!(self.delta[slot], UNEXPLORED);
+        self.steps_computed += 1;
+        self.delta[slot] = target;
+        self.unexplored_slots -= 1;
+    }
+
     /// The fully-explored dense transition table (row-major, `|Σ|` columns)
     /// — compact 32-bit targets, exactly what
     /// [`Dfa::from_subset_automaton`] adopts.
@@ -588,10 +742,11 @@ impl SubsetAutomaton {
     /// [`SubsetAutomaton::explore`] first.
     #[must_use]
     pub fn transition_table(&self) -> &[u32] {
-        assert!(
-            !self.delta.contains(&UNEXPLORED),
+        assert_eq!(
+            self.unexplored_slots, 0,
             "transition table not fully explored"
         );
+        debug_assert!(!self.delta.contains(&UNEXPLORED));
         &self.delta
     }
 
@@ -614,6 +769,43 @@ impl SubsetAutomaton {
                 })
                 .collect(),
         }
+    }
+
+    /// The per-subset `≈ₖ` signature classes over a level-`k` state
+    /// partition: two subsets share a class iff their members hit the same
+    /// set of `prev`-blocks.  One linear pass over the arena with a reused
+    /// scratch buffer; this is the multi-class output function the one-arena
+    /// `≈ₖ₊₁` refinement ([`kobs`](crate::kobs)) feeds to
+    /// [`Dfa::from_subset_automaton`], replacing the per-pair class-set
+    /// comparisons of the synchronized-BFS path.
+    ///
+    /// `prev` must partition the arena's original ground set (its states are
+    /// the subset members).
+    #[must_use]
+    pub fn kobs_signatures(&self, prev: &Partition) -> Vec<u32> {
+        let mut intern: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut out = Vec::with_capacity(self.num_subsets());
+        let mut scratch: Vec<u32> = Vec::new();
+        for id in 0..self.num_subsets {
+            scratch.clear();
+            scratch.extend(
+                self.store
+                    .iter(id)
+                    .map(|m| narrow(prev.block_of(m as usize))),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            let fresh = narrow(intern.len());
+            let class = match intern.get(scratch.as_slice()) {
+                Some(&c) => c,
+                None => {
+                    intern.insert(scratch.clone(), fresh);
+                    fresh
+                }
+            };
+            out.push(class);
+        }
+        out
     }
 
     /// Whether two subsets are immediately distinguished by the notion's
@@ -653,10 +845,24 @@ pub fn determinized_partition(
     num_states: usize,
     algorithm: Algorithm,
 ) -> Partition {
+    determinized_partition_with(auto, view, notion, num_states, algorithm, 1)
+}
+
+/// [`determinized_partition`] with the exploration sharded across `threads`
+/// workers ([`SubsetAutomaton::explore_with`]); the arena — and therefore
+/// the partition — is identical at any thread count.
+pub fn determinized_partition_with(
+    auto: &mut SubsetAutomaton,
+    view: &SaturatedView,
+    notion: DetNotion,
+    num_states: usize,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Partition {
     let starts: Vec<SubsetId> = (0..num_states)
         .map(|s| auto.start(view, StateId::from_index(s)))
         .collect();
-    auto.explore(view);
+    auto.explore_with(view, threads);
     let classes = auto.classes(view, notion);
     let dfa = Dfa::from_subset_automaton(
         auto.num_actions(),
@@ -1047,5 +1253,108 @@ mod tests {
         );
         assert_eq!(DetNotion::of(Equivalence::Strong), None);
         assert_eq!(DetNotion::of(Equivalence::KObservational(1)), None);
+    }
+
+    /// The parallel frontier rounds must reproduce the sequential arena
+    /// byte-for-byte at any thread count, including when lazy steps already
+    /// filled part of the table before exploration starts.
+    #[test]
+    fn parallel_explore_builds_the_sequential_arena() {
+        let f = format::parse(
+            "trans p tau q\ntrans q a r\ntrans r tau p\ntrans s a t\ntrans s tau s\n\
+             trans t b p\ntrans q b s\ntrans u a v\ntrans u a w\ntrans v b x\ntrans w c y\n\
+             accept r t u v w x y",
+        )
+        .unwrap();
+        let closure = tau_closure(&f);
+        let view = SaturatedView::build(&f, &closure);
+        let mut sequential = SubsetAutomaton::new(&f);
+        for s in f.state_ids() {
+            sequential.start(&view, s);
+        }
+        sequential.explore(&view);
+        for threads in [1, 2, 8] {
+            let mut parallel = SubsetAutomaton::new(&f);
+            for s in f.state_ids() {
+                parallel.start(&view, s);
+            }
+            // A few lazy steps first, so rounds see pre-filled slots.
+            let s0 = parallel.start(&view, f.start());
+            for a in f.action_ids().take(2) {
+                parallel.step(&view, s0, a);
+            }
+            parallel.explore_with_threshold(&view, threads, 0);
+            assert_eq!(
+                parallel.num_subsets(),
+                sequential.num_subsets(),
+                "{threads}"
+            );
+            assert_eq!(
+                parallel.transition_table(),
+                sequential.transition_table(),
+                "{threads} threads"
+            );
+            assert_eq!(parallel.steps_computed(), sequential.steps_computed());
+            for id in 0..narrow(sequential.num_subsets()) {
+                assert_eq!(parallel.subset(id), sequential.subset(id), "subset {id}");
+                assert_eq!(parallel.enabled(id), sequential.enabled(id), "enabled {id}");
+                assert_eq!(parallel.is_accepting(id), sequential.is_accepting(id));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not fully explored")]
+    fn transition_table_panics_until_explored() {
+        let f = format::parse("trans p a q\naccept q").unwrap();
+        let (mut auto, view) = arena(&f);
+        auto.start(&view, f.start());
+        let _ = auto.transition_table();
+    }
+
+    #[test]
+    fn unexplored_counter_tracks_lazy_steps() {
+        let f = format::parse("trans p a q\ntrans q b p\naccept p q").unwrap();
+        let (mut auto, view) = arena(&f);
+        for s in f.state_ids() {
+            auto.start(&view, s);
+        }
+        auto.explore(&view);
+        // O(1) completeness check passes and the table is genuinely dense.
+        let table = auto.transition_table();
+        assert_eq!(table.len(), auto.num_subsets() * auto.num_actions());
+    }
+
+    #[test]
+    fn kobs_signatures_group_subsets_by_hit_classes() {
+        let f = format::parse("trans p a q\ntrans r a s\ntrans t tau q\naccept q s").unwrap();
+        let (mut auto, view) = arena(&f);
+        for s in f.state_ids() {
+            auto.start(&view, s);
+        }
+        auto.explore(&view);
+        // Level 0: extension-set classes over the original states — two
+        // blocks, the accepting states {q, s} and the plain ones {p, r, t}.
+        let prev = Partition::from_assignment(&crate::strong::extension_assignment(&f));
+        let sigs = auto.kobs_signatures(&prev);
+        assert_eq!(sigs.len(), auto.num_subsets());
+        // {p} and {r} hit only the plain class, {q} and {s} only the
+        // accepting class, and t's closure {t, q} hits both — three distinct
+        // signatures.
+        let p = auto.start(&view, f.state_by_name("p").unwrap());
+        let r = auto.start(&view, f.state_by_name("r").unwrap());
+        let q = auto.start(&view, f.state_by_name("q").unwrap());
+        let s = auto.start(&view, f.state_by_name("s").unwrap());
+        let t = auto.start(&view, f.state_by_name("t").unwrap());
+        assert_eq!(sigs[p as usize], sigs[r as usize]);
+        assert_eq!(sigs[q as usize], sigs[s as usize]);
+        assert_ne!(sigs[p as usize], sigs[q as usize]);
+        assert_ne!(sigs[t as usize], sigs[p as usize]);
+        assert_ne!(sigs[t as usize], sigs[q as usize]);
+        // The dead subset hits no classes at all — its own signature.
+        assert!(sigs
+            .iter()
+            .enumerate()
+            .all(|(id, &c)| id == 0 || c != sigs[0]));
     }
 }

@@ -3,33 +3,54 @@
 //!
 //! Theorem 4.1(b) shows that deciding `p ≈ₖ q` is PSPACE-complete for every
 //! fixed `k ≥ 1`, so — unlike the limit `≈` — no polynomial algorithm is
-//! expected.  The checker here follows the membership argument of the
+//! expected.  Both engines here follow the membership argument of the
 //! theorem: `p ≈ₖ₊₁ q` iff for every string `s ∈ Σ*` the *set of
 //! `≈ₖ`-classes* hit by the `s`-derivatives of `p` equals the set hit by the
-//! `s`-derivatives of `q`.  This is decided by a synchronized subset
-//! construction over weak transitions, comparing class-sets at every
-//! reachable pair of subsets — exponential in the worst case, which is
-//! exactly the behaviour the `k_observational` bench measures.
+//! `s`-derivatives of `q`.
+//!
+//! Two implementations decide this, and the test suite holds them to exact
+//! agreement:
+//!
+//! * **Per-pair synchronized BFS** ([`kobs_partition`], the original path,
+//!   kept as the cross-check oracle): each level groups states by comparing
+//!   every state against one representative per known class, and each
+//!   comparison runs its own synchronized subset construction over weak
+//!   transitions, comparing class-sets at every reachable pair of subsets.
+//!   A level costs `Θ(n · classes)` independent exponential searches.
+//! * **One-arena signature refinement** ([`kobs_partition_arena`], the fast
+//!   path the [`session`](crate::session) layer uses): the `s`-derivatives
+//!   of `p` are exactly the members of `δ*(start(p), s)` in the shared
+//!   [`SubsetAutomaton`](crate::determinize::SubsetAutomaton), so level
+//!   `k+1` is the Myhill–Nerode partition of the subset DFA whose output
+//!   classes are the interned per-subset *class-set signatures* over level
+//!   `k` ([`SubsetAutomaton::kobs_signatures`]).  A whole `k = 1..K` sweep
+//!   costs **one** exploration (parallelizable, see
+//!   [`SubsetAutomaton::explore_with`]) plus one linear signature pass and
+//!   one partition refinement per level — no per-pair searches at all.
 //!
 //! Note that the levels `≈ₖ` are *not* in general a refinement chain for
 //! small `k` (only their limit is characterised by Proposition 2.2.1), so
 //! each level is computed from the previous one without assuming
-//! refinement.
+//! refinement — the signature seed makes no chain assumption either.
 
 use std::collections::{HashSet, VecDeque};
 
 use ccs_fsp::saturate::{tau_closure, SaturatedView};
 use ccs_fsp::{ops, ActionId, Fsp, StateId};
-use ccs_partition::Partition;
+use ccs_partition::{solve, Algorithm, Dfa, Partition};
 
+use crate::determinize::{SubsetAutomaton, SubsetId};
 use crate::language::{closure_of_view, subset_step_view, Subset};
 use crate::strong::extension_assignment;
 
-/// Computes the partition of all states into `≈ₖ`-classes.
+/// Computes the partition of all states into `≈ₖ`-classes with the original
+/// per-pair synchronized-BFS engine — kept as the **oracle** the one-arena
+/// path ([`kobs_partition_arena`]) is checked against.
 ///
 /// Level 0 groups states with equal extension sets; level `k+1` is obtained
 /// from level `k` by the class-set characterisation above.  Worst-case cost
-/// is exponential in the number of states (per Theorem 4.1(b)).
+/// is exponential in the number of states (per Theorem 4.1(b)), paid per
+/// candidate pair per level.
 #[must_use]
 pub fn kobs_partition(fsp: &Fsp, k: usize) -> Partition {
     let closure = tau_closure(fsp);
@@ -39,6 +60,95 @@ pub fn kobs_partition(fsp: &Fsp, k: usize) -> Partition {
         current = refine_level(&view, &current);
     }
     current
+}
+
+/// [`kobs_partition`] on the shared subset arena: one exploration, then one
+/// signature pass + one DFA refinement per level (Paige–Tarjan, sequential
+/// exploration — see [`kobs_partition_arena_with`] for the knobs).
+#[must_use]
+pub fn kobs_partition_arena(fsp: &Fsp, k: usize) -> Partition {
+    kobs_partition_arena_with(fsp, k, Algorithm::PaigeTarjan, 1)
+}
+
+/// The one-arena `≈ₖ` sweep with explicit solver and exploration-thread
+/// knobs: every ε-closure start subset is interned, the arena is explored
+/// **once** (sharded across `threads` workers when past the
+/// `CCS_PAR_THRESHOLD` gate), and each level `1..=k` re-seeds the same
+/// subset DFA with its [`kobs_signatures`](SubsetAutomaton::kobs_signatures)
+/// and refines it.  A state's class is the block of its start subset.
+///
+/// Exponential worst case in the arena size, as Theorem 4.1(b) demands —
+/// but paid once per subset for the whole sweep, not once per pair per
+/// level.  Agreement with the [`kobs_partition`] oracle for `k ∈ 0..=4` is
+/// enforced by the root `arena_determinism` suite.
+#[must_use]
+pub fn kobs_partition_arena_with(
+    fsp: &Fsp,
+    k: usize,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Partition {
+    let mut current = Partition::from_assignment(&extension_assignment(fsp));
+    if k == 0 {
+        return current;
+    }
+    let closure = tau_closure(fsp);
+    let view = SaturatedView::build(fsp, &closure);
+    let mut auto = SubsetAutomaton::new(fsp);
+    let starts: Vec<SubsetId> = fsp.state_ids().map(|s| auto.start(&view, s)).collect();
+    auto.explore_with(&view, threads);
+    // The transition structure is level-independent: build the DFA once and
+    // swap each level's signature classes into it.
+    let mut dfa = Dfa::from_subset_automaton(
+        auto.num_actions(),
+        SubsetAutomaton::DEAD as usize,
+        auto.transition_table(),
+        &auto.kobs_signatures(&current),
+    );
+    for level in 0..k {
+        if level > 0 {
+            dfa.set_classes(&auto.kobs_signatures(&current));
+        }
+        let over_subsets = solve(&dfa.to_instance(), algorithm);
+        let assignment: Vec<usize> = starts
+            .iter()
+            .map(|&s| over_subsets.block_of(s as usize))
+            .collect();
+        current = Partition::from_assignment(&assignment);
+    }
+    current
+}
+
+/// One `≈` level over a session's shared arena: interns the start subsets,
+/// completes the exploration (a no-op after the first level — the arena is
+/// memoized), and refines the signature-seeded subset DFA.  This is the step
+/// [`EquivSession`](crate::session::EquivSession) iterates when it memoizes
+/// the `≈ₖ` hierarchy bottom-up, replacing the per-pair representative scan.
+pub(crate) fn arena_level(
+    auto: &mut SubsetAutomaton,
+    view: &SaturatedView,
+    num_states: usize,
+    prev: &Partition,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Partition {
+    let starts: Vec<SubsetId> = (0..num_states)
+        .map(|s| auto.start(view, StateId::from_index(s)))
+        .collect();
+    auto.explore_with(view, threads);
+    let signatures = auto.kobs_signatures(prev);
+    let dfa = Dfa::from_subset_automaton(
+        auto.num_actions(),
+        SubsetAutomaton::DEAD as usize,
+        auto.transition_table(),
+        &signatures,
+    );
+    let over_subsets = solve(&dfa.to_instance(), algorithm);
+    let assignment: Vec<usize> = starts
+        .iter()
+        .map(|&s| over_subsets.block_of(s as usize))
+        .collect();
+    Partition::from_assignment(&assignment)
 }
 
 /// Tests `p ≈ₖ q` for two states of the same process.
@@ -53,7 +163,8 @@ pub fn kobs_equivalent_states(fsp: &Fsp, p: StateId, q: StateId, k: usize) -> bo
     for _ in 0..k - 1 {
         prev = refine_level(&view, &prev);
     }
-    pair_equivalent(&view, &prev, p, q)
+    let mut scratch = ClassScratch::new(prev.num_blocks());
+    pair_equivalent(&view, &prev, &mut scratch, p, q)
 }
 
 /// Tests whether the start states of two processes are `≈ₖ`-equivalent.
@@ -67,17 +178,18 @@ pub fn kobs_equivalent(left: &Fsp, right: &Fsp, k: usize) -> bool {
 /// Builds level `k+1` from level `k` by grouping states with pairwise-equal
 /// class-set behaviour (the relation is transitive, so comparing against one
 /// representative per group is sound).  All weak moves are slice lookups in
-/// the shared [`SaturatedView`]; this is also the step the
-/// [`session`](crate::session) layer iterates when it memoizes the `≈ₖ`
-/// levels.
+/// the shared [`SaturatedView`].  This is the slow per-pair path, retained
+/// as the oracle; the [`session`](crate::session) layer iterates
+/// [`arena_level`] instead.
 pub(crate) fn refine_level(view: &SaturatedView, prev: &Partition) -> Partition {
     let n = view.num_states();
     let mut assignment = vec![usize::MAX; n];
     let mut representatives: Vec<StateId> = Vec::new();
+    let mut scratch = ClassScratch::new(prev.num_blocks());
     for s in (0..n).map(StateId::from_index) {
         let mut found = None;
         for (class, &rep) in representatives.iter().enumerate() {
-            if pair_equivalent(view, prev, s, rep) {
+            if pair_equivalent(view, prev, &mut scratch, s, rep) {
                 found = Some(class);
                 break;
             }
@@ -94,24 +206,72 @@ pub(crate) fn refine_level(view: &SaturatedView, prev: &Partition) -> Partition 
     Partition::from_assignment(&assignment)
 }
 
-/// The set of `prev`-classes represented in a subset.
-fn class_set(prev: &Partition, subset: &[u32]) -> Vec<usize> {
-    let mut classes: Vec<usize> = subset.iter().map(|&x| prev.block_of(x as usize)).collect();
-    classes.sort_unstable();
-    classes.dedup();
-    classes
+/// Epoch-stamped scratch for class-set comparisons: decides whether two
+/// member lists hit the same set of `prev`-classes without allocating or
+/// sorting a fresh `Vec` per visited subset pair (the solvers'
+/// touched-buffer pattern — bump the epoch instead of clearing).
+struct ClassScratch {
+    /// Stamped with the current epoch for every class the left set hits.
+    left: Vec<u64>,
+    /// Deduplication stamps for the right set's classes.
+    right: Vec<u64>,
+    epoch: u64,
+}
+
+impl ClassScratch {
+    fn new(num_blocks: usize) -> Self {
+        ClassScratch {
+            left: vec![0; num_blocks],
+            right: vec![0; num_blocks],
+            epoch: 0,
+        }
+    }
+
+    /// Whether `xs` and `ys` hit the same set of `prev`-classes: mark the
+    /// left classes, require every right class to be marked, and compare
+    /// distinct counts (right ⊆ left with equal cardinality ⇒ equality).
+    fn class_sets_equal(&mut self, prev: &Partition, xs: &[u32], ys: &[u32]) -> bool {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut in_left = 0usize;
+        for &x in xs {
+            let b = prev.block_of(x as usize);
+            if self.left[b] != epoch {
+                self.left[b] = epoch;
+                in_left += 1;
+            }
+        }
+        let mut in_right = 0usize;
+        for &y in ys {
+            let b = prev.block_of(y as usize);
+            if self.left[b] != epoch {
+                return false;
+            }
+            if self.right[b] != epoch {
+                self.right[b] = epoch;
+                in_right += 1;
+            }
+        }
+        in_left == in_right
+    }
 }
 
 /// Decides whether `p` and `q` are related at the level *above* `prev`:
 /// for every `s ∈ Σ*`, the class-sets of their `s`-derivatives agree.
-fn pair_equivalent(view: &SaturatedView, prev: &Partition, p: StateId, q: StateId) -> bool {
+fn pair_equivalent(
+    view: &SaturatedView,
+    prev: &Partition,
+    scratch: &mut ClassScratch,
+    p: StateId,
+    q: StateId,
+) -> bool {
     let start = (closure_of_view(view, p), closure_of_view(view, q));
     let mut seen: HashSet<(Subset, Subset)> = HashSet::new();
     let mut queue: VecDeque<(Subset, Subset)> = VecDeque::new();
     seen.insert(start.clone());
     queue.push_back(start);
     while let Some((xs, ys)) = queue.pop_front() {
-        if class_set(prev, &xs) != class_set(prev, &ys) {
+        if !scratch.class_sets_equal(prev, &xs, &ys) {
             return false;
         }
         for a in (0..view.num_actions()).map(ActionId::from_index) {
@@ -226,6 +386,39 @@ mod tests {
         // L(s2) = a*, L(s0) = a* as well (prefix-closed, infinite) — so one
         // block at level 1 too.
         assert_eq!(kobs_partition(&f, 1).num_blocks(), 1);
+    }
+
+    /// The one-arena signature engine must agree with the per-pair BFS
+    /// oracle level by level — including on τ-heavy shapes where ε-closures
+    /// fatten the subsets, and at k = 0 where no arena is built at all.
+    #[test]
+    fn arena_sweep_matches_the_pairwise_oracle() {
+        let cases = [
+            "trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\n\
+             trans p a q\ntrans q b r\ntrans q c s\naccept u v w x y p q r s",
+            "trans p tau q\ntrans q a r\ntrans r tau p\ntrans s a t\ntrans s tau s\n\
+             trans t b p\ntrans q b s\naccept r t",
+            "trans s0 a s1\ntrans s1 a s2\ntrans t0 a t1\naccept s0 s1 s2 t0 t1",
+            "trans p a q\naccept q\nstate r",
+        ];
+        for text in cases {
+            let f = format::parse(text).unwrap();
+            for k in 0..=4 {
+                let oracle = kobs_partition(&f, k);
+                assert_eq!(kobs_partition_arena(&f, k), oracle, "k={k}: {text}");
+                // Solver- and thread-count-independent.
+                assert_eq!(
+                    kobs_partition_arena_with(
+                        &f,
+                        k,
+                        Algorithm::KanellakisSmolkaParallel { threads: 2 },
+                        2,
+                    ),
+                    oracle,
+                    "k={k} parallel: {text}"
+                );
+            }
+        }
     }
 
     #[test]

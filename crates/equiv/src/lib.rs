@@ -9,7 +9,7 @@
 //! | strong equivalence `~` | [`strong`] | polynomial, `O(m log n)` (Thm 3.1) | Lemma 3.1 reduction to generalized partitioning |
 //! | observational equivalence `≈` | [`weak`] | polynomial (Thm 4.1a) | τ-saturation + strong equivalence |
 //! | limited observational `≃ₖ`, `≃` | [`limited`] | `≃` = `≈` (Prop 2.2.1) | bounded partition refinement on the saturated process |
-//! | k-observational `≈ₖ` | [`kobs`] | PSPACE-complete for fixed k ≥ 1 (Thm 4.1b) | exact, exponential: synchronized subset construction per level |
+//! | k-observational `≈ₖ` | [`kobs`] | PSPACE-complete for fixed k ≥ 1 (Thm 4.1b) | exact: one shared subset arena + per-level class-set signature refinement (per-pair synchronized BFS kept as oracle) |
 //! | language (NFA) equivalence `≈₁` | [`language`] | PSPACE-complete | shared memoized determinization ([`determinize`]) + one DFA refinement |
 //! | trace equivalence | [`traces`] | (special case of `≈₁`) | same shared subset arena, non-emptiness classes |
 //! | failure equivalence `≡F` | [`failures`] | PSPACE-complete (Thm 5.1) | same shared subset arena, interned ⊆-maximal refusal antichains |
@@ -36,7 +36,11 @@
 //!   classifies the whole state space ([`EquivSession::classify_all`]) from
 //!   that shared state.  See the [`session`] module docs for the
 //!   artifact-sharing graph and the amortized-cost argument
-//!   (Theorem 4.1(a)).
+//!   (Theorem 4.1(a)).  With the parallel solver as the session default,
+//!   the subset-arena exploration behind the PSPACE notions is itself
+//!   sharded across the same thread pool
+//!   ([`determinize::SubsetAutomaton::explore_with`]) with a deterministic
+//!   merge barrier — same arena bytes at any thread count.
 //!
 //! # Quick example
 //!

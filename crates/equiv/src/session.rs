@@ -18,19 +18,25 @@
 //!        │   (memoized subset  (Equivalence, Algorithm)
 //!        │    arena + PairCache)  memoization key
 //!        │      │
-//!  ≈ₖ checkers  product DFA ──► one refinement classifies
-//!               (≡F, traces,    Language/Trace/Failure
-//!                language)
+//!        │  product DFA ──► one refinement classifies
+//!        │      │           Language/Trace/Failure
+//!        │  ≈ₖ signatures ► one refinement per level
 //! ```
 //!
-//! The PSPACE notions (`Language`, `Trace`, `Failure`) run on the shared
-//! [determinization layer](crate::determinize): one memoized, interned
-//! subset automaton per session serves both whole-space classification
-//! (all `n` start subsets determinized into one product DFA, classified by
-//! one partition refinement) and individual pair queries (a
-//! congruence-pruned synchronized search with a persistent pair cache).
-//! The pre-determinization representative scan survives as the
-//! [`EquivSession::representative_scan_partition`] oracle.
+//! The PSPACE notions (`Language`, `Trace`, `Failure`, `KObservational`)
+//! run on the shared [determinization layer](crate::determinize): one
+//! memoized, interned subset automaton per session serves whole-space
+//! classification (all `n` start subsets determinized into one product DFA,
+//! classified by one partition refinement), individual pair queries (a
+//! congruence-pruned synchronized search with a persistent pair cache), and
+//! the `≈ₖ` hierarchy (each level refines the same arena re-seeded with the
+//! previous level's class-set signatures — a whole `k = 1..K` sweep explores
+//! once).  When the session's default algorithm is the parallel solver, the
+//! arena exploration itself is sharded across the same thread pool with a
+//! deterministic merge barrier, so the arena stays byte-identical at any
+//! thread count.  The pre-determinization paths survive as oracles:
+//! [`EquivSession::representative_scan_partition`] for the determinized
+//! notions and [`kobs::kobs_partition`] for the levels.
 //!
 //! The weak transition relation is streamed straight from
 //! [`saturate::weak_edges`](ccs_fsp::saturate::weak_edges) into the
@@ -343,10 +349,13 @@ impl EquivSession {
     /// `n` ε-closure start subsets are determinized into **one** product
     /// DFA over the session's memoized subset arena and classified by **one**
     /// partition refinement — no per-pair subset construction, no
-    /// representative scan.  `KObservational` still grows level by level.
+    /// representative scan.  `KObservational` grows level by level on the
+    /// *same* arena: level `k+1` refines the subset DFA re-seeded with
+    /// level-`k` class-set signatures, so a whole sweep costs one
+    /// exploration plus one linear pass and one refinement per level.
     /// Expect exponential worst-case behaviour in the arena size, exactly
     /// as Theorem 4.1(b)/5.1 demand — but paid once per subset, not once
-    /// per pair.
+    /// per pair (or per pair per level).
     pub fn partition_with(&self, notion: Equivalence, algorithm: Algorithm) -> Arc<Partition> {
         let key = Self::cache_key(notion, algorithm);
         let cell = {
@@ -388,10 +397,25 @@ impl EquivSession {
                     return Partition::from_assignment(&strong::extension_assignment(&self.fsp));
                 }
                 // Walk the levels bottom-up so every one lands in the cache
-                // (and deep levels never recurse more than one step).
+                // (and deep levels never recurse more than one step).  Each
+                // level rides the session's shared subset arena: the
+                // exploration is memoized, so a k = 1..K sweep explores
+                // once and every further level is one signature pass plus
+                // one refinement of the re-seeded subset DFA.
                 let prev = self.partition_with(Equivalence::KObservational(k - 1), algorithm);
                 let view = self.saturated_view();
-                kobs::refine_level(view, &prev)
+                let mut state = self.det.lock().expect("det lock poisoned");
+                let auto = state
+                    .automaton
+                    .get_or_insert_with(|| SubsetAutomaton::new(&self.fsp));
+                kobs::arena_level(
+                    auto,
+                    view,
+                    self.fsp.num_states(),
+                    &prev,
+                    algorithm,
+                    Self::explore_threads(algorithm),
+                )
             }
             Equivalence::Language | Equivalence::Trace | Equivalence::Failure => {
                 let det = DetNotion::of(notion).expect("matched a determinizable notion");
@@ -400,14 +424,28 @@ impl EquivSession {
                 let auto = state
                     .automaton
                     .get_or_insert_with(|| SubsetAutomaton::new(&self.fsp));
-                determinize::determinized_partition(
+                determinize::determinized_partition_with(
                     auto,
                     view,
                     det,
                     self.fsp.num_states(),
                     algorithm,
+                    Self::explore_threads(algorithm),
                 )
             }
+        }
+    }
+
+    /// Worker count for sharded frontier exploration, derived from the
+    /// solver choice: the parallel solver's thread pool doubles as the
+    /// exploration pool (both default through `CCS_THREADS` via
+    /// [`Algorithm::parallel_default`]); any other solver explores
+    /// sequentially.  The arena is byte-identical either way — the knob is
+    /// pure wall-clock.
+    fn explore_threads(algorithm: Algorithm) -> usize {
+        match algorithm {
+            Algorithm::KanellakisSmolkaParallel { threads } => threads,
+            _ => 1,
         }
     }
 

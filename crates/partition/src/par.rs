@@ -90,6 +90,62 @@ pub fn default_threads() -> usize {
         })
 }
 
+/// Runs `f` over every index in `0..num_tasks` across `threads` scoped
+/// workers and returns the results **in index order** — the deterministic
+/// fan-out/merge-barrier primitive the refinement rounds are built on,
+/// exposed for other frozen-snapshot parallel scans (the subset-automaton
+/// frontier exploration in `ccs-equiv` shards through this).
+///
+/// Workers pull indices from a shared atomic cursor, so load balancing is
+/// dynamic, but the output is independent of scheduling as long as `f(i)` is
+/// a pure function of `i` and whatever frozen shared state it reads.  Each
+/// worker owns one scratch value built by `init` and threads it through
+/// every task it runs — the same thread-local reusable-buffer pattern as the
+/// epoch-stamped scan buffers of [`refine`].  With one thread (or fewer than
+/// two tasks) everything runs inline on the caller's thread, with no pool.
+pub fn sharded_map_with<S, T, I, F>(num_tasks: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || num_tasks < 2 {
+        let mut scratch = init();
+        return (0..num_tasks).map(|i| f(&mut scratch, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(num_tasks);
+    slots.resize_with(num_tasks, || None);
+    std::thread::scope(|scope| {
+        let (tx, rx) = channel::<(usize, T)>();
+        for _ in 0..threads.min(num_tasks) {
+            let tx = tx.clone();
+            let (cursor, init, f) = (&cursor, &init, &f);
+            scope.spawn(move || {
+                let mut scratch = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= num_tasks {
+                        return;
+                    }
+                    let out = f(&mut scratch, i);
+                    if tx.send((i, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((i, out)) = rx.recv() {
+            slots[i] = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index was scanned exactly once"))
+        .collect()
+}
+
 /// One extraction of the round's prologue: a snapshot of the active
 /// splitter block `B` and the group id of its still-pending co-fragment.
 /// Compact ids keep the per-task snapshots (and the hit lists flowing back
@@ -512,6 +568,28 @@ mod tests {
             }
             cross_check(&inst);
         }
+    }
+
+    #[test]
+    fn sharded_map_preserves_index_order_and_reuses_scratch() {
+        for threads in [1, 2, 3, 8] {
+            let got = sharded_map_with(
+                100,
+                threads,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1; // per-worker scratch: counts this worker's tasks
+                    i * i
+                },
+            );
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+        assert_eq!(
+            sharded_map_with(0, 4, || (), |(), i| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(sharded_map_with(1, 4, || (), |(), i| i), vec![0]);
     }
 
     #[test]

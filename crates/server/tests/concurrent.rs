@@ -159,6 +159,52 @@ fn one_wave_of_concurrent_pairs_runs_one_refinement() {
     assert!(stats.peak_batch >= 1);
 }
 
+/// The `≈ₖ` hierarchy through the coalescer: a wave of concurrent
+/// `k-observational-2` queries shares one subset arena and runs exactly
+/// one refinement per level (0, 1, 2) — the level memo is single-flight
+/// just like the flat notions.
+#[test]
+fn concurrent_kobs_queries_coalesce_per_level() {
+    // a.(b + c) vs a.b + a.c, all accepting: ≈₁-equivalent (same traces)
+    // but ≈₂ tells the merged branch from the split one.
+    let process = "trans p a q\ntrans q b r\ntrans q c s\n\
+                   trans u a v\ntrans u a w\ntrans v b x\ntrans w c y\n\
+                   accept p q r s u v w x y\n";
+    let handle = spawn_server();
+    let session = {
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.open_fsp(process).unwrap().session
+    };
+
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (barrier, session) = (&barrier, session.as_str());
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                for _ in 0..10 {
+                    assert!(client.pair(session, "k-observational-1", "p", "u").unwrap());
+                    assert!(!client.pair(session, "k-observational-2", "p", "u").unwrap());
+                }
+                let classes = client.classify(session, "k-observational-2").unwrap();
+                assert!(!classes.is_empty());
+            });
+        }
+    });
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.pair_queries, threads * 20);
+    assert_eq!(
+        stats.refinements, 3,
+        "a k = 2 wave must run exactly one refinement per level 0..=2, \
+         sharing the subset arena across threads and levels"
+    );
+}
+
 #[test]
 fn responses_are_byte_identical_across_connections() {
     let handle = spawn_server();

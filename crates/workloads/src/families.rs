@@ -216,6 +216,115 @@ pub fn det_blowup(n: usize, window: usize) -> Fsp {
     b.build().expect("blowup family is non-empty")
 }
 
+/// The number of states one `kobs_ladder` module occupies: a shared
+/// base gadget (4 states) plus 5 states per rung above the first (sum
+/// node, two roots, two τ-companions) and 4 for rung 1.
+#[must_use]
+pub fn kobs_ladder_module_size(k: usize) -> usize {
+    5 * k + 3
+}
+
+/// A strictness ladder for the `≈ₖ` hierarchy (Theorem 4.1(b)'s notion):
+/// `k` rung pairs per module, where the rung-`j` pair agrees at `≈ⱼ` but
+/// separates at `≈ⱼ₊₁` — one rung collapses per level of a `k`-sweep.
+///
+/// Rung 1 is the classic merged/split branch pair `a.(b + c)` vs
+/// `a.b + a.c`: trace-equivalent (`≈₁`) but the `a`-derivative class
+/// *sets* differ at `≈₂`.  Rung `j + 1` nests rung `j`:
+///
+/// ```text
+///   Mⱼ₊₁ = a.(Mⱼ + Sⱼ)        Sⱼ₊₁ = a.Mⱼ + a.Sⱼ
+/// ```
+///
+/// For every string `a·t` with `t ≠ ε` the two sides have literally the
+/// same derivative subsets, and at `s = a` the derivative class sets are
+/// `{[Mⱼ + Sⱼ]}` vs `{[Mⱼ], [Sⱼ]}` — equal at level `j` (where
+/// `Mⱼ ≈ⱼ Sⱼ` makes the sum collapse) and of different cardinality at
+/// level `j + 1` (where `Mⱼ ≉ⱼ₊₁ Sⱼ`).  Subterms are shared, so a module
+/// is `5k + 3` states, not exponential.  Every rung root carries a
+/// two-state τ-cycle companion, so each ε-closure in the subset arena is
+/// a genuine multi-state set rather than a singleton.
+///
+/// The family replicates whole modules to fill `n` states (isomorphic
+/// copies are `≈ₖ`-equivalent at every level, feeding the per-pair
+/// engines many positive checks) and pads the remainder with isolated
+/// accepting states.  All states are accepting, so `≈₀` is a single
+/// class and level 1 is exactly trace equivalence.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < kobs_ladder_module_size(k)`.
+#[must_use]
+pub fn kobs_ladder(n: usize, k: usize) -> Fsp {
+    assert!(k >= 1, "the ladder needs at least one rung");
+    let module = kobs_ladder_module_size(k);
+    assert!(
+        n >= module,
+        "kobs_ladder needs at least {module} states for k = {k}, got {n}"
+    );
+    let mut b = Fsp::builder(&format!("kobs-ladder-{n}-k{k}"));
+    let a = b.action("a");
+    let act_b = b.action("b");
+    let act_c = b.action("c");
+    let mut start = None;
+    for m in 0..n / module {
+        // Shared base gadget: leaves of the rung-1 branch pair.
+        let end = b.state(&format!("m{m}-end"));
+        let leaf_b = b.state(&format!("m{m}-leaf-b"));
+        let leaf_c = b.state(&format!("m{m}-leaf-c"));
+        let leaf_bc = b.state(&format!("m{m}-leaf-bc"));
+        b.add_transition(leaf_b, Label::Act(act_b), end);
+        b.add_transition(leaf_c, Label::Act(act_c), end);
+        b.add_transition(leaf_bc, Label::Act(act_b), end);
+        b.add_transition(leaf_bc, Label::Act(act_c), end);
+        // Rung roots with their a-target lists (what a sum node must copy)
+        // and τ-cycle companions.
+        let mut merged_targets = vec![leaf_bc];
+        let mut split_targets = vec![leaf_b, leaf_c];
+        let mut merged = b.state(&format!("m{m}-r1-merged"));
+        let mut split = b.state(&format!("m{m}-r1-split"));
+        for (root, targets) in [(merged, &merged_targets), (split, &split_targets)] {
+            for &t in targets {
+                b.add_transition(root, Label::Act(a), t);
+            }
+        }
+        for (root, name) in [(merged, "merged"), (split, "split")] {
+            let shadow = b.state(&format!("m{m}-r1-{name}-tau"));
+            b.add_transition(root, Label::Tau, shadow);
+            b.add_transition(shadow, Label::Tau, root);
+        }
+        for j in 2..=k {
+            // sum ≙ Mⱼ₋₁ + Sⱼ₋₁: the union of both roots' observable
+            // out-edges (the τ-companions are behaviourally inert).
+            let sum = b.state(&format!("m{m}-r{j}-sum"));
+            for &t in merged_targets.iter().chain(&split_targets) {
+                b.add_transition(sum, Label::Act(a), t);
+            }
+            let next_merged = b.state(&format!("m{m}-r{j}-merged"));
+            let next_split = b.state(&format!("m{m}-r{j}-split"));
+            b.add_transition(next_merged, Label::Act(a), sum);
+            b.add_transition(next_split, Label::Act(a), merged);
+            b.add_transition(next_split, Label::Act(a), split);
+            for (root, name) in [(next_merged, "merged"), (next_split, "split")] {
+                let shadow = b.state(&format!("m{m}-r{j}-{name}-tau"));
+                b.add_transition(root, Label::Tau, shadow);
+                b.add_transition(shadow, Label::Tau, root);
+            }
+            merged_targets = vec![sum];
+            split_targets = vec![merged, split];
+            merged = next_merged;
+            split = next_split;
+        }
+        start.get_or_insert(merged);
+    }
+    for i in 0..n % module {
+        b.state(&format!("pad{i}"));
+    }
+    b.set_start(start.expect("at least one module"));
+    b.mark_all_accepting();
+    b.build().expect("ladder is non-empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +437,42 @@ mod tests {
             s.subset_arena_size(),
             g.num_states()
         );
+    }
+
+    #[test]
+    fn kobs_ladder_has_exact_size_and_strict_rungs() {
+        let k = 3;
+        let module = kobs_ladder_module_size(k);
+        // One module plus padding, and a two-module instance: exact sizes.
+        let f = kobs_ladder(module + 4, k);
+        assert_eq!(f.num_states(), module + 4);
+        assert_eq!(kobs_ladder(2 * module + 1, k).num_states(), 2 * module + 1);
+        // Rung j agrees at ≈ⱼ and separates at ≈ⱼ₊₁ — the ladder collapses
+        // exactly one rung per level of a k-sweep.
+        for j in 1..=k {
+            let merged = f.state_by_name(&format!("m0-r{j}-merged")).unwrap();
+            let split = f.state_by_name(&format!("m0-r{j}-split")).unwrap();
+            assert!(
+                ccs_equiv::kobs::kobs_equivalent_states(&f, merged, split, j),
+                "rung {j} must agree at level {j}"
+            );
+            assert!(
+                !ccs_equiv::kobs::kobs_equivalent_states(&f, merged, split, j + 1),
+                "rung {j} must separate at level {}",
+                j + 1
+            );
+        }
+        // Isomorphic module copies stay equivalent at every level.
+        let g = kobs_ladder(2 * module, k);
+        let m0 = g.state_by_name("m0-r3-merged").unwrap();
+        let m1 = g.state_by_name("m1-r3-merged").unwrap();
+        for level in 0..=k + 1 {
+            assert!(ccs_equiv::kobs::kobs_equivalent_states(&g, m0, m1, level));
+        }
+        // The τ-companions make rung-root ε-closures genuinely multi-state.
+        let session = ccs_equiv::EquivSession::for_process(&f);
+        let top = f.state_by_name(&format!("m0-r{k}-merged")).unwrap();
+        assert!(session.tau_closure().successors(top).len() > 1);
     }
 
     #[test]
