@@ -1,7 +1,8 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
 //! tables (E7 solver matrix, WP weak-pipeline table, PAR
 //! parallel-refinement table, the DET determinization table, the KOBS
-//! one-arena ≈ₖ-sweep table, and the MEM resident-bytes table).
+//! one-arena ≈ₖ-sweep table, the OTF protocol-corpus table, and the MEM
+//! resident-bytes table).
 //!
 //! The report header stamps the host core count (`host: cores=N …`).  When
 //! the baseline was recorded on a host with a different core count, PAR
@@ -41,6 +42,7 @@ enum Section {
     Par,
     Det,
     Kobs,
+    Otf,
     Mem,
 }
 
@@ -55,7 +57,10 @@ enum Section {
 /// rep-scan det det-par speedup` (timings in columns 4–6, the speedup
 /// derived; 7-token pre-`det-par` baselines still parse); KOBS rows are
 /// `family states subsets levels rep-bfs one-arena speedup` (timings in
-/// columns 4–5, the speedup derived).
+/// columns 4–5, the speedup derived); OTF rows are `family product union
+/// notion verdict otf-subsets full-subsets otf full` (subset counts ride
+/// the ratio check like MEM bytes do — an exploration blow-up fails like a
+/// slowdown — and the two timings close the row).
 /// MEM rows come in two shapes: 5-token session rows `family states subsets
 /// session-bytes arena-bytes` and 4-token CSR rows `family states edges
 /// csr-bytes` — byte counts ride the same ratio check as timings, so a
@@ -76,6 +81,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::Det
             } else if trimmed.contains("KOBS:") {
                 Section::Kobs
+            } else if trimmed.contains("OTF:") {
+                Section::Otf
             } else if trimmed.contains("MEM:") {
                 Section::Mem
             } else {
@@ -133,6 +140,22 @@ fn parse_report(text: &str) -> Rows {
                 let timings = cols
                     .iter()
                     .zip(&tokens[4..6])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Otf
+                if tokens.len() == 9
+                    && tokens[1..3].iter().all(|t| numeric(t))
+                    && !numeric(tokens[3])
+                    && !numeric(tokens[4])
+                    && tokens[5..].iter().all(|t| numeric(t)) =>
+            {
+                let key = format!("otf/{}/{}", tokens[0], tokens[3]);
+                let cols = ["otf-subsets", "full-subsets", "otf", "full"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[5..9])
                     .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
                     .collect();
                 rows.insert(key, timings);
@@ -346,6 +369,11 @@ host: cores=4 CCS_THREADS=unset
   family   states   subsets  levels   rep-bfs ms  one-arena ms   speedup
   ladder      276       265       4        60.00          8.00       7.5
 
+== OTF: on-the-fly equivalence on the protocol corpus — peak explored vs materialized ==
+   (system vs spec per determinizable notion; ...)
+      family   product   union   notion  verdict  otf-subsets  full-subsets    otf ms   full ms
+      abp-c2       864      47    trace       eq           18            95     12.00     40.00
+
 == MEM: resident bytes — honest capacity-based accounting per family ==
    (session = EquivSession::approx_resident_bytes after classify_all; ...)
   family   states   subsets    session B      arena B
@@ -361,7 +389,16 @@ host: cores=4 CCS_THREADS=unset
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(
+            rows["otf/abp-c2/trace"],
+            vec![
+                ("otf-subsets".to_owned(), 18.0),
+                ("full-subsets".to_owned(), 95.0),
+                ("otf".to_owned(), 12.0),
+                ("full".to_owned(), 40.0),
+            ]
+        );
         assert_eq!(
             rows["mem/blowup/256"],
             vec![

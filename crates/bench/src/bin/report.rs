@@ -11,7 +11,7 @@
 //! regenerated without rerunning E7/WP/PAR; bare positional names behave
 //! the same way.
 //!
-//! The E7, WP, PAR, DET and KOBS tables are additionally tracked for
+//! The E7, WP, PAR, DET, KOBS and OTF tables are additionally tracked for
 //! regressions:
 //! the scheduled CI job diffs them against the committed snapshot under
 //! `crates/bench/baselines/` with the `compare_report` binary.
@@ -257,6 +257,75 @@ fn kobs_one_arena_sweep() {
     }
 }
 
+fn otf_protocol_corpus() {
+    println!(
+        "\n== OTF: on-the-fly equivalence on the protocol corpus — peak explored vs materialized =="
+    );
+    println!(
+        "   (system vs spec per determinizable notion; otf = EquivSession::on_the_fly, a\n    \
+         congruence-pruned synchronized BFS stopping at the first distinguishing pair;\n    \
+         full = classify_all forcing the complete determinized partition; subsets = arena\n    \
+         size after the run, the exploration footprint; product = component state-count\n    \
+         product, the bound a compose-everything-first checker faces)"
+    );
+    println!(
+        "{:>12} {:>9} {:>7} {:>8} {:>8} {:>12} {:>13} {:>9} {:>9}",
+        "family",
+        "product",
+        "union",
+        "notion",
+        "verdict",
+        "otf-subsets",
+        "full-subsets",
+        "otf ms",
+        "full ms"
+    );
+    let notions = [
+        ("trace", Equivalence::Trace),
+        ("failure", Equivalence::Failure),
+    ];
+    for protocol in ccs_workloads::protocols::corpus() {
+        let composed = protocol.composed();
+        let union = ccs_fsp::ops::disjoint_union(&composed, &protocol.spec);
+        let (p, q) = ccs_fsp::ops::union_starts(&union, &composed, &protocol.spec);
+        for (name, notion) in notions {
+            let otf_session = EquivSession::for_process(&union.fsp);
+            let (outcome, t_otf) = time_ms(|| {
+                otf_session
+                    .on_the_fly(notion, p, q)
+                    .expect("trace and failure are determinizable")
+            });
+            let full_session = EquivSession::for_process(&union.fsp);
+            let (partition, t_full) = time_ms(|| full_session.classify_all(notion));
+            assert_eq!(
+                outcome.equivalent,
+                partition.same_block(p.index(), q.index()),
+                "on-the-fly diverged from the materialized checker on {}/{name}",
+                protocol.name
+            );
+            let peak = outcome.stats.arena_subsets;
+            let total = full_session.subset_arena_size();
+            assert!(
+                peak <= total,
+                "on-the-fly explored more subsets than full materialization on {}/{name}",
+                protocol.name
+            );
+            println!(
+                "{:>12} {:>9} {:>7} {:>8} {:>8} {:>12} {:>13} {:>9.2} {:>9.2}",
+                protocol.name,
+                protocol.naive_product_states(),
+                union.fsp.num_states(),
+                name,
+                if outcome.equivalent { "eq" } else { "neq" },
+                peak,
+                total,
+                t_otf,
+                t_full
+            );
+        }
+    }
+}
+
 fn mem_resident_footprint() {
     println!("\n== MEM: resident bytes — honest capacity-based accounting per family ==");
     println!(
@@ -461,6 +530,11 @@ const TABLES: &[(&str, &str, fn())] = &[
         "kobs",
         "exact ≈k sweep: one-arena refinement vs per-pair BFS",
         kobs_one_arena_sweep,
+    ),
+    (
+        "otf",
+        "on-the-fly protocol checks: peak explored vs materialized",
+        otf_protocol_corpus,
     ),
     (
         "mem",

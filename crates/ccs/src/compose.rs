@@ -1,0 +1,140 @@
+//! Compositional minimization: quotient parallel components by
+//! observational congruence *before* composing them.
+//!
+//! Building `a | b | c` naively multiplies the component state counts; the
+//! standard way out (and the way every industrial CCS/CSP checker scales) is
+//! to minimize each factor first and to keep minimizing the partial
+//! products, so the composition only ever multiplies *quotient* sizes.  The
+//! rewrite is justified by two facts, both executable here:
+//!
+//! 1. **`P ≈ P/≈`** — quotienting a process by its observational-equivalence
+//!    partition yields a weakly bisimilar process
+//!    ([`ccs_fsp::ops::quotient`]; each state is ≈ its block).
+//! 2. **`≈` is a congruence for `|`** — if `P ≈ P′` and `Q ≈ Q′` then
+//!    `P | Q ≈ P′ | Q′`.  Weak bisimilarity's famous congruence defect is
+//!    specific to summation `+` (the root-τ problem); parallel composition
+//!    composes weak bisimulations pointwise, so substituting a minimized
+//!    factor under `|` is sound.  [`crate::laws::parallel_congruence`]
+//!    checks the instance actually used, every time the test suites run.
+//!
+//! Together: `minimize(P) | minimize(Q) ≈ P | Q`, inductively for any
+//! factor count — which is what [`parallel_minimized`] exploits and what
+//! the protocol corpus (`ccs_workloads::protocols`) is verified with.
+//!
+//! ```
+//! use ccs_expr::compose;
+//! use ccs_fsp::format;
+//!
+//! // A noisy component: τ-stutter and a duplicated branch collapse away.
+//! let noisy = format::parse(
+//!     "trans p tau q\ntrans q a p\ntrans p a q\naccept p q")?;
+//! let small = compose::minimized(&noisy);
+//! assert!(small.num_states() < noisy.num_states());
+//!
+//! // Composing minimized factors is observationally the same as composing
+//! // the originals.
+//! let other = format::parse("trans u a v\ntrans v b u\naccept u v")?;
+//! let full = compose::parallel_composed(&[noisy.clone(), other.clone()]);
+//! let reduced = compose::parallel_minimized(&[noisy, other]);
+//! assert!(ccs_equiv::weak::observationally_equivalent(&reduced, &full));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use ccs_equiv::{EquivSession, Equivalence};
+use ccs_fsp::{ops, Fsp};
+
+/// The observational quotient `P/≈`, restricted to its reachable part: the
+/// smallest process (one state per ≈-class) weakly bisimilar to `fsp`.
+///
+/// One full observational classification of `fsp` is run to obtain the
+/// partition; the quotient itself is linear in the process size.
+#[must_use]
+pub fn minimized(fsp: &Fsp) -> Fsp {
+    let session = EquivSession::new(fsp.clone());
+    let partition = session.classify_all(Equivalence::Observational);
+    let assignment: Vec<usize> = (0..fsp.num_states())
+        .map(|s| partition.block_of(s))
+        .collect();
+    let quotient = ops::quotient(fsp, &assignment, partition.num_blocks());
+    ops::restrict_to_reachable(&quotient).0
+}
+
+/// The plain parallel composition of all components, folded left to right
+/// with [`ccs_fsp::ops::parallel`] (shared actions handshake, the rest
+/// interleaves).  The reference point [`parallel_minimized`] is compared
+/// against.
+///
+/// # Panics
+///
+/// Panics if `components` is empty.
+#[must_use]
+pub fn parallel_composed(components: &[Fsp]) -> Fsp {
+    let (first, rest) = components
+        .split_first()
+        .expect("parallel composition of no components");
+    rest.iter()
+        .fold(first.clone(), |acc, next| ops::parallel(&acc, next))
+}
+
+/// Compositionally minimized parallel composition: every factor is
+/// quotiented by `≈` before it enters the product, and every intermediate
+/// product is quotiented again before the next factor joins.
+///
+/// Observationally equivalent to [`parallel_composed`] of the same
+/// components (see the module docs for why), but the intermediate state
+/// counts — the thing that explodes — stay at quotient size throughout.
+///
+/// # Panics
+///
+/// Panics if `components` is empty.
+#[must_use]
+pub fn parallel_minimized(components: &[Fsp]) -> Fsp {
+    let (first, rest) = components
+        .split_first()
+        .expect("parallel composition of no components");
+    rest.iter().fold(minimized(first), |acc, next| {
+        minimized(&ops::parallel(&acc, &minimized(next)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_fsp::format;
+
+    fn parse(s: &str) -> Fsp {
+        format::parse(s).unwrap()
+    }
+
+    #[test]
+    fn minimized_collapses_tau_cycles() {
+        // A 3-state τ-cycle with one observable exit minimizes hard.
+        let f = parse(
+            "trans p tau q\ntrans q tau r\ntrans r tau p\ntrans p a s\n\
+             trans q a s\ntrans r a s\naccept p q r s",
+        );
+        let m = minimized(&f);
+        assert!(m.num_states() < f.num_states());
+        assert!(ccs_equiv::weak::observationally_equivalent(&m, &f));
+    }
+
+    #[test]
+    fn minimized_is_idempotent_in_size() {
+        let f = parse("trans p tau q\ntrans q a p\ntrans p a q\naccept p q");
+        let once = minimized(&f);
+        let twice = minimized(&once);
+        assert_eq!(once.num_states(), twice.num_states());
+    }
+
+    #[test]
+    fn minimized_composition_agrees_with_plain_composition() {
+        let noisy = parse("trans p tau q\ntrans q a p\ntrans p a q\naccept p q");
+        let relay = parse("trans u a v\ntrans v b u\naccept u v");
+        let gate = parse("trans x b x\naccept x");
+        let components = [noisy, relay, gate];
+        let full = parallel_composed(&components);
+        let reduced = parallel_minimized(&components);
+        assert!(reduced.num_states() <= full.num_states());
+        assert!(ccs_equiv::weak::observationally_equivalent(&reduced, &full));
+    }
+}

@@ -119,6 +119,36 @@ pub fn check(law: Law, r: &StarExpr, s: &StarExpr, t: &StarExpr) -> LawVerdict {
     }
 }
 
+/// The law justifying compositional minimization
+/// ([`crate::compose::parallel_minimized`]), checked on a concrete
+/// instance: **`≈` is a congruence for parallel composition**, so
+/// quotienting the factors first changes nothing observationally —
+///
+/// ```text
+///   minimize(P₁) | … | minimize(Pₙ)  ≈  P₁ | … | Pₙ
+/// ```
+///
+/// Star expressions have no `|` operator (the paper's star syntax is `∅`,
+/// actions, `∪`, `·`, `*`), so unlike the [`Law`] table this law lives at
+/// the FSP level: `P | Q` here is [`ccs_fsp::ops::parallel`] over
+/// representative processes.  Note the contrast with summation: `≈` is
+/// *not* a congruence for `+` (the root-τ problem — `τ.a ≈ a` yet
+/// `τ.a + b ≉ a + b`), which is why the quotient is applied under `|` only.
+///
+/// Returns whether the instance holds; the compositional-minimization path
+/// is sound only while this returns `true` for every input it is used on
+/// (the test suites and the protocol corpus keep it honest).
+///
+/// # Panics
+///
+/// Panics if `components` is empty.
+#[must_use]
+pub fn parallel_congruence(components: &[ccs_fsp::Fsp]) -> bool {
+    let full = crate::compose::parallel_composed(components);
+    let reduced = crate::compose::parallel_minimized(components);
+    ccs_equiv::weak::observationally_equivalent(&reduced, &full)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +206,39 @@ mod tests {
     fn display_is_readable() {
         assert_eq!(Law::LeftDistributive.to_string(), "r.(s + t) = r.s + r.t");
         assert_eq!(Law::ALL.len(), 9);
+    }
+
+    #[test]
+    fn parallel_congruence_holds_on_representative_processes() {
+        // Components built from star expressions (observable), one of them
+        // with genuinely collapsible structure after construction.
+        let comps = [
+            crate::construct::representative(&parse("a.(b + b)*").unwrap()),
+            crate::construct::representative(&parse("b.c").unwrap()),
+        ];
+        assert!(parallel_congruence(&comps));
+    }
+
+    #[test]
+    fn parallel_congruence_holds_with_tau_components() {
+        use ccs_fsp::format;
+        let noisy = format::parse("trans p tau q\ntrans q a p\ntrans p a q\naccept p q").unwrap();
+        let relay = format::parse("trans u a v\ntrans v b u\naccept u v").unwrap();
+        assert!(parallel_congruence(&[noisy, relay]));
+    }
+
+    #[test]
+    fn summation_is_where_the_congruence_fails() {
+        // The root-τ problem: τ.a ≈ a, yet τ.a + b ≉ a + b.  This is the
+        // contrast that makes quotient-under-| sound but quotient-under-+
+        // unsound, so keep it pinned down.
+        use ccs_fsp::{format, ops};
+        let tau_a = format::parse("trans p tau q\ntrans q a r\naccept p q r").unwrap();
+        let just_a = format::parse("trans u a v\naccept u v").unwrap();
+        let b = format::parse("trans x b y\naccept x y").unwrap();
+        assert!(ccs_equiv::weak::observationally_equivalent(&tau_a, &just_a));
+        let left = ops::choice(&tau_a, &b);
+        let right = ops::choice(&just_a, &b);
+        assert!(!ccs_equiv::weak::observationally_equivalent(&left, &right));
     }
 }

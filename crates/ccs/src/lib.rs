@@ -34,12 +34,17 @@
 //! assert!(!ccs_equivalent(&distributed, &factored));
 //! # Ok::<(), ccs_expr::ExprError>(())
 //! ```
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod ast;
+pub mod compose;
 pub mod construct;
 pub mod laws;
 mod parser;

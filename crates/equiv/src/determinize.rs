@@ -809,8 +809,9 @@ impl SubsetAutomaton {
     }
 
     /// Whether two subsets are immediately distinguished by the notion's
-    /// output class (the zero-step test of the synchronized search).
-    fn classes_differ(
+    /// output class (the zero-step test of the synchronized search — also
+    /// the stopping test of the [`onthefly`](crate::onthefly) engine).
+    pub(crate) fn classes_differ(
         &mut self,
         view: &SaturatedView,
         notion: DetNotion,
@@ -896,7 +897,7 @@ pub struct PairCache {
     refuted: std::collections::HashSet<(SubsetId, SubsetId)>,
 }
 
-fn find(parent: &mut [u32], mut x: u32) -> u32 {
+pub(crate) fn find(parent: &mut [u32], mut x: u32) -> u32 {
     while parent[x as usize] != x {
         parent[x as usize] = parent[parent[x as usize] as usize]; // path halving
         x = parent[x as usize];
@@ -905,7 +906,7 @@ fn find(parent: &mut [u32], mut x: u32) -> u32 {
 }
 
 /// Unions two ids; returns `false` if they were already merged.
-fn union(parent: &mut [u32], a: u32, b: u32) -> bool {
+pub(crate) fn union(parent: &mut [u32], a: u32, b: u32) -> bool {
     let (ra, rb) = (find(parent, a), find(parent, b));
     if ra == rb {
         return false;
@@ -1012,6 +1013,31 @@ impl PairCache {
         }
         self.proven = uf;
         true
+    }
+
+    // --- hooks for the on-the-fly engine (crate::onthefly) ----------------
+    //
+    // The witness-producing search clones the committed congruence, prunes
+    // against it speculatively exactly like `equivalent`, and feeds its
+    // outcome back through these: the cache stays the single source of
+    // session-level pair knowledge whichever engine ran the search.
+
+    /// A speculative copy of the proven congruence, grown to `n` ids.
+    pub(crate) fn speculative(&mut self, n: usize) -> Vec<u32> {
+        Self::grow(&mut self.proven, n);
+        self.proven.clone()
+    }
+
+    /// Commits a speculative congruence produced by a successful search.
+    pub(crate) fn commit(&mut self, uf: Vec<u32>) {
+        debug_assert!(uf.len() >= self.proven.len());
+        self.proven = uf;
+    }
+
+    /// Memoizes a refuted pair (the on-the-fly engine records the whole
+    /// provenance chain of a witness, one call per ancestor).
+    pub(crate) fn record_refuted(&mut self, a: SubsetId, b: SubsetId) {
+        self.refuted.insert(canon(a, b));
     }
 }
 

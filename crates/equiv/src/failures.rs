@@ -80,7 +80,7 @@ pub(crate) fn maximal_refusals(view: &SaturatedView, subset: &[u32]) -> Vec<Vec<
     maximal
 }
 
-fn name_set(fsp: &Fsp, actions: &[u32]) -> Vec<String> {
+pub(crate) fn name_set(fsp: &Fsp, actions: &[u32]) -> Vec<String> {
     actions
         .iter()
         .map(|&a| {
@@ -92,7 +92,7 @@ fn name_set(fsp: &Fsp, actions: &[u32]) -> Vec<String> {
 
 /// Picks a refusal set present in the downward closure of `left` antichain
 /// but not of `right` (both given as antichains of maximal refusals).
-fn distinguishing_refusal(left: &[Vec<u32>], right: &[Vec<u32>]) -> Option<Vec<u32>> {
+pub(crate) fn distinguishing_refusal(left: &[Vec<u32>], right: &[Vec<u32>]) -> Option<Vec<u32>> {
     let is_subset = |a: &[u32], b: &[u32]| a.iter().all(|x| b.contains(x));
     left.iter()
         .find(|l| !right.iter().any(|r| is_subset(l, r)))

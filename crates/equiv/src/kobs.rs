@@ -20,7 +20,7 @@
 //! * **One-arena signature refinement** ([`kobs_partition_arena`], the fast
 //!   path the [`session`](crate::session) layer uses): the `s`-derivatives
 //!   of `p` are exactly the members of `δ*(start(p), s)` in the shared
-//!   [`SubsetAutomaton`](crate::determinize::SubsetAutomaton), so level
+//!   [`SubsetAutomaton`], so level
 //!   `k+1` is the Myhill–Nerode partition of the subset DFA whose output
 //!   classes are the interned per-subset *class-set signatures* over level
 //!   `k` ([`SubsetAutomaton::kobs_signatures`]).  A whole `k = 1..K` sweep

@@ -14,6 +14,7 @@
 //! | trace equivalence | [`traces`] | (special case of `≈₁`) | same shared subset arena, non-emptiness classes |
 //! | failure equivalence `≡F` | [`failures`] | PSPACE-complete (Thm 5.1) | same shared subset arena, interned ⊆-maximal refusal antichains |
 //! | deterministic fast paths | [`deterministic`] | everything collapses (Prop 2.2.4) | UNION-FIND DFA equivalence |
+//! | on-the-fly pair checks (language/trace/failure) | [`onthefly`] | "decide, don't build everything" | lazy synchronized BFS over the shared subset arena, first-witness stop |
 //!
 //! Non-equivalent states can be explained: [`witness`] produces
 //! Hennessy–Milner-style distinguishing formulas for strong/observational
@@ -58,6 +59,10 @@
 //! assert!(!Query::new(Equivalence::Strong).between(&left, &right)?);
 //! # Ok::<(), ccs_equiv::EquivError>(())
 //! ```
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -75,6 +80,7 @@ pub mod failures;
 pub mod kobs;
 pub mod language;
 pub mod limited;
+pub mod onthefly;
 pub mod query;
 pub mod relation;
 pub mod session;

@@ -91,6 +91,7 @@ use ccs_partition::{solve, Algorithm, GraphBuilder, Instance, Partition};
 use crate::check::Equivalence;
 use crate::determinize::{self, DetNotion, PairCache, SubsetAutomaton};
 use crate::limited::{self, LimitedHierarchy};
+use crate::EquivError;
 use crate::{failures, kobs, language, strong, traces};
 
 /// One single-flight slot of the partition memo: racing queries for the
@@ -527,6 +528,50 @@ impl EquivSession {
         let cache = pair_caches.entry(notion).or_default();
         let (left, right) = (auto.start(view, p), auto.start(view, q));
         cache.equivalent(auto, view, notion, left, right)
+    }
+
+    /// On-the-fly pair check with witness and exploration stats: the
+    /// [`onthefly`](crate::onthefly) BFS worklist over the session's shared
+    /// subset arena and [`PairCache`], stopping at the first distinguishing
+    /// pair and reconstructing its trace.
+    ///
+    /// The verdict always agrees with [`EquivSession::equivalent_states`];
+    /// what this entry point adds is the replayable
+    /// [`OtfWitness`](crate::onthefly::OtfWitness) on refutation and the
+    /// [`OtfStats`](crate::onthefly::OtfStats) counters, without forcing
+    /// the full determinized partition.  Everything the search learns —
+    /// arena subsets, lazy transitions, proven/refuted pairs — lands in the
+    /// session caches and accelerates later queries of any kind.
+    ///
+    /// # Errors
+    ///
+    /// [`EquivError::ModelMismatch`] if `notion` has no determinizable face
+    /// ([`DetNotion::of`]): the engine covers `language`, `trace` and
+    /// `failure`; the branching-time notions need the refinement path.
+    pub fn on_the_fly(
+        &self,
+        notion: Equivalence,
+        p: StateId,
+        q: StateId,
+    ) -> Result<crate::onthefly::OtfOutcome, EquivError> {
+        let det = DetNotion::of(notion).ok_or_else(|| EquivError::ModelMismatch {
+            expected: format!(
+                "a determinizable notion (language, trace, failure) for the \
+                 on-the-fly engine; {notion} is decided by partition refinement"
+            ),
+        })?;
+        let view = self.saturated_view();
+        let mut state = self.det.lock().expect("det lock poisoned");
+        let DetState {
+            automaton,
+            pair_caches,
+        } = &mut *state;
+        let auto = automaton.get_or_insert_with(|| SubsetAutomaton::new(&self.fsp));
+        let cache = pair_caches.entry(det).or_default();
+        let (left, right) = (auto.start(view, p), auto.start(view, q));
+        Ok(crate::onthefly::search(
+            &self.fsp, auto, view, cache, det, left, right,
+        ))
     }
 
     /// Tests whether two states are related by `notion`.

@@ -57,6 +57,10 @@
 //!   reduce observational equivalence to strong equivalence (Theorem 4.1(a)).
 //! * [`mod@format`] — a plain-text interchange format with parser and printer.
 //! * [`dot`] — Graphviz export for visual inspection.
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

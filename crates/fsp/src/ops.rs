@@ -429,6 +429,262 @@ pub fn synchronous_product(left: &Fsp, right: &Fsp) -> Result<Fsp, FspError> {
     ))
 }
 
+/// Parallel composition `P | Q` over the shared alphabet: actions named in
+/// **both** alphabets are handshakes (the composite moves on `a` exactly when
+/// both components do), while τ-moves and actions private to one component
+/// interleave freely.
+///
+/// This is the CSP-style composition used by the distributed-protocol corpus
+/// (`ccs_workloads::protocols`): a channel process shares its `put`/`get`
+/// actions with exactly one producer and one consumer, so a chain
+/// `sender | channel | receiver` rendezvouses pairwise.  A composite state
+/// carries a variable iff both components do ("accepting iff both
+/// accepting"), matching [`synchronous_product`]; only the reachable part is
+/// constructed.
+///
+/// Unlike [`synchronous_product`] the operands may have τ-transitions — the
+/// whole point is to feed the result to the *weak* checkers after [`hide`].
+#[must_use]
+pub fn parallel(left: &Fsp, right: &Fsp) -> Fsp {
+    let mut actions = Interner::new();
+    let left_actions = remap_labels(left, &mut actions);
+    let right_actions = remap_labels(right, &mut actions);
+    let mut vars = Interner::new();
+    let left_vars = remap_vars(left, &mut vars);
+
+    let mut states: Vec<StateData> = Vec::new();
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: Vec<(StateId, StateId)> = Vec::new();
+
+    let get_or_create = |pair: (StateId, StateId),
+                         states: &mut Vec<StateData>,
+                         queue: &mut Vec<(StateId, StateId)>,
+                         index: &mut HashMap<(StateId, StateId), StateId>| {
+        if let Some(&id) = index.get(&pair) {
+            return id;
+        }
+        let id = StateId::from_index(states.len());
+        states.push(StateData {
+            name: Some(format!(
+                "({},{})",
+                left.state_label(pair.0),
+                right.state_label(pair.1)
+            )),
+            extensions: BTreeSet::new(),
+            transitions: Vec::new(),
+        });
+        index.insert(pair, id);
+        queue.push(pair);
+        id
+    };
+
+    get_or_create(
+        (left.start(), right.start()),
+        &mut states,
+        &mut queue,
+        &mut index,
+    );
+    let mut head = 0;
+    while head < queue.len() {
+        let (lp, rp) = queue[head];
+        head += 1;
+        let id = index[&(lp, rp)];
+        let mut exts = BTreeSet::new();
+        for v in left.extensions(lp) {
+            let name = left.var_name(*v);
+            if right
+                .extensions(rp)
+                .iter()
+                .any(|rv| right.var_name(*rv) == name)
+            {
+                exts.insert(left_vars[v.index()]);
+            }
+        }
+        let mut transitions = Vec::new();
+        for lt in left.transitions(lp) {
+            match lt.label {
+                Label::Tau => {
+                    let target =
+                        get_or_create((lt.target, rp), &mut states, &mut queue, &mut index);
+                    transitions.push(Transition {
+                        label: Label::Tau,
+                        target,
+                    });
+                }
+                Label::Act(la) => {
+                    let name = left.action_name(la);
+                    if let Some(ra) = right.action_id(name) {
+                        // Shared action: handshake with every matching right
+                        // move (none ⇒ the composite blocks on it here).
+                        for rt in right.transitions(rp) {
+                            if rt.label == Label::Act(ra) {
+                                let target = get_or_create(
+                                    (lt.target, rt.target),
+                                    &mut states,
+                                    &mut queue,
+                                    &mut index,
+                                );
+                                transitions.push(Transition {
+                                    label: left_actions[la.index()],
+                                    target,
+                                });
+                            }
+                        }
+                    } else {
+                        let target =
+                            get_or_create((lt.target, rp), &mut states, &mut queue, &mut index);
+                        transitions.push(Transition {
+                            label: left_actions[la.index()],
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        for rt in right.transitions(rp) {
+            match rt.label {
+                Label::Tau => {
+                    let target =
+                        get_or_create((lp, rt.target), &mut states, &mut queue, &mut index);
+                    transitions.push(Transition {
+                        label: Label::Tau,
+                        target,
+                    });
+                }
+                Label::Act(ra) => {
+                    // Shared actions were already paired from the left side.
+                    if left.action_id(right.action_name(ra)).is_none() {
+                        let target =
+                            get_or_create((lp, rt.target), &mut states, &mut queue, &mut index);
+                        transitions.push(Transition {
+                            label: right_actions[ra.index()],
+                            target,
+                        });
+                    }
+                }
+            }
+        }
+        states[id.index()].extensions = exts;
+        states[id.index()].transitions = transitions;
+    }
+    Fsp::from_parts(
+        format!("{}|{}", left.name(), right.name()),
+        StateId::from_index(0),
+        states,
+        actions,
+        vars,
+    )
+}
+
+/// Quotients a process by a block assignment (`assignment[s]` is the block
+/// of state `s`, blocks numbered `0..num_blocks`): one state per block,
+/// transitions the union of the members' transitions mapped blockwise (and
+/// deduplicated), extensions taken from the first member of each block.
+///
+/// The caller is responsible for the assignment being a *bisimulation*
+/// equivalence for the notion it cares about — for blocks computed by the
+/// observational-equivalence checker the quotient is weakly bisimilar to
+/// the original (each state is ≈ its block), which is what compositional
+/// minimization (`ccs_expr::compose`) relies on.  Blocks of such partitions
+/// always agree on extension sets, so taking the first member's is exact.
+///
+/// # Panics
+///
+/// Panics if `assignment` does not cover every state or names a block
+/// `≥ num_blocks`.
+#[must_use]
+pub fn quotient(fsp: &Fsp, assignment: &[usize], num_blocks: usize) -> Fsp {
+    assert_eq!(
+        assignment.len(),
+        fsp.num_states(),
+        "assignment covers all states"
+    );
+    let mut representative: Vec<Option<StateId>> = vec![None; num_blocks];
+    for p in fsp.state_ids() {
+        let b = assignment[p.index()];
+        assert!(b < num_blocks, "block id out of range");
+        representative[b].get_or_insert(p);
+    }
+    let states: Vec<StateData> = representative
+        .iter()
+        .enumerate()
+        .map(|(b, rep)| {
+            let rep = rep.unwrap_or_else(|| panic!("block {b} has no members"));
+            let mut transitions: Vec<Transition> = fsp
+                .state_ids()
+                .filter(|p| assignment[p.index()] == b)
+                .flat_map(|p| fsp.transitions(p).iter())
+                .map(|t| Transition {
+                    label: t.label,
+                    target: StateId::from_index(assignment[t.target.index()]),
+                })
+                .collect();
+            transitions.sort_unstable_by_key(|t| (t.label, t.target));
+            transitions.dedup();
+            StateData {
+                name: fsp.state_name(rep).map(|n| format!("[{n}]")),
+                extensions: fsp.extensions(rep).clone(),
+                transitions,
+            }
+        })
+        .collect();
+    Fsp::from_parts(
+        format!("{}/~", fsp.name()),
+        StateId::from_index(assignment[fsp.start().index()]),
+        states,
+        fsp.actions.clone(),
+        fsp.vars.clone(),
+    )
+}
+
+/// Hides the named actions: every transition on one of them becomes a
+/// τ-transition and the actions leave the alphabet.  Actions not in the
+/// alphabet are ignored.
+///
+/// `hide(parallel(p, q), internals)` is the standard way to close a protocol
+/// composition before comparing it to its specification under the weak
+/// notions (≈, trace, failure).
+#[must_use]
+pub fn hide(fsp: &Fsp, hidden: &[&str]) -> Fsp {
+    let mut actions = Interner::new();
+    let action_map: Vec<Label> = fsp
+        .action_ids()
+        .map(|a| {
+            let name = fsp.action_name(a);
+            if hidden.contains(&name) {
+                Label::Tau
+            } else {
+                Label::Act(crate::ActionId::from_index(actions.intern(name) as usize))
+            }
+        })
+        .collect();
+    let states = fsp
+        .state_ids()
+        .map(|p| StateData {
+            name: fsp.state_name(p).map(str::to_owned),
+            extensions: fsp.extensions(p).clone(),
+            transitions: fsp
+                .transitions(p)
+                .iter()
+                .map(|t| Transition {
+                    label: match t.label {
+                        Label::Tau => Label::Tau,
+                        Label::Act(a) => action_map[a.index()],
+                    },
+                    target: t.target,
+                })
+                .collect(),
+        })
+        .collect();
+    Fsp::from_parts(
+        format!("{}\\H", fsp.name()),
+        fsp.start(),
+        states,
+        actions,
+        fsp.vars.clone(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +813,63 @@ mod tests {
         let prod = synchronous_product(&ab_process(), &ab_process()).unwrap();
         assert_eq!(prod.num_states(), 2);
         assert_eq!(prod.num_transitions(), 2);
+    }
+
+    #[test]
+    fn parallel_synchronizes_shared_and_interleaves_private_actions() {
+        // left: a.b loop, right: a.c loop — `a` is shared (handshake), `b`
+        // and `c` are private (interleave).  After the joint `a`, both
+        // private continuations are possible in either order.
+        let prod = parallel(&ab_process(), &ac_process());
+        assert_eq!(prod.num_actions(), 3);
+        let start = prod.start();
+        // Only the handshake on `a` is enabled at the start.
+        assert_eq!(prod.out_degree(start), 1);
+        let a = prod.action_id("a").unwrap();
+        let after_a = prod.successors(start, Label::Act(a)).next().unwrap();
+        // Both `b` and `c` are now enabled independently.
+        assert_eq!(prod.out_degree(after_a), 2);
+        // b then c and c then b both lead back to the start pair: 4 states.
+        assert_eq!(prod.num_states(), 4);
+    }
+
+    #[test]
+    fn parallel_interleaves_tau_moves() {
+        let mut b = Fsp::builder("tau-then-a");
+        b.transition("p", "tau", "q");
+        b.transition("q", "a", "p");
+        b.mark_all_accepting();
+        let left = b.build().unwrap();
+        let prod = parallel(&left, &ab_process());
+        // The τ interleaves: the start state has the τ move (and no `a`,
+        // which is shared and not yet enabled on the left).
+        assert!(prod.has_tau_transitions());
+        assert_eq!(prod.out_degree(prod.start()), 1);
+    }
+
+    #[test]
+    fn parallel_acceptance_requires_both_sides() {
+        let left = make_restricted(&ab_process());
+        let right = ac_process(); // only `v` accepting
+        let prod = parallel(&left, &right);
+        for p in prod.state_ids() {
+            let name = prod.state_name(p).unwrap().to_owned();
+            if prod.is_accepting(p) {
+                assert!(name.contains('v'), "accepting product state {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn hide_turns_actions_into_tau_and_shrinks_the_alphabet() {
+        let f = ab_process();
+        let h = hide(&f, &["b"]);
+        assert_eq!(h.num_actions(), 1);
+        assert!(h.action_id("b").is_none());
+        assert!(h.has_tau_transitions());
+        assert_eq!(h.num_transitions(), f.num_transitions());
+        // Hiding an action not in the alphabet is a no-op.
+        let same = hide(&f, &["zzz"]);
+        assert_eq!(same.num_actions(), f.num_actions());
     }
 }

@@ -71,6 +71,10 @@
 //! // Everything is equivalent: one block.
 //! assert_eq!(p.num_blocks(), 1);
 //! ```
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

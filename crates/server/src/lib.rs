@@ -20,8 +20,10 @@
 //! * [`client`] — a blocking [`Client`] used by the examples, the smoke
 //!   binary, and the concurrency tests.
 //!
-//! The wire protocol (request/response shapes and the stable error-code
-//! table) is documented in the repository README.
+//! The wire protocol — request/response shapes, the stable error-code
+//! table, eviction/coalescing/on-the-fly routing semantics, and a real
+//! transcript — is specified in `docs/PROTOCOL.md` at the repository root;
+//! `ARCHITECTURE.md` places the server in the workspace data flow.
 //!
 //! ```
 //! use ccs_server::{Server, Service, Client};

@@ -4,8 +4,16 @@
 //! response is a single-line JSON object with `"ok": true` plus op-specific
 //! fields, or `"ok": false` plus the stable error `"code"` (see
 //! [`EquivError::code`]) and a human-readable `"message"`.  The full
-//! request/response vocabulary is documented in the repository README's
-//! wire-protocol section.
+//! request/response vocabulary is documented in `docs/PROTOCOL.md` at the
+//! repository root.
+//!
+//! `pair` queries on determinizable notions (`language`, `trace`,
+//! `failure`) against models at or above the on-the-fly threshold
+//! (`CCS_OTF_THRESHOLD` states, default 512) bypass the coalescer and run
+//! [`EquivSession::on_the_fly`] instead: the engine stops at the first
+//! distinguishing pair instead of materializing the full determinized
+//! partition, and refutations come back with a replayable witness.  The
+//! response's `"engine"` field says which path answered.
 
 use std::str::FromStr;
 use std::sync::Arc;
@@ -25,6 +33,7 @@ use crate::registry::{Registry, RegistryConfig};
 pub struct Service {
     registry: Registry,
     coalescer: Coalescer,
+    otf_threshold: usize,
 }
 
 impl Default for Service {
@@ -34,12 +43,26 @@ impl Default for Service {
 }
 
 impl Service {
-    /// A service with the given registry limits.
+    /// A service with the given registry limits.  The on-the-fly threshold
+    /// comes from `CCS_OTF_THRESHOLD` (states; default 512, `0` routes every
+    /// eligible query on-the-fly).
     #[must_use]
     pub fn new(config: RegistryConfig) -> Self {
+        let threshold = std::env::var("CCS_OTF_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512);
+        Service::with_otf_threshold(config, threshold)
+    }
+
+    /// A service with an explicit on-the-fly threshold (exposed so tests
+    /// and embedders can force either `pair` path deterministically).
+    #[must_use]
+    pub fn with_otf_threshold(config: RegistryConfig, otf_threshold: usize) -> Self {
         Service {
             registry: Registry::new(config),
             coalescer: Coalescer::new(),
+            otf_threshold,
         }
     }
 
@@ -133,11 +156,41 @@ impl Service {
         let notion = notion_field(request)?;
         let p = state_field(&session, request, "left")?;
         let q = state_field(&session, request, "right")?;
+        // Oversize models on determinizable notions skip the coalescer: the
+        // on-the-fly engine stops at the first distinguishing pair instead
+        // of forcing the whole determinized partition, and everything it
+        // learns still lands in the shared session caches.
+        let determinizable = matches!(
+            notion,
+            Equivalence::Language | Equivalence::Trace | Equivalence::Failure
+        );
+        if determinizable && session.fsp().num_states() >= self.otf_threshold {
+            let outcome = session.on_the_fly(notion, p, q)?;
+            let mut fields = vec![
+                ("ok", Json::Bool(true)),
+                ("equivalent", Json::Bool(outcome.equivalent)),
+                ("notion", Json::str(notion.to_string())),
+                ("engine", Json::str("on-the-fly")),
+                ("explored", as_num(outcome.stats.arena_subsets)),
+            ];
+            if let Some(witness) = outcome.witness {
+                let trace = Json::Arr(witness.trace.iter().map(Json::str).collect());
+                let refusal = witness.refusal.map_or(Json::Null, |set| {
+                    Json::Arr(set.iter().map(Json::str).collect())
+                });
+                fields.push((
+                    "witness",
+                    Json::obj([("trace", trace), ("refusal", refusal)]),
+                ));
+            }
+            return Ok(Json::obj(fields));
+        }
         let equivalent = self.coalescer.pair(&handle, &session, notion, p, q);
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("equivalent", Json::Bool(equivalent)),
             ("notion", Json::str(notion.to_string())),
+            ("engine", Json::str("coalesced")),
         ]))
     }
 
@@ -355,6 +408,63 @@ mod tests {
         assert_eq!(
             value.get("code").and_then(Json::as_str),
             Some("bad-request")
+        );
+    }
+
+    #[test]
+    fn oversize_determinizable_pairs_route_on_the_fly() {
+        // Threshold 0: every eligible pair query takes the on-the-fly path.
+        let service = Service::with_otf_threshold(RegistryConfig::default(), 0);
+        let id = open(
+            &service,
+            "trans p a q\ntrans p a r\ntrans q b s\ntrans r c s\n\
+             trans u a v\ntrans v b w\ntrans v c w\naccept p q r s u v w",
+        );
+        // a.b + a.c vs a.(b + c): trace-equivalent…
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"trace","left":"p","right":"u"}}"#
+        )))
+        .unwrap();
+        assert_eq!(value.get("equivalent"), Some(&Json::Bool(true)));
+        assert_eq!(
+            value.get("engine").and_then(Json::as_str),
+            Some("on-the-fly")
+        );
+        assert!(value.get("witness").is_none());
+        // …but failure-inequivalent, with a replayable witness in the
+        // response: the trace "a" plus a non-empty refusal set.
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"failure","left":"p","right":"u"}}"#
+        )))
+        .unwrap();
+        assert_eq!(value.get("equivalent"), Some(&Json::Bool(false)));
+        let witness = value.get("witness").expect("refutation carries a witness");
+        let trace = witness.get("trace").unwrap();
+        assert_eq!(trace, &Json::Arr(vec![Json::str("a")]));
+        assert!(matches!(witness.get("refusal"), Some(Json::Arr(set)) if !set.is_empty()));
+        // Branching-time notions still use the coalescer regardless of size.
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"observational","left":"p","right":"u"}}"#
+        )))
+        .unwrap();
+        assert_eq!(
+            value.get("engine").and_then(Json::as_str),
+            Some("coalesced")
+        );
+    }
+
+    #[test]
+    fn undersize_models_stay_on_the_coalesced_path() {
+        let service = Service::with_otf_threshold(RegistryConfig::default(), 1_000_000);
+        let id = open(&service, "trans p a q\ntrans r a q\naccept p q r");
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"pair","session":"{id}","notion":"trace","left":"p","right":"r"}}"#
+        )))
+        .unwrap();
+        assert_eq!(value.get("equivalent"), Some(&Json::Bool(true)));
+        assert_eq!(
+            value.get("engine").and_then(Json::as_str),
+            Some("coalesced")
         );
     }
 

@@ -16,7 +16,16 @@
 //!   builder, feeding the solver-kernel benches and property tests;
 //! * [`queries`] — batched-query workloads (a shared process plus a list of
 //!   state pairs), the input shape of the `EquivSession` engine and the
-//!   `weak_pipeline` bench.
+//!   `weak_pipeline` bench;
+//! * [`protocols`] — a documented distributed-protocols corpus
+//!   (alternating-bit, ring leader election, two-phase commit, plus broken
+//!   variants) with parallel components, hiding sets and observable
+//!   specifications of known verdicts — the workload for the on-the-fly
+//!   engine and compositional minimization.
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +33,7 @@
 
 pub mod families;
 pub mod instances;
+pub mod protocols;
 pub mod queries;
 pub mod random;
 

@@ -1,0 +1,593 @@
+//! A distributed-protocols corpus: parameterized component processes with
+//! specifications of known equivalence verdicts.
+//!
+//! Each family models a classic distributed protocol as a set of component
+//! [`Fsp`]s meant for parallel composition
+//! ([`ccs_fsp::ops::parallel`] — shared actions handshake, the rest
+//! interleaves), a list of internal actions to [`hide`](ccs_fsp::ops::hide)
+//! after composition, and a small *specification* process describing the
+//! intended observable behaviour.  The composed-and-hidden system is
+//! compared against the spec under the weak notions; the product spaces are
+//! large while the observable quotients are tiny, which is exactly the
+//! workload shape the on-the-fly engine (`ccs_equiv::onthefly`) and
+//! compositional minimization (`ccs_expr::compose`) exist for.
+//!
+//! # Families, sources, and expected verdicts
+//!
+//! The protocols follow their textbook presentations in Lynch's survey of
+//! distributed-algorithm models ([arXiv:2502.20468]) and Aspnes's
+//! *Notes on Theory of Distributed Systems* ([arXiv:2001.04235]):
+//!
+//! * [`alternating_bit`] — stop-and-wait transfer over bit-tagged FIFO
+//!   channels, parameterized by **channel capacity**.  Expected:
+//!   `composed ≈ spec` (observational), hence also trace-, language- and
+//!   failure-equivalent, for every capacity — the stop-and-wait discipline
+//!   keeps at most one frame in flight, so capacity is unobservable.
+//! * [`alternating_bit_premature_ack`] — the classic bug: the receiver
+//!   acknowledges *before* delivering.  Expected: **inequivalent** to the
+//!   same spec under every weak notion (a second `send` becomes possible
+//!   before the first `deliver`), giving the witness-replay tests a real
+//!   protocol defect to explain.
+//! * [`ring_election`] — unidirectional max-id leader election on a ring
+//!   (Chang–Roberts/LCR style, with held messages merged to the maximum),
+//!   parameterized by **ring size**.  Expected: `composed ≈ spec` where the
+//!   spec performs the winner's single `elect<max>` and stops.
+//! * [`two_phase_commit`] — a 2PC skeleton: coordinator polls every
+//!   participant, each votes yes/no by an internal choice, unanimity
+//!   commits and any refusal aborts; parameterized by **participant
+//!   count**.  Expected: `composed ≈ spec` where the spec internally
+//!   chooses between `commit` and `abort` after `begin`.
+//! * [`two_phase_commit_blind`] — a broken coordinator that commits
+//!   regardless of the votes.  Expected: **inequivalent** to the 2PC spec
+//!   under every weak notion (the `abort` trace disappears).
+//!
+//! The verdicts are enforced by this module's tests, the root
+//! `integration_protocols` suite and the bench report's `OTF` table (which
+//! additionally asserts that the on-the-fly engine agrees with the
+//! materialized checker on all of them).
+//!
+//! [arXiv:2502.20468]: https://arxiv.org/abs/2502.20468
+//! [arXiv:2001.04235]: https://arxiv.org/abs/2001.04235
+//!
+//! ```
+//! use ccs_workloads::protocols;
+//!
+//! let abp = protocols::alternating_bit(2);
+//! let composed = abp.composed();
+//! // Internals are hidden: only `send` and `deliver` remain observable.
+//! assert_eq!(composed.num_actions(), 2);
+//! assert!(composed.num_states() > abp.spec.num_states());
+//! ```
+
+use ccs_fsp::{ops, Fsp, Label};
+
+/// A protocol scenario: components to compose in parallel, internal actions
+/// to hide afterwards, and the observable specification to compare against.
+#[derive(Clone, Debug)]
+pub struct Protocol {
+    /// Short display name including the parameter, e.g. `abp-c2`.
+    pub name: String,
+    /// The component processes, composed left to right.
+    pub components: Vec<Fsp>,
+    /// Action names internal to the protocol, hidden after composition.
+    pub hidden: Vec<String>,
+    /// The observable specification process.
+    pub spec: Fsp,
+    /// Whether `composed()` is expected to be observationally equivalent to
+    /// `spec` (the verdict the test suites assert).
+    pub equivalent: bool,
+}
+
+impl Protocol {
+    /// The full composition with internals hidden: fold the components
+    /// through [`ops::parallel`], then [`ops::hide`] the internal actions.
+    #[must_use]
+    pub fn composed(&self) -> Fsp {
+        let hidden: Vec<&str> = self.hidden.iter().map(String::as_str).collect();
+        ops::hide(
+            &ccs_expr::compose::parallel_composed(&self.components),
+            &hidden,
+        )
+    }
+
+    /// The compositionally minimized composition: every factor and every
+    /// partial product is quotiented by `≈` before the next factor joins
+    /// ([`ccs_expr::compose::parallel_minimized`]), internals hidden, and
+    /// the result minimized once more.  Observationally equivalent to
+    /// [`Protocol::composed`] — the `ccs_expr::laws::parallel_congruence`
+    /// law, checked by the suites — but far smaller.
+    #[must_use]
+    pub fn composed_minimized(&self) -> Fsp {
+        let hidden: Vec<&str> = self.hidden.iter().map(String::as_str).collect();
+        let reduced = ccs_expr::compose::parallel_minimized(&self.components);
+        ccs_expr::compose::minimized(&ops::hide(&reduced, &hidden))
+    }
+
+    /// The naive product-space size: the product of the component state
+    /// counts — what a compose-everything-first checker would have to
+    /// refine, and the "total" the OTF report compares peak exploration
+    /// against.
+    #[must_use]
+    pub fn naive_product_states(&self) -> usize {
+        self.components.iter().map(Fsp::num_states).product()
+    }
+}
+
+/// A bit-tagged FIFO channel of the given capacity: `in0`/`in1` enqueue at
+/// the tail, `out0`/`out1` dequeue from the head.  States are the bit
+/// strings of length ≤ capacity.
+fn fifo_channel(name: &str, capacity: usize, input: [&str; 2], output: [&str; 2]) -> Fsp {
+    assert!(capacity >= 1, "channel capacity must be at least 1");
+    let mut b = Fsp::builder(name);
+    // Enumerate every queue content as a bit string (shortest first).
+    let mut contents: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<u8>> = vec![Vec::new()];
+    for _ in 0..capacity {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for bit in 0..2u8 {
+                let mut ext = w.clone();
+                ext.push(bit);
+                contents.push(ext.clone());
+                next.push(ext);
+            }
+        }
+        frontier = next;
+    }
+    let label_of = |w: &[u8]| {
+        if w.is_empty() {
+            "e".to_owned()
+        } else {
+            w.iter().map(u8::to_string).collect::<String>()
+        }
+    };
+    for w in &contents {
+        let here = b.state(&label_of(w));
+        if w.len() < capacity {
+            for (bit, action) in input.iter().enumerate() {
+                let mut ext = w.clone();
+                ext.push(u8::try_from(bit).expect("bit fits"));
+                let target = b.state(&label_of(&ext));
+                let act = b.action(action);
+                b.add_transition(here, Label::Act(act), target);
+            }
+        }
+        if let Some((&head, rest)) = w.split_first() {
+            let target = b.state(&label_of(rest));
+            let act = b.action(output[head as usize]);
+            b.add_transition(here, Label::Act(act), target);
+        }
+    }
+    let start = b.state("e");
+    b.set_start(start);
+    b.mark_all_accepting();
+    b.build().expect("channel builds")
+}
+
+/// Alternating-bit protocol over lossless FIFO channels of the given
+/// capacity (≥ 1).  See the [module docs](self) for the expected verdicts.
+///
+/// Components: a stop-and-wait sender (`send`, then frame `c<bit>` out,
+/// then wait for ack `b<bit>`), a data channel (`c*` → `d*`), a receiver
+/// (`d<bit>`, then `deliver`, then ack `a<bit>` out), and an ack channel
+/// (`a*` → `b*`).  Spec: the two-state `send`·`deliver` loop.  Because the
+/// sender never overlaps frames, every capacity yields the same observable
+/// behaviour — the corpus's "parameter grows the space, not the behaviour"
+/// family.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+#[must_use]
+pub fn alternating_bit(capacity: usize) -> Protocol {
+    let mut sender = Fsp::builder("abp-sender");
+    for bit in 0..2 {
+        let flip = (bit + 1) % 2;
+        sender.transition(&format!("s{bit}"), "send", &format!("s{bit}f"));
+        sender.transition(&format!("s{bit}f"), &format!("c{bit}"), &format!("s{bit}w"));
+        sender.transition(&format!("s{bit}w"), &format!("b{bit}"), &format!("s{flip}"));
+    }
+    let s0 = sender.state("s0");
+    sender.set_start(s0);
+    sender.mark_all_accepting();
+    let sender = sender.build().expect("sender builds");
+
+    let mut receiver = Fsp::builder("abp-receiver");
+    for bit in 0..2 {
+        let flip = (bit + 1) % 2;
+        receiver.transition(&format!("r{bit}"), &format!("d{bit}"), &format!("r{bit}d"));
+        receiver.transition(&format!("r{bit}d"), "deliver", &format!("r{bit}a"));
+        receiver.transition(&format!("r{bit}a"), &format!("a{bit}"), &format!("r{flip}"));
+    }
+    let r0 = receiver.state("r0");
+    receiver.set_start(r0);
+    receiver.mark_all_accepting();
+    let receiver = receiver.build().expect("receiver builds");
+
+    let data = fifo_channel("abp-data", capacity, ["c0", "c1"], ["d0", "d1"]);
+    let ack = fifo_channel("abp-ack", capacity, ["a0", "a1"], ["b0", "b1"]);
+
+    let mut spec = Fsp::builder("abp-spec");
+    spec.transition("idle", "send", "busy");
+    spec.transition("busy", "deliver", "idle");
+    let idle = spec.state("idle");
+    spec.set_start(idle);
+    spec.mark_all_accepting();
+    let spec = spec.build().expect("spec builds");
+
+    Protocol {
+        name: format!("abp-c{capacity}"),
+        components: vec![sender, data, receiver, ack],
+        hidden: ["c0", "c1", "d0", "d1", "a0", "a1", "b0", "b1"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        spec,
+        equivalent: true,
+    }
+}
+
+/// The alternating-bit protocol with a premature-acknowledgement receiver:
+/// the ack goes out *before* `deliver`, so the sender can start the next
+/// frame early and `send send` becomes observable — inequivalent to the
+/// alternating-bit spec under every weak notion.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+#[must_use]
+pub fn alternating_bit_premature_ack(capacity: usize) -> Protocol {
+    let correct = alternating_bit(capacity);
+    let mut receiver = Fsp::builder("abp-receiver-bug");
+    for bit in 0..2 {
+        let flip = (bit + 1) % 2;
+        receiver.transition(&format!("r{bit}"), &format!("d{bit}"), &format!("r{bit}a"));
+        receiver.transition(&format!("r{bit}a"), &format!("a{bit}"), &format!("r{bit}d"));
+        receiver.transition(&format!("r{bit}d"), "deliver", &format!("r{flip}"));
+    }
+    let r0 = receiver.state("r0");
+    receiver.set_start(r0);
+    receiver.mark_all_accepting();
+    let receiver = receiver.build().expect("receiver builds");
+
+    let mut components = correct.components.clone();
+    components[2] = receiver;
+    Protocol {
+        name: format!("abp-bug-c{capacity}"),
+        components,
+        hidden: correct.hidden.clone(),
+        spec: correct.spec,
+        equivalent: false,
+    }
+}
+
+/// Unidirectional max-id ring leader election (Chang–Roberts/LCR style) on
+/// `n ≥ 2` nodes with single-slot links.  Node `i` (id `i`) first injects
+/// its own id into link `i`, then relays: ids larger than its own are
+/// forwarded (a node holding a value merges further arrivals to the
+/// maximum — only the largest id matters), smaller ids are discarded, and a
+/// node receiving its *own* id declares itself leader with the observable
+/// action `elect<i>`.  Only the maximum id survives a full circuit, so node
+/// `n−1` wins by construction; the spec performs `elect<n−1>` once and
+/// stops.
+///
+/// All link traffic (`s<i>v<v>` = node `i` sends `v` on link `i`,
+/// `r<i>v<v>` = node `i+1` receives it) is hidden.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn ring_election(n: usize) -> Protocol {
+    assert!(n >= 2, "a ring needs at least two nodes");
+    let mut components = Vec::new();
+    let mut hidden = Vec::new();
+    for i in 0..n {
+        let prev = (i + n - 1) % n;
+        let mut node = Fsp::builder(&format!("ring-node-{i}"));
+        // Inject own id, then listen.  Link `prev` only ever carries ids
+        // `prev..n` (node `prev` injects `prev` and forwards only larger
+        // ids), and the receive alphabet must match the link's send
+        // alphabet exactly: an action present in just one component would
+        // interleave freely instead of handshaking.
+        node.transition("init", &format!("s{i}v{i}"), "wait");
+        for v in prev..n {
+            let recv = format!("r{prev}v{v}");
+            match v.cmp(&i) {
+                std::cmp::Ordering::Equal => {
+                    // Own id made it all the way around: win.
+                    node.transition("wait", &recv, "leader");
+                }
+                std::cmp::Ordering::Greater => {
+                    // A larger id: hold it for forwarding.
+                    node.transition("wait", &recv, &format!("hold{v}"));
+                }
+                std::cmp::Ordering::Less => {
+                    // A smaller id dies here.
+                    node.transition("wait", &recv, "wait");
+                }
+            }
+        }
+        for v in (i + 1)..n {
+            node.transition(&format!("hold{v}"), &format!("s{i}v{v}"), "wait");
+            // While holding, keep receiving and keep only the maximum.
+            for w in prev..n {
+                let recv = format!("r{prev}v{w}");
+                let kept = v.max(w);
+                if w == i {
+                    node.transition(&format!("hold{v}"), &recv, "leader");
+                } else {
+                    node.transition(&format!("hold{v}"), &recv, &format!("hold{kept}"));
+                }
+            }
+        }
+        node.transition("leader", &format!("elect{i}"), "done");
+        let init = node.state("init");
+        node.set_start(init);
+        node.mark_all_accepting();
+        components.push(node.build().expect("node builds"));
+
+        // Link i: a single-slot buffer from node i to node i+1, carrying
+        // exactly the ids node i can send (its own, or a held larger one).
+        let mut link = Fsp::builder(&format!("ring-link-{i}"));
+        for v in i..n {
+            link.transition("empty", &format!("s{i}v{v}"), &format!("full{v}"));
+            link.transition(&format!("full{v}"), &format!("r{i}v{v}"), "empty");
+            hidden.push(format!("s{i}v{v}"));
+            hidden.push(format!("r{i}v{v}"));
+        }
+        let empty = link.state("empty");
+        link.set_start(empty);
+        link.mark_all_accepting();
+        components.push(link.build().expect("link builds"));
+    }
+
+    let mut spec = Fsp::builder("ring-spec");
+    spec.transition("running", &format!("elect{}", n - 1), "elected");
+    let running = spec.state("running");
+    spec.set_start(running);
+    spec.mark_all_accepting();
+    let spec = spec.build().expect("spec builds");
+
+    Protocol {
+        name: format!("ring-{n}"),
+        components,
+        hidden,
+        spec,
+        equivalent: true,
+    }
+}
+
+/// Builds the 2PC coordinator over `n` participants.  After the observable
+/// `begin` it polls `req1..reqn` in order, collects `yes<i>`/`no<i>` votes
+/// in order while tracking whether any participant refused, then announces
+/// the observable outcome: `commit` on unanimity, `abort` otherwise.
+fn tpc_coordinator(n: usize, blind: bool) -> Fsp {
+    let mut b = Fsp::builder(if blind {
+        "2pc-coord-blind"
+    } else {
+        "2pc-coord"
+    });
+    b.transition("idle", "begin", "poll1");
+    for i in 1..=n {
+        let next = if i == n {
+            "collect1-ok".to_owned()
+        } else {
+            format!("poll{}", i + 1)
+        };
+        b.transition(&format!("poll{i}"), &format!("req{i}"), &next);
+    }
+    // Vote-collection states carry the "all yes so far" flag (`ok`/`bad`).
+    for i in 1..=n {
+        for flag in ["ok", "bad"] {
+            let here = format!("collect{i}-{flag}");
+            let after_yes = if i == n {
+                format!("decide-{flag}")
+            } else {
+                format!("collect{}-{flag}", i + 1)
+            };
+            let after_no = if i == n {
+                "decide-bad".to_owned()
+            } else {
+                format!("collect{}-bad", i + 1)
+            };
+            b.transition(&here, &format!("yes{i}"), &after_yes);
+            b.transition(&here, &format!("no{i}"), &after_no);
+        }
+    }
+    if blind {
+        // The bug: the outcome ignores the votes entirely.
+        b.transition("decide-ok", "commit", "idle");
+        b.transition("decide-bad", "commit", "idle");
+    } else {
+        b.transition("decide-ok", "commit", "idle");
+        b.transition("decide-bad", "abort", "idle");
+    }
+    let idle = b.state("idle");
+    b.set_start(idle);
+    b.mark_all_accepting();
+    b.build().expect("coordinator builds")
+}
+
+/// Two-phase-commit skeleton with `n ≥ 1` participants.  Each participant
+/// answers its `req<i>` with an **internal** choice (a τ-branch) between
+/// `yes<i>` and `no<i>`; the coordinator commits on unanimity and aborts
+/// otherwise.  Spec: after `begin`, an internal choice between `commit` and
+/// `abort`, then back to idle.  All `req*`/`yes*`/`no*` traffic is hidden.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn two_phase_commit(n: usize) -> Protocol {
+    assert!(n >= 1, "2PC needs at least one participant");
+    let mut components = vec![tpc_coordinator(n, false)];
+    let mut hidden = Vec::new();
+    for i in 1..=n {
+        let mut p = Fsp::builder(&format!("2pc-part-{i}"));
+        p.transition("idle", &format!("req{i}"), "deciding");
+        p.transition("deciding", "tau", "willing");
+        p.transition("deciding", "tau", "refusing");
+        p.transition("willing", &format!("yes{i}"), "idle");
+        p.transition("refusing", &format!("no{i}"), "idle");
+        let idle = p.state("idle");
+        p.set_start(idle);
+        p.mark_all_accepting();
+        components.push(p.build().expect("participant builds"));
+        hidden.push(format!("req{i}"));
+        hidden.push(format!("yes{i}"));
+        hidden.push(format!("no{i}"));
+    }
+
+    let mut spec = Fsp::builder("2pc-spec");
+    spec.transition("idle", "begin", "deciding");
+    spec.transition("deciding", "tau", "committing");
+    spec.transition("deciding", "tau", "aborting");
+    spec.transition("committing", "commit", "idle");
+    spec.transition("aborting", "abort", "idle");
+    let idle = spec.state("idle");
+    spec.set_start(idle);
+    spec.mark_all_accepting();
+    let spec = spec.build().expect("spec builds");
+
+    Protocol {
+        name: format!("2pc-{n}"),
+        components,
+        hidden,
+        spec,
+        equivalent: true,
+    }
+}
+
+/// Two-phase commit with a coordinator that **commits regardless of the
+/// votes** — the `abort` outcome disappears from the composition, so it is
+/// inequivalent to the honest 2PC spec under every weak notion.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn two_phase_commit_blind(n: usize) -> Protocol {
+    let honest = two_phase_commit(n);
+    let mut components = honest.components.clone();
+    components[0] = tpc_coordinator(n, true);
+    Protocol {
+        name: format!("2pc-blind-{n}"),
+        components,
+        hidden: honest.hidden.clone(),
+        spec: honest.spec,
+        equivalent: false,
+    }
+}
+
+/// The standard corpus the report and the agreement suites iterate:
+/// two sizes of each correct family plus the two broken variants.
+#[must_use]
+pub fn corpus() -> Vec<Protocol> {
+    vec![
+        alternating_bit(1),
+        alternating_bit(2),
+        alternating_bit_premature_ack(1),
+        ring_election(2),
+        ring_election(3),
+        two_phase_commit(1),
+        two_phase_commit(2),
+        two_phase_commit_blind(2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_equiv::weak::observationally_equivalent;
+
+    #[test]
+    fn alternating_bit_meets_its_spec_at_every_capacity() {
+        for capacity in 1..=2 {
+            let p = alternating_bit(capacity);
+            assert!(
+                observationally_equivalent(&p.composed(), &p.spec),
+                "abp capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn premature_ack_breaks_the_spec() {
+        let p = alternating_bit_premature_ack(1);
+        assert!(!observationally_equivalent(&p.composed(), &p.spec));
+        // The defect is already a trace defect: `send send` with no deliver.
+        let r = ccs_equiv::traces::trace_equivalent(&p.composed(), &p.spec);
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn ring_elects_exactly_the_max_node() {
+        for n in 2..=3 {
+            let p = ring_election(n);
+            assert!(
+                observationally_equivalent(&p.composed(), &p.spec),
+                "ring size {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_phase_commit_meets_its_spec() {
+        for n in 1..=2 {
+            let p = two_phase_commit(n);
+            assert!(
+                observationally_equivalent(&p.composed(), &p.spec),
+                "2pc with {n} participants"
+            );
+        }
+    }
+
+    #[test]
+    fn blind_coordinator_breaks_the_spec() {
+        let p = two_phase_commit_blind(2);
+        assert!(!observationally_equivalent(&p.composed(), &p.spec));
+        assert!(!ccs_equiv::traces::trace_equivalent(&p.composed(), &p.spec).holds);
+    }
+
+    #[test]
+    fn minimized_composition_is_smaller_and_equivalent() {
+        for p in [alternating_bit(2), ring_election(3), two_phase_commit(2)] {
+            let full = p.composed();
+            let small = p.composed_minimized();
+            assert!(small.num_states() <= full.num_states(), "{}", p.name);
+            assert!(
+                observationally_equivalent(&small, &full),
+                "{} minimized ≉ full",
+                p.name
+            );
+            // With all-accepting components the minimized system collapses
+            // to (roughly) spec size — the compositional-minimization payoff.
+            assert!(
+                small.num_states() <= p.spec.num_states() + 2,
+                "{}: {} vs spec {}",
+                p.name,
+                small.num_states(),
+                p.spec.num_states()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_verdicts_match_the_declared_flags() {
+        for p in corpus() {
+            assert_eq!(
+                observationally_equivalent(&p.composed(), &p.spec),
+                p.equivalent,
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn naive_product_dwarfs_the_reachable_composition() {
+        let p = ring_election(3);
+        assert!(p.naive_product_states() > p.composed().num_states());
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`server`] — equivalence-as-a-service: the line-oriented JSON wire
 //!   protocol over TCP, its session registry and batching layer, and the
 //!   matching blocking client.
+//!
+//! Where this crate sits in the workspace — the crate map, the
+//! end-to-end data flow, and the notion-to-procedure table — is laid out
+//! in `ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
