@@ -1,13 +1,13 @@
 //! Diffs two `report` outputs for performance regressions on the tracked
 //! tables (E7 solver matrix, WP weak-pipeline table, PAR
 //! parallel-refinement table, the DET determinization table, the KOBS
-//! one-arena ≈ₖ-sweep table, the OTF protocol-corpus table, and the MEM
-//! resident-bytes table).
+//! one-arena ≈ₖ-sweep table, the OTF protocol-corpus table, the DELTA
+//! incremental-maintenance table, and the MEM resident-bytes table).
 //!
 //! The report header stamps the host core count (`host: cores=N …`).  When
 //! the baseline was recorded on a host with a different core count, PAR
-//! regressions — and the DET table's `det-par` column, the only other
-//! thread-scaling measurement — are downgraded to warnings; thread-scaling
+//! regressions — and the `det-par` / `rebuild-par` columns, the only other
+//! thread-scaling measurements — are downgraded to warnings; thread-scaling
 //! numbers from a different machine shape are not comparable enough to
 //! fail CI on.
 //!
@@ -43,6 +43,7 @@ enum Section {
     Det,
     Kobs,
     Otf,
+    Delta,
     Mem,
 }
 
@@ -60,7 +61,10 @@ enum Section {
 /// columns 4–5, the speedup derived); OTF rows are `family product union
 /// notion verdict otf-subsets full-subsets otf full` (subset counts ride
 /// the ratio check like MEM bytes do — an exploration blow-up fails like a
-/// slowdown — and the two timings close the row).
+/// slowdown — and the two timings close the row); DELTA rows are `family
+/// states edits/b i/q/f delta rebuild rebuild-par speedup` (timings in
+/// columns 4–6, the path-mix token and the derived speedup are skipped,
+/// and `rebuild-par` is thread-scaling like `det-par`).
 /// MEM rows come in two shapes: 5-token session rows `family states subsets
 /// session-bytes arena-bytes` and 4-token CSR rows `family states edges
 /// csr-bytes` — byte counts ride the same ratio check as timings, so a
@@ -83,6 +87,8 @@ fn parse_report(text: &str) -> Rows {
                 Section::Kobs
             } else if trimmed.contains("OTF:") {
                 Section::Otf
+            } else if trimmed.contains("DELTA:") {
+                Section::Delta
             } else if trimmed.contains("MEM:") {
                 Section::Mem
             } else {
@@ -156,6 +162,21 @@ fn parse_report(text: &str) -> Rows {
                 let timings = cols
                     .iter()
                     .zip(&tokens[5..9])
+                    .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
+                    .collect();
+                rows.insert(key, timings);
+            }
+            Section::Delta
+                if tokens.len() == 8
+                    && tokens[1..3].iter().all(|t| numeric(t))
+                    && !numeric(tokens[3])
+                    && tokens[4..].iter().all(|t| numeric(t)) =>
+            {
+                let key = format!("delta/{}/{}/{}", tokens[0], tokens[1], tokens[2]);
+                let cols = ["delta", "rebuild", "rebuild-par"];
+                let timings = cols
+                    .iter()
+                    .zip(&tokens[4..7])
                     .map(|(name, t)| ((*name).to_owned(), t.parse().expect("checked numeric")))
                     .collect();
                 rows.insert(key, timings);
@@ -301,9 +322,11 @@ fn main() -> ExitCode {
             compared += 1;
             let ratio = cur / base;
             if ratio > opts.threshold {
-                // PAR rows and the DET det-par column are thread-scaling
-                // measurements: only comparable between same-shape hosts.
-                let thread_scaling = key.starts_with("par/") || col == "det-par";
+                // PAR rows and the det-par / rebuild-par columns are
+                // thread-scaling measurements: only comparable between
+                // same-shape hosts.
+                let thread_scaling =
+                    key.starts_with("par/") || col == "det-par" || col == "rebuild-par";
                 if thread_scaling && !par_comparable {
                     println!(
                         "WARN  {key} [{col}]: {base:.2} -> {cur:.2} ({:.0}% worse; core count \
@@ -374,6 +397,11 @@ host: cores=4 CCS_THREADS=unset
       family   product   union   notion  verdict  otf-subsets  full-subsets    otf ms   full ms
       abp-c2       864      47    trace       eq           18            95     12.00     40.00
 
+== DELTA: incremental partition maintenance — delta-refine vs from-scratch rebuild ==
+   (mutating_queries gadget stream; i/q/f = path mix; ...)
+  family   states  edits/b    i/q/f     delta ms   rebuild ms rebuild-par ms   speedup
+ gadgets     1024        1    6/2/0         0.40         2.00           1.80       5.0
+
 == MEM: resident bytes — honest capacity-based accounting per family ==
    (session = EquivSession::approx_resident_bytes after classify_all; ...)
   family   states   subsets    session B      arena B
@@ -389,7 +417,15 @@ host: cores=4 CCS_THREADS=unset
     #[test]
     fn parses_only_tracked_sections() {
         let rows = parse_report(SAMPLE);
-        assert_eq!(rows.len(), 9);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(
+            rows["delta/gadgets/1024/1"],
+            vec![
+                ("delta".to_owned(), 0.4),
+                ("rebuild".to_owned(), 2.0),
+                ("rebuild-par".to_owned(), 1.8),
+            ]
+        );
         assert_eq!(
             rows["otf/abp-c2/trace"],
             vec![

@@ -21,8 +21,8 @@ use std::time::Instant;
 use ccs_bench::{equivalent_pair, general_process, standard_process, PAR_REPORT_SIZES};
 use ccs_equiv::{failures, kobs, strong, weak, EquivSession, Equivalence};
 use ccs_expr::{construct, parse};
-use ccs_partition::{dfa_equiv, hopcroft, solve, Algorithm, Dfa};
-use ccs_workloads::{families, queries};
+use ccs_partition::{dfa_equiv, hopcroft, solve, Algorithm, DeltaRefiner, Dfa, EdgeDelta};
+use ccs_workloads::{families, mutating_queries, queries};
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -326,6 +326,90 @@ fn otf_protocol_corpus() {
     }
 }
 
+fn delta_incremental_maintenance() {
+    println!(
+        "\n== DELTA: incremental partition maintenance — delta-refine vs from-scratch rebuild =="
+    );
+    println!(
+        "   (mutating_queries gadget stream: per batch, DeltaRefiner::apply repairs the last\n    \
+         stable partition — seeded splitter worklist, certificate check, quotient fallback —\n    \
+         vs solving the mutated instance from scratch; rebuild-par = the from-scratch solve\n    \
+         at 4 workers; i/q/f = incremental / quotient-rebuild / full-rebuild batch counts;\n    \
+         every batch asserts block-for-block agreement with both oracles)"
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>14} {:>9}",
+        "family",
+        "states",
+        "edits/b",
+        "i/q/f",
+        "delta ms",
+        "rebuild ms",
+        "rebuild-par ms",
+        "speedup"
+    );
+    const BATCHES: usize = 8;
+    // Throwaway pass so the first timed row does not absorb the cold-start
+    // cost (page faults, lazy allocator growth).
+    {
+        let (warm, _) = mutating_queries::mutating_instance(64, 0, 0, 42);
+        let _ = solve(&warm, Algorithm::PaigeTarjan);
+        let _ = solve(&warm, Algorithm::KanellakisSmolkaParallel { threads: 4 });
+    }
+    for &n in &[256usize, 1024, 4096] {
+        for &edits in &[1usize, 4] {
+            let copies = n / mutating_queries::GADGET_STATES;
+            let (inst, batches) = mutating_queries::mutating_instance(copies, BATCHES, edits, 42);
+            let mut refiner = DeltaRefiner::new(inst, Algorithm::PaigeTarjan);
+            let (mut t_delta, mut t_rebuild, mut t_rebuild_par) = (0.0f64, 0.0f64, 0.0f64);
+            for batch in &batches {
+                let delta = EdgeDelta {
+                    additions: batch.additions.clone(),
+                    removals: batch.removals.clone(),
+                };
+                let (_path, t) = time_ms(|| refiner.apply(&delta));
+                t_delta += t;
+                let (oracle, t) = time_ms(|| solve(refiner.instance(), Algorithm::PaigeTarjan));
+                t_rebuild += t;
+                let (oracle_par, t) = time_ms(|| {
+                    solve(
+                        refiner.instance(),
+                        Algorithm::KanellakisSmolkaParallel { threads: 4 },
+                    )
+                });
+                t_rebuild_par += t;
+                assert_eq!(
+                    refiner.partition(),
+                    &oracle,
+                    "delta-refined partition diverged from the from-scratch oracle"
+                );
+                assert_eq!(oracle_par, oracle, "4-worker rebuild diverged");
+                assert!(
+                    refiner.instance().is_consistent_stable(refiner.partition()),
+                    "delta-refined partition is not a stable refinement"
+                );
+            }
+            // The path mix is seed-deterministic, so it is part of the
+            // tracked snapshot, unlike the timings around it.
+            let stats = refiner.stats();
+            println!(
+                "{:>8} {:>8} {:>8} {:>8} {:>12.2} {:>12.2} {:>14.2} {:>9.1}",
+                "gadgets",
+                n,
+                edits,
+                format!(
+                    "{}/{}/{}",
+                    stats.incremental, stats.quotient_rebuilds, stats.full_rebuilds
+                ),
+                t_delta,
+                t_rebuild,
+                t_rebuild_par,
+                t_rebuild / t_delta
+            );
+        }
+    }
+}
+
 fn mem_resident_footprint() {
     println!("\n== MEM: resident bytes — honest capacity-based accounting per family ==");
     println!(
@@ -535,6 +619,11 @@ const TABLES: &[(&str, &str, fn())] = &[
         "otf",
         "on-the-fly protocol checks: peak explored vs materialized",
         otf_protocol_corpus,
+    ),
+    (
+        "delta",
+        "incremental delta-refinement vs from-scratch rebuild",
+        delta_incremental_maintenance,
     ),
     (
         "mem",

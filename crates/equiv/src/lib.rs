@@ -94,4 +94,4 @@ pub use check::Equivalence;
 pub use check::{equivalent, equivalent_states};
 pub use error::EquivError;
 pub use query::Query;
-pub use session::EquivSession;
+pub use session::{EquivSession, SessionDeltaOutcome};

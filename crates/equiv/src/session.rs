@@ -84,9 +84,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use ccs_fsp::saturate::{tau_closure, weak_edges, SaturatedView, TauClosure};
-use ccs_fsp::{ActionId, Fsp, StateId};
-use ccs_partition::{solve, Algorithm, GraphBuilder, Instance, Partition};
+use ccs_fsp::saturate::{
+    tau_closure, weak_action_successors, weak_edges, SaturatedView, TauClosure,
+};
+use ccs_fsp::{ActionId, Fsp, Label, StateId};
+use ccs_partition::{incremental, solve, Algorithm, GraphBuilder, Instance, Partition};
 
 use crate::check::Equivalence;
 use crate::determinize::{self, DetNotion, PairCache, SubsetAutomaton};
@@ -105,6 +107,34 @@ type PartitionCell = Arc<OnceLock<Arc<Partition>>>;
 struct DetState {
     automaton: Option<SubsetAutomaton>,
     pair_caches: HashMap<DetNotion, PairCache>,
+}
+
+/// What one [`EquivSession::apply_delta`] batch did to the session's
+/// caches — which artifacts were repaired in place and which were dropped
+/// for lazy rebuild.  Returned for diagnostics and asserted on by the
+/// mutation-path tests; callers that only want the mutated session can
+/// ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionDeltaOutcome {
+    /// Edges that were genuinely added (absent before the batch).
+    pub effective_additions: usize,
+    /// Edges that were genuinely removed (present before the batch).
+    pub effective_removals: usize,
+    /// The batch touched τ-transitions, so the closure and every weak
+    /// artifact derived from it were dropped for lazy rebuild.
+    pub tau_touched: bool,
+    /// States whose weak action rows actually changed (0 when the batch is
+    /// weak-redundant — every artifact then survives untouched).
+    pub weak_rows_changed: usize,
+    /// The cached [`SaturatedView`] was respliced in place rather than
+    /// rebuilt.
+    pub view_patched: bool,
+    /// The subset arena (and its pair caches) had to be dropped because an
+    /// interned subset could reach a changed weak row.
+    pub arena_dropped: bool,
+    /// Cached partitions that were delta-refined to the new coarsest
+    /// solution instead of being recomputed from scratch.
+    pub partitions_delta_refined: usize,
 }
 
 /// A reusable equivalence-checking engine over one process.
@@ -148,6 +178,10 @@ pub struct EquivSession {
     /// Number of partition computations that actually executed (cache
     /// misses) — the coalescing evidence read by `refinements_run`.
     refinements: AtomicUsize,
+    /// Number of times the τ-closure was computed from scratch.  Stays at
+    /// one across τ-free [`EquivSession::apply_delta`] batches — the
+    /// counter the mutation-path retention tests observe.
+    closure_builds: AtomicUsize,
     /// Solver used by [`EquivSession::classify_all`] and the batched APIs
     /// when the caller does not name one — e.g.
     /// [`Algorithm::KanellakisSmolkaParallel`] to run the session's one big
@@ -169,6 +203,7 @@ impl EquivSession {
             det: Mutex::new(DetState::default()),
             partitions: Mutex::new(HashMap::new()),
             refinements: AtomicUsize::new(0),
+            closure_builds: AtomicUsize::new(0),
             default_algorithm: Algorithm::PaigeTarjan,
         }
     }
@@ -214,7 +249,19 @@ impl EquivSession {
 
     /// The τ-closure `⇒ε` (computed once).
     pub fn tau_closure(&self) -> &TauClosure {
-        self.closure.get_or_init(|| tau_closure(&self.fsp))
+        self.closure.get_or_init(|| {
+            self.closure_builds.fetch_add(1, Ordering::Relaxed);
+            tau_closure(&self.fsp)
+        })
+    }
+
+    /// Number of from-scratch τ-closure computations this session has run.
+    /// A τ-free [`EquivSession::apply_delta`] keeps the cached closure, so
+    /// the counter does not move; a τ-touching batch drops it and the next
+    /// weak query bumps the count.
+    #[must_use]
+    pub fn closure_builds(&self) -> usize {
+        self.closure_builds.load(Ordering::Relaxed)
     }
 
     /// The CSR-backed weak transition relation (computed once, from the
@@ -638,6 +685,339 @@ impl EquivSession {
         self.refinements.load(Ordering::Relaxed)
     }
 
+    /// Applies an edge batch — removals first, then additions — to the
+    /// owned process and repairs the session's caches instead of dropping
+    /// them wholesale.  This is the session face of the
+    /// [`ccs_partition::incremental`] delta path:
+    ///
+    /// * **τ-free batches keep the τ-closure.**  `⇒ε` only depends on
+    ///   τ-edges, so the cached [`TauClosure`] (and the
+    ///   [`EquivSession::closure_builds`] counter) survive.  The weak
+    ///   action rows that *might* have changed are exactly those of states
+    ///   that τ-reach an edited source; their old rows are captured before
+    ///   the mutation and diffed against the recomputed ones.
+    /// * **Weak-redundant batches keep everything.**  If no weak row
+    ///   changed, the saturated view, the weak instance, the `≃ₖ`
+    ///   hierarchy, the subset arena and every non-strong partition are
+    ///   bit-for-bit still correct and stay put.
+    /// * **Dirty rows are respliced, not rebuilt.**  Otherwise the view is
+    ///   [patched](SaturatedView::patched) in place, the weak CSR takes the
+    ///   row diff as a pending delta, and cached `Strong`/`Observational`
+    ///   partitions are delta-refined through
+    ///   [`incremental::refine_delta`] — certificate-checked, so the result
+    ///   is the coarsest solution, never an approximation.
+    /// * **The subset arena survives when the edit cannot reach it.**  A
+    ///   determinized verdict depends on the forward cone of its subsets;
+    ///   the arena (and its pair caches) are kept iff no interned subset
+    ///   intersects the backward reachability cone of the dirty states over
+    ///   the old-plus-new edges — the cone's complement is successor-closed,
+    ///   so every retained exploration replays identically.
+    /// * **τ-touching batches drop the weak artifacts** for lazy rebuild
+    ///   (the closure itself changed); cached strong partitions are still
+    ///   delta-refined, since Lemma 3.1 needs no saturation.
+    ///
+    /// Takes `&mut self` — mutate between query phases, not mid-query; the
+    /// `ccs-server` registry unshares a session before calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge names a state or action outside the process —
+    /// a mutation rewires `Δ` over the existing state space and alphabet.
+    pub fn apply_delta(
+        &mut self,
+        additions: &[(StateId, Label, StateId)],
+        removals: &[(StateId, Label, StateId)],
+    ) -> SessionDeltaOutcome {
+        for &(from, label, to) in additions.iter().chain(removals) {
+            assert!(self.fsp.contains_state(from), "source state out of range");
+            assert!(self.fsp.contains_state(to), "target state out of range");
+            if let Label::Act(a) = label {
+                assert!(a.index() < self.fsp.num_actions(), "action out of range");
+            }
+        }
+        // Effective edits, computed read-only so the pre-mutation weak rows
+        // can still be captured below.  Removals lose ties to additions,
+        // mirroring `Fsp::apply_edge_delta`.
+        let mut eff_removed: Vec<(StateId, Label, StateId)> = removals
+            .iter()
+            .copied()
+            .filter(|e| !additions.contains(e))
+            .filter(|&(f, l, t)| self.fsp.has_transition(f, l, t))
+            .collect();
+        eff_removed.sort_unstable();
+        eff_removed.dedup();
+        let mut eff_added: Vec<(StateId, Label, StateId)> = additions
+            .iter()
+            .copied()
+            .filter(|&(f, l, t)| !self.fsp.has_transition(f, l, t))
+            .collect();
+        eff_added.sort_unstable();
+        eff_added.dedup();
+        let mut outcome = SessionDeltaOutcome {
+            effective_additions: eff_added.len(),
+            effective_removals: eff_removed.len(),
+            ..SessionDeltaOutcome::default()
+        };
+        if eff_added.is_empty() && eff_removed.is_empty() {
+            return outcome;
+        }
+        let tau_free = eff_added
+            .iter()
+            .chain(&eff_removed)
+            .all(|(_, l, _)| *l != Label::Tau);
+        outcome.tau_touched = !tau_free;
+
+        // Pre-mutation capture: for a τ-free batch the retained closure is
+        // still the mutated process's closure, so the only weak rows that
+        // can change belong to states that τ-reach an edited source.  Their
+        // old action rows are recomputed here (cheaper than cloning the
+        // whole view) while the old process is still in hand.
+        let closure_live = self.closure.get().is_some();
+        let weak_live = self.view.get().is_some()
+            || self.weak_instance.get().is_some()
+            || self
+                .limited
+                .get_mut()
+                .expect("limited lock poisoned")
+                .is_some()
+            || self
+                .det
+                .get_mut()
+                .expect("det lock poisoned")
+                .automaton
+                .is_some()
+            || self
+                .partitions
+                .get_mut()
+                .expect("partitions lock poisoned")
+                .iter()
+                .any(|((notion, _), cell)| {
+                    !matches!(notion, Equivalence::Strong) && cell.get().is_some()
+                });
+        // Per-candidate weak successor rows (one Vec per action), snapshotted
+        // before the edit so the weak instance can be row-diffed after it.
+        type WeakRows = Vec<Vec<Vec<StateId>>>;
+        let pre_rows: Option<(Vec<StateId>, WeakRows)> = if tau_free && closure_live && weak_live {
+            let closure = self.closure.get().expect("closure checked live");
+            let mut sources: Vec<StateId> = eff_added
+                .iter()
+                .chain(&eff_removed)
+                .map(|&(f, _, _)| f)
+                .collect();
+            sources.sort_unstable();
+            sources.dedup();
+            let candidates: Vec<StateId> = self
+                .fsp
+                .state_ids()
+                .filter(|&p| sources.iter().any(|&s| closure.reaches(p, s)))
+                .collect();
+            let rows = candidates
+                .iter()
+                .map(|&p| {
+                    self.fsp
+                        .action_ids()
+                        .map(|a| weak_action_successors(&self.fsp, closure, p, a))
+                        .collect()
+                })
+                .collect();
+            Some((candidates, rows))
+        } else {
+            None
+        };
+
+        self.fsp.apply_edge_delta(additions, removals);
+
+        // Strong side: the Lemma 3.1 instance mirrors the direct relation
+        // edge for edge, so the effective sets map straight onto it.  The
+        // one wrinkle is a τ-edge appearing on a process that had none: the
+        // old instance has no τ label, so it (and its partitions) rebuild
+        // lazily instead.
+        let eps_label = self.fsp.num_actions();
+        let to_strong = |&(f, l, t): &(StateId, Label, StateId)| {
+            let label = match l {
+                Label::Act(a) => a.index(),
+                Label::Tau => eps_label,
+            };
+            (label, f.index(), t.index())
+        };
+        let strong_adds: Vec<(usize, usize, usize)> = eff_added.iter().map(to_strong).collect();
+        let strong_removes: Vec<(usize, usize, usize)> =
+            eff_removed.iter().map(to_strong).collect();
+        let threshold = incremental::default_threshold();
+        let strong_updated = if let Some(mut inst) = self.strong_instance.take() {
+            let fits = strong_adds
+                .iter()
+                .chain(&strong_removes)
+                .all(|&(l, _, _)| l < inst.num_labels());
+            if fits {
+                inst.apply_delta(&strong_adds, &strong_removes);
+                self.strong_instance
+                    .set(inst)
+                    .expect("strong instance slot just emptied");
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+
+        // Weak side: three fates.  `Dropped` — the closure changed (or was
+        // never built alongside live weak artifacts), rebuild lazily.
+        // `Valid` — no weak row changed, keep everything.  `Updated` — the
+        // view is respliced, the weak CSR takes the row diff, dependents
+        // are retained exactly where the proof allows.
+        #[derive(PartialEq)]
+        enum WeakFate {
+            Dropped,
+            Valid,
+            Updated,
+        }
+        let mut weak_adds: Vec<(usize, usize, usize)> = Vec::new();
+        let mut weak_removes: Vec<(usize, usize, usize)> = Vec::new();
+        let weak_fate = if !tau_free {
+            self.closure = OnceLock::new();
+            self.view = OnceLock::new();
+            self.weak_instance = OnceLock::new();
+            *self.limited.get_mut().expect("limited lock poisoned") = None;
+            let det = self.det.get_mut().expect("det lock poisoned");
+            outcome.arena_dropped = det.automaton.is_some();
+            *det = DetState::default();
+            WeakFate::Dropped
+        } else if let Some((candidates, old_rows)) = pre_rows {
+            let closure = self.closure.get().expect("closure retained");
+            let mut dirty: Vec<StateId> = Vec::new();
+            for (ci, &p) in candidates.iter().enumerate() {
+                let mut changed = false;
+                for a in self.fsp.action_ids() {
+                    let new_row = weak_action_successors(&self.fsp, closure, p, a);
+                    let old_row = &old_rows[ci][a.index()];
+                    if new_row != *old_row {
+                        changed = true;
+                        for &q in &new_row {
+                            if old_row.binary_search(&q).is_err() {
+                                weak_adds.push((a.index(), p.index(), q.index()));
+                            }
+                        }
+                        for &q in old_row {
+                            if new_row.binary_search(&q).is_err() {
+                                weak_removes.push((a.index(), p.index(), q.index()));
+                            }
+                        }
+                    }
+                }
+                if changed {
+                    dirty.push(p);
+                }
+            }
+            outcome.weak_rows_changed = dirty.len();
+            if dirty.is_empty() {
+                WeakFate::Valid
+            } else {
+                if let Some(view) = self.view.take() {
+                    let patched = view.patched(&self.fsp, closure, &dirty);
+                    self.view.set(patched).expect("view slot just emptied");
+                    outcome.view_patched = true;
+                }
+                if let Some(mut inst) = self.weak_instance.take() {
+                    inst.apply_delta(&weak_adds, &weak_removes);
+                    self.weak_instance
+                        .set(inst)
+                        .expect("weak instance slot just emptied");
+                }
+                *self.limited.get_mut().expect("limited lock poisoned") = None;
+                let det = self.det.get_mut().expect("det lock poisoned");
+                if let Some(auto) = det.automaton.as_ref() {
+                    let in_cone = backward_reach(&self.fsp, &eff_removed, &dirty);
+                    let affected = (0..auto.num_subsets()).any(|i| {
+                        let id = u32::try_from(i).expect("arena ids are u32");
+                        auto.subset(id).iter().any(|&s| in_cone[s as usize])
+                    });
+                    if affected {
+                        outcome.arena_dropped = true;
+                        *det = DetState::default();
+                    }
+                }
+                WeakFate::Updated
+            }
+        } else {
+            // τ-free with no live weak artifacts (or none derivable — the
+            // closure was never built): nothing weak exists to repair.
+            WeakFate::Valid
+        };
+
+        // Partition memo: delta-refine what the instances can certify, keep
+        // what the weak fate proves untouched, drop the rest for lazy
+        // recomputation.  Cells are rebuilt rather than mutated — the memo
+        // is single-flight per cell, and `&mut self` guarantees no reader.
+        let map = self.partitions.get_mut().expect("partitions lock poisoned");
+        let old_cells = std::mem::take(map);
+        for ((notion, alg), cell) in old_cells {
+            let Some(prev) = cell.get().cloned() else {
+                continue; // never computed: drop the empty cell
+            };
+            let replacement: Option<Partition> = match notion {
+                Equivalence::Strong => {
+                    if strong_updated {
+                        let inst = self.strong_instance.get().expect("updated in place");
+                        let (next, _path) = incremental::refine_delta(
+                            inst,
+                            &prev,
+                            &strong_adds,
+                            &strong_removes,
+                            alg,
+                            threshold,
+                        );
+                        Some(next)
+                    } else {
+                        None
+                    }
+                }
+                // Level 0 of `≈ₖ` is the extension-set partition — edge
+                // edits cannot touch it.
+                Equivalence::KObservational(0) => {
+                    map.insert((notion, alg), cell);
+                    continue;
+                }
+                Equivalence::Observational => match weak_fate {
+                    WeakFate::Valid => {
+                        map.insert((notion, alg), cell);
+                        continue;
+                    }
+                    WeakFate::Updated if self.weak_instance.get().is_some() => {
+                        let inst = self.weak_instance.get().expect("updated in place");
+                        let (next, _path) = incremental::refine_delta(
+                            inst,
+                            &prev,
+                            &weak_adds,
+                            &weak_removes,
+                            alg,
+                            threshold,
+                        );
+                        Some(next)
+                    }
+                    _ => None,
+                },
+                _ => match weak_fate {
+                    WeakFate::Valid => {
+                        map.insert((notion, alg), cell);
+                        continue;
+                    }
+                    _ => None,
+                },
+            };
+            if let Some(next) = replacement {
+                let fresh: PartitionCell = Arc::default();
+                fresh
+                    .set(Arc::new(next))
+                    .expect("freshly created partition cell");
+                map.insert((notion, alg), fresh);
+                outcome.partitions_delta_refined += 1;
+            }
+        }
+        outcome
+    }
+
     /// Heap bytes held by the session's subset arena (0 until some PSPACE
     /// query builds it) — the determinization share of
     /// [`EquivSession::approx_resident_bytes`], exposed for the `mem`
@@ -652,8 +1032,10 @@ impl EquivSession {
 
     /// Resident size of the session in bytes: the process itself plus every
     /// cache the session has materialized so far, each measured from its
-    /// live container capacities (`resident_bytes` on the artifact).  Used
-    /// by the `ccs-server` registry for LRU byte accounting and by the `mem`
+    /// live container capacities (`resident_bytes` on the artifact).  The
+    /// instance figures include any pending-delta edge buffers a recent
+    /// [`EquivSession::apply_delta`] left unmerged.  Used by the
+    /// `ccs-server` registry for LRU byte accounting and by the `mem`
     /// report table.  Allocator slack and per-allocation headers are not
     /// counted, so the figure is a measured lower bound on allocator truth —
     /// but an honest count of what the structures hold, not an element-count
@@ -697,6 +1079,37 @@ impl EquivSession {
         }
         bytes
     }
+}
+
+/// Characteristic vector of the backward reachability cone of `seeds`
+/// under the union of the current (post-mutation) transition relation and
+/// the `extra` edges — the removed ones, so the cone covers the old and
+/// the new graph at once.  Its complement is successor-closed in both
+/// graphs, which is what lets `apply_delta` keep subset-arena entries
+/// whose members all live outside it.
+fn backward_reach(fsp: &Fsp, extra: &[(StateId, Label, StateId)], seeds: &[StateId]) -> Vec<bool> {
+    let n = fsp.num_states();
+    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for (f, _, t) in fsp.all_transitions() {
+        preds[t.index()].push(f);
+    }
+    for &(f, _, t) in extra {
+        preds[t.index()].push(f);
+    }
+    let mut in_cone = vec![false; n];
+    let mut stack: Vec<StateId> = seeds.to_vec();
+    for &s in seeds {
+        in_cone[s.index()] = true;
+    }
+    while let Some(q) = stack.pop() {
+        for &p in &preds[q.index()] {
+            if !in_cone[p.index()] {
+                in_cone[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    in_cone
 }
 
 #[cfg(test)]
@@ -1008,5 +1421,185 @@ mod tests {
         session.classify_all(Equivalence::Observational);
         session.classify_all(Equivalence::Language);
         assert!(session.approx_resident_bytes() > fresh);
+    }
+
+    /// Resolves an edge triple by name; `None` is a τ-label.
+    fn edge(f: &Fsp, from: &str, act: Option<&str>, to: &str) -> (StateId, Label, StateId) {
+        let label = match act {
+            Some(a) => Label::Act(f.action_id(a).expect("known action")),
+            None => Label::Tau,
+        };
+        (
+            f.state_by_name(from).expect("known state"),
+            label,
+            f.state_by_name(to).expect("known state"),
+        )
+    }
+
+    /// Every notion the session answers after a delta must agree with a
+    /// session built fresh over the mutated process.
+    fn assert_matches_fresh(session: &EquivSession) {
+        let fresh = EquivSession::for_process(session.fsp());
+        for notion in [
+            Equivalence::Strong,
+            Equivalence::Observational,
+            Equivalence::KObservational(1),
+            Equivalence::Language,
+        ] {
+            assert_eq!(
+                session.classify_all(notion).as_ref(),
+                fresh.classify_all(notion).as_ref(),
+                "{notion} diverged from a fresh session"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_fresh_sessions_across_notions() {
+        let f = format::parse(
+            "trans p tau q\ntrans q a r\ntrans s a t\ntrans u b v\ntrans w b x\naccept r t v x",
+        )
+        .unwrap();
+        let mut session = EquivSession::for_process(&f);
+        // Warm every cache family before the first edit.
+        session.classify_all(Equivalence::Strong);
+        session.classify_all(Equivalence::Observational);
+        session.classify_all(Equivalence::Language);
+        type EdgeSpec<'a> = Vec<(&'a str, Option<&'a str>, &'a str)>;
+        let batches: [(EdgeSpec, EdgeSpec); 4] = [
+            (vec![("w", Some("b"), "v")], vec![]),
+            (vec![("p", Some("a"), "r")], vec![("u", Some("b"), "v")]),
+            (vec![("s", None, "p")], vec![]), // τ-touching batch
+            (vec![], vec![("s", None, "p"), ("w", Some("b"), "v")]),
+        ];
+        for (adds, removes) in batches {
+            let resolve = |specs: &[(&str, Option<&str>, &str)]| {
+                specs
+                    .iter()
+                    .map(|&(a, l, b)| edge(session.fsp(), a, l, b))
+                    .collect::<Vec<_>>()
+            };
+            let (adds, removes) = (resolve(&adds), resolve(&removes));
+            session.apply_delta(&adds, &removes);
+            assert_matches_fresh(&session);
+        }
+    }
+
+    #[test]
+    fn tau_free_delta_keeps_the_closure_and_the_remote_arena() {
+        // Region A (a0..b1) answers the language query; region B (u, v, w)
+        // is disjoint and absorbs the edit.
+        let f = format::parse(
+            "trans a0 tau a1\ntrans a1 x a2\ntrans b0 x b1\n\
+             trans u y v\ntrans v y w\naccept a2 b1 w",
+        )
+        .unwrap();
+        let mut session = EquivSession::for_process(&f);
+        let (a0, b0) = (
+            f.state_by_name("a0").unwrap(),
+            f.state_by_name("b0").unwrap(),
+        );
+        assert!(session.equivalent_states(a0, b0, Equivalence::Language));
+        assert_eq!(session.closure_builds(), 1);
+        let steps = session.subset_steps_computed();
+        assert!(steps > 0);
+
+        let outcome = session.apply_delta(&[edge(session.fsp(), "v", Some("y"), "u")], &[]);
+        assert!(!outcome.tau_touched);
+        assert_eq!(outcome.effective_additions, 1);
+        assert_eq!(outcome.weak_rows_changed, 1, "only v's y-row changes");
+        assert!(outcome.view_patched, "the cached view is respliced");
+        assert!(
+            !outcome.arena_dropped,
+            "no interned subset reaches the edited region"
+        );
+
+        // The previously-answered query costs nothing new: same verdict,
+        // no closure rebuild, no fresh subset exploration.
+        assert!(session.equivalent_states(a0, b0, Equivalence::Language));
+        assert_eq!(session.closure_builds(), 1, "τ-closure survived the delta");
+        assert_eq!(
+            session.subset_steps_computed(),
+            steps,
+            "retained arena re-answers without re-exploring"
+        );
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn tau_touching_delta_rebuilds_weak_artifacts_but_delta_refines_strong() {
+        let f = format::parse("trans p tau q\ntrans q a r\ntrans s a t\naccept r t").unwrap();
+        let mut session = EquivSession::for_process(&f);
+        session.classify_all(Equivalence::Strong);
+        session.classify_all(Equivalence::Observational);
+        assert_eq!(session.closure_builds(), 1);
+        let refinements = session.refinements_run();
+
+        let outcome = session.apply_delta(&[edge(session.fsp(), "s", None, "p")], &[]);
+        assert!(outcome.tau_touched);
+        assert_eq!(outcome.partitions_delta_refined, 1, "the strong partition");
+
+        // Strong answers from the delta-refined cell — no new refinement —
+        // while the weak side recomputes its closure lazily.
+        session.classify_all(Equivalence::Strong);
+        assert_eq!(session.refinements_run(), refinements);
+        assert_matches_fresh(&session);
+        assert_eq!(session.closure_builds(), 2, "τ-touching batch rebuilt ⇒ε");
+    }
+
+    #[test]
+    fn weakly_redundant_delta_retains_partitions_by_pointer() {
+        let f = format::parse("trans p tau q\ntrans q a r\naccept r").unwrap();
+        let mut session = EquivSession::for_process(&f);
+        let obs = session.classify_all(Equivalence::Observational);
+        let lang = session.classify_all(Equivalence::Language);
+        // p already weakly reaches r by `a` (τ then a): the direct edge
+        // changes no weak row.
+        let outcome = session.apply_delta(&[edge(session.fsp(), "p", Some("a"), "r")], &[]);
+        assert_eq!(outcome.weak_rows_changed, 0);
+        assert!(!outcome.view_patched);
+        assert!(!outcome.arena_dropped);
+        assert!(
+            Arc::ptr_eq(&obs, &session.classify_all(Equivalence::Observational)),
+            "weak-redundant batch keeps the observational partition object"
+        );
+        assert!(Arc::ptr_eq(
+            &lang,
+            &session.classify_all(Equivalence::Language)
+        ));
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn apply_delta_pending_buffers_show_up_in_resident_bytes() {
+        let f = format::parse("trans p a q\ntrans r a s\ntrans t a u").unwrap();
+        let mut session = EquivSession::for_process(&f);
+        session.classify_all(Equivalence::Strong);
+        let before = session.approx_resident_bytes();
+        // A class-redundant addition: the strong instance buffers it as a
+        // pending delta, which the byte accounting must include.
+        let outcome = session.apply_delta(&[edge(session.fsp(), "p", Some("a"), "s")], &[]);
+        assert_eq!(outcome.effective_additions, 1);
+        assert!(
+            session.approx_resident_bytes() > before,
+            "pending-delta buffers count toward the resident figure"
+        );
+        assert_matches_fresh(&session);
+    }
+
+    #[test]
+    fn noop_delta_leaves_the_session_untouched() {
+        let f = format::parse("trans p a q\ntrans q a r").unwrap();
+        let mut session = EquivSession::for_process(&f);
+        let strong = session.classify_all(Equivalence::Strong);
+        // Already present + never present: both edits are ineffective.
+        let present = edge(session.fsp(), "p", Some("a"), "q");
+        let absent = edge(session.fsp(), "p", Some("a"), "r");
+        let outcome = session.apply_delta(&[present], &[absent]);
+        assert_eq!(outcome, SessionDeltaOutcome::default());
+        assert!(Arc::ptr_eq(
+            &strong,
+            &session.classify_all(Equivalence::Strong)
+        ));
     }
 }

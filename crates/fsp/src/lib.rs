@@ -83,7 +83,7 @@ pub use builder::FspBuilder;
 pub use error::FspError;
 pub use label::{ActionId, Label, VarId};
 pub use model::{ModelClass, ModelProfile};
-pub use process::{Fsp, Transition};
+pub use process::{EdgeBatch, Fsp, Transition};
 pub use state::StateId;
 
 /// Name of the conventional acceptance variable of the *standard* model.

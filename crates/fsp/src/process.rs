@@ -8,6 +8,10 @@ use crate::model::ModelProfile;
 use crate::state::StateId;
 use crate::ACCEPT_VAR;
 
+/// A list of transitions as `(from, label, to)` triples — the currency of
+/// [`Fsp::apply_edge_delta`] and the session-level mutation path.
+pub type EdgeBatch = Vec<(StateId, Label, StateId)>;
+
 /// A single transition `(label, target)` out of some source state.
 ///
 /// The source state is implicit: transitions are stored per state and
@@ -374,6 +378,59 @@ impl Fsp {
     pub fn profile(&self) -> ModelProfile {
         crate::model::profile(self)
     }
+
+    /// Applies an edge batch in place — `removals` first, then `additions`,
+    /// so a transition named on both sides ends up present — and returns
+    /// the *effective* edits: the transitions genuinely inserted and
+    /// genuinely deleted (duplicates, already-present additions and absent
+    /// removals are silent no-ops).
+    ///
+    /// The per-state sorted/duplicate-free invariant and the transition
+    /// count are maintained; states, actions and variables are fixed — a
+    /// mutation can only rewire `Δ` over the existing alphabet, which is
+    /// what keeps downstream caches (τ-closures, saturated views) patchable
+    /// instead of disposable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge names an out-of-range state or action (the
+    /// process is untouched in that case).
+    pub fn apply_edge_delta(
+        &mut self,
+        additions: &[(StateId, Label, StateId)],
+        removals: &[(StateId, Label, StateId)],
+    ) -> (EdgeBatch, EdgeBatch) {
+        for &(from, label, to) in additions.iter().chain(removals) {
+            assert!(self.contains_state(from), "source state out of range");
+            assert!(self.contains_state(to), "target state out of range");
+            if let Label::Act(a) = label {
+                assert!(a.index() < self.actions.len(), "action out of range");
+            }
+        }
+        let mut removed = Vec::new();
+        for &(from, label, to) in removals {
+            if additions.contains(&(from, label, to)) {
+                // Re-added by the same batch: net no-op under removals-first.
+                continue;
+            }
+            let list = &mut self.states[from.index()].transitions;
+            if let Ok(pos) = list.binary_search(&Transition { label, target: to }) {
+                list.remove(pos);
+                self.num_transitions -= 1;
+                removed.push((from, label, to));
+            }
+        }
+        let mut added = Vec::new();
+        for &(from, label, to) in additions {
+            let list = &mut self.states[from.index()].transitions;
+            if let Err(pos) = list.binary_search(&Transition { label, target: to }) {
+                list.insert(pos, Transition { label, target: to });
+                self.num_transitions += 1;
+                added.push((from, label, to));
+            }
+        }
+        (added, removed)
+    }
 }
 
 impl fmt::Debug for Fsp {
@@ -519,6 +576,57 @@ mod tests {
         let dbg = format!("{f:?}");
         assert!(dbg.contains("sample"));
         assert!(dbg.contains("states"));
+    }
+
+    #[test]
+    fn apply_edge_delta_reports_effective_edits() {
+        let mut f = sample();
+        let s0 = f.state_by_name("s0").unwrap();
+        let s1 = f.state_by_name("s1").unwrap();
+        let s2 = f.state_by_name("s2").unwrap();
+        let a = f.action_id("a").unwrap();
+        let before = f.num_transitions();
+        let (added, removed) = f.apply_edge_delta(
+            &[
+                (s2, Label::Act(a), s0), // genuinely new
+                (s0, Label::Act(a), s1), // already present
+            ],
+            &[
+                (s1, Label::Tau, s2), // genuinely gone
+                (s2, Label::Tau, s0), // was never there
+            ],
+        );
+        assert_eq!(added, vec![(s2, Label::Act(a), s0)]);
+        assert_eq!(removed, vec![(s1, Label::Tau, s2)]);
+        assert_eq!(f.num_transitions(), before);
+        assert!(f.has_transition(s2, Label::Act(a), s0));
+        assert!(!f.has_transition(s1, Label::Tau, s2));
+        // Sorted/dedup invariant survives the in-place splices.
+        for s in f.state_ids() {
+            let ts = f.transitions(s);
+            assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn apply_edge_delta_lets_additions_win_over_removals() {
+        let mut f = sample();
+        let s0 = f.state_by_name("s0").unwrap();
+        let s1 = f.state_by_name("s1").unwrap();
+        let a = f.action_id("a").unwrap();
+        let edge = (s0, Label::Act(a), s1);
+        let (added, removed) = f.apply_edge_delta(&[edge], &[edge]);
+        assert!(added.is_empty());
+        assert!(removed.is_empty());
+        assert!(f.has_transition(s0, Label::Act(a), s1));
+    }
+
+    #[test]
+    #[should_panic(expected = "target state out of range")]
+    fn apply_edge_delta_checks_state_ranges() {
+        let mut f = sample();
+        let s0 = f.state_by_name("s0").unwrap();
+        f.apply_edge_delta(&[(s0, Label::Tau, StateId::from_index(99))], &[]);
     }
 
     #[test]

@@ -377,6 +377,66 @@ impl SaturatedView {
             .filter(move |&c| !self.column(p, c).is_empty())
             .map(ActionId::from_index)
     }
+
+    /// Re-lays the view with the rows of `dirty` states recomputed from the
+    /// (already mutated) process and its (still valid) τ-closure, copying
+    /// every clean row's slices verbatim — the mutation-path alternative to
+    /// a full [`SaturatedView::build`] when an edge batch only perturbed a
+    /// few states' weak successor sets.
+    ///
+    /// The caller owns the soundness obligation: `dirty` must cover every
+    /// state whose weak successors could have changed (for a τ-free batch,
+    /// the backward τ-closure of the delta sources).  `fsp` and `closure`
+    /// must describe the same state and action alphabet the view was built
+    /// over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process shape diverges from the view or a dirty state
+    /// is out of range.
+    #[must_use]
+    pub fn patched(&self, fsp: &Fsp, closure: &TauClosure, dirty: &[StateId]) -> SaturatedView {
+        assert_eq!(fsp.num_states(), self.num_states, "state count diverged");
+        assert_eq!(fsp.num_actions(), self.num_actions, "action count diverged");
+        let k = self.num_actions;
+        let mut is_dirty = vec![false; self.num_states];
+        for &p in dirty {
+            is_dirty[p.index()] = true;
+        }
+        let narrow = |len: usize| {
+            u32::try_from(len).expect("weak edge count exceeds the 32-bit offset range")
+        };
+        let mut offsets = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u32);
+        let mut targets: Vec<StateId> = Vec::with_capacity(self.targets.len());
+        for (p, &p_dirty) in is_dirty.iter().enumerate() {
+            let sid = StateId::from_index(p);
+            if p_dirty {
+                for a in 0..k {
+                    targets.extend(weak_action_successors(
+                        fsp,
+                        closure,
+                        sid,
+                        ActionId::from_index(a),
+                    ));
+                    offsets.push(narrow(targets.len()));
+                }
+                targets.extend_from_slice(closure.successors(sid));
+                offsets.push(narrow(targets.len()));
+            } else {
+                for c in 0..=k {
+                    targets.extend_from_slice(self.column(sid, c));
+                    offsets.push(narrow(targets.len()));
+                }
+            }
+        }
+        SaturatedView {
+            num_states: self.num_states,
+            num_actions: k,
+            offsets,
+            targets,
+        }
+    }
 }
 
 /// A τ-saturated process: the observable FSP `P̂` over `Σ ∪ {ε}` of
@@ -648,6 +708,32 @@ mod tests {
         assert!(view.successors(q, a).is_empty());
         assert_eq!(view.epsilon_successors(q), &[q]);
         assert!(view.weakly_enabled(q).next().is_none());
+    }
+
+    #[test]
+    fn patched_view_matches_a_full_rebuild() {
+        let mut f = sample();
+        let cl = tau_closure(&f);
+        let view = SaturatedView::build(&f, &cl);
+        // A τ-free edit: s gains an observable edge back to p.  The weak
+        // rows of every state that τ-reaches a source (here: r ⇒ε s and s
+        // itself... plus p, q which reach nothing new — dirty must cover
+        // the backward τ-closure of the source s: {r, s}).
+        let s = f.state_by_name("s").unwrap();
+        let p = f.state_by_name("p").unwrap();
+        let r = f.state_by_name("r").unwrap();
+        let b = f.action_id("b").unwrap();
+        f.apply_edge_delta(&[(s, Label::Act(b), p)], &[]);
+        let patched = view.patched(&f, &cl, &[r, s]);
+        assert_eq!(patched, SaturatedView::build(&f, &cl));
+    }
+
+    #[test]
+    fn patched_view_with_no_dirty_states_is_identical() {
+        let f = sample();
+        let cl = tau_closure(&f);
+        let view = SaturatedView::build(&f, &cl);
+        assert_eq!(view.patched(&f, &cl, &[]), view);
     }
 
     #[test]

@@ -225,6 +225,95 @@ impl LabeledGraph {
         }
         layout(self.num_elements, self.num_labels, &merged)
     }
+
+    /// Returns a new graph with `removals` deleted and `additions` merged in,
+    /// in one relayout: removals are applied first, then additions (so an
+    /// edge named in both ends up present).  Like
+    /// [`LabeledGraph::merged_with`], the existing edge list is never
+    /// re-sorted — removals are dropped during the sorted CSR walk and
+    /// additions ride the same two-way merge, `O(m + p log p + r log r)` for
+    /// `p` additions and `r` removals.
+    ///
+    /// Removing an edge that is not present is a no-op, mirroring how adding
+    /// a duplicate edge is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge mentions an out-of-range label or element.
+    #[must_use]
+    pub fn edited_with(
+        &self,
+        additions: &[(usize, usize, usize)],
+        removals: &[(usize, usize, usize)],
+    ) -> LabeledGraph {
+        let pack = |edges: &[(usize, usize, usize)]| -> Vec<Edge> {
+            let mut packed: Vec<Edge> = edges
+                .iter()
+                .map(|&(l, from, to)| {
+                    assert!(l < self.num_labels, "label out of range");
+                    assert!(from < self.num_elements, "source element out of range");
+                    assert!(to < self.num_elements, "target element out of range");
+                    (
+                        LabelId::from_index(l),
+                        StateId::from_index(from),
+                        StateId::from_index(to),
+                    )
+                })
+                .collect();
+            packed.sort_unstable();
+            packed.dedup();
+            packed
+        };
+        let gone = pack(removals);
+        let fresh = pack(additions);
+        let mut merged = Vec::with_capacity(self.num_edges + fresh.len());
+        let mut old = self
+            .packed_edges()
+            .filter(|e| gone.binary_search(e).is_err())
+            .peekable();
+        let mut new = fresh.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        merged.push(a);
+                        old.next();
+                    } else if b < a {
+                        merged.push(b);
+                        new.next();
+                    } else {
+                        merged.push(a);
+                        old.next();
+                        new.next();
+                    }
+                }
+                (Some(&a), None) => {
+                    merged.push(a);
+                    old.next();
+                }
+                (None, Some(&b)) => {
+                    merged.push(b);
+                    new.next();
+                }
+                (None, None) => break,
+            }
+        }
+        layout(self.num_elements, self.num_labels, &merged)
+    }
+
+    /// Whether `to ∈ fₗ(from)` — a binary search over the sorted successor
+    /// slice, `O(log c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label`, `from` or `to` is out of range.
+    #[must_use]
+    pub fn has_edge(&self, label: usize, from: usize, to: usize) -> bool {
+        assert!(to < self.num_elements, "target element out of range");
+        self.successors(label, from)
+            .binary_search(&StateId::from_index(to))
+            .is_ok()
+    }
 }
 
 /// Lays out a sorted, duplicate-free edge list as a [`LabeledGraph`] in
@@ -569,6 +658,54 @@ mod tests {
     fn merged_with_checks_ranges() {
         let g = LabeledGraph::empty(2, 1);
         let _ = g.merged_with(&[(0, 0, 2)]);
+    }
+
+    #[test]
+    fn edited_with_agrees_with_a_full_rebuild() {
+        let mut b = GraphBuilder::new(5, 2);
+        b.extend_edges([(0, 0, 1), (0, 2, 3), (1, 4, 0), (1, 1, 1)]);
+        let base = b.build();
+        let additions = [(0, 0, 4), (0, 2, 2), (0, 0, 4)];
+        let removals = [(0, 2, 3), (1, 4, 0), (1, 2, 2)]; // last one absent: no-op
+        let edited = base.edited_with(&additions, &removals);
+
+        let mut full = GraphBuilder::new(5, 2);
+        full.extend_edges([(0, 0, 1), (1, 1, 1), (0, 0, 4), (0, 2, 2)]);
+        assert_eq!(edited, full.build());
+        assert_eq!(edited.num_edges(), 4);
+        assert!(edited.predecessors(0, 3).is_empty());
+        assert_eq!(edited.successors(0, 0), &[s(1), s(4)]);
+    }
+
+    #[test]
+    fn edited_with_lets_additions_win_over_removals() {
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 0, 1);
+        let g = b.build();
+        // Removals apply first, additions second: the edge survives.
+        let edited = g.edited_with(&[(0, 0, 1)], &[(0, 0, 1)]);
+        assert_eq!(edited, g);
+        // Pure removal of everything leaves the empty graph.
+        assert_eq!(g.edited_with(&[], &[(0, 0, 1)]), LabeledGraph::empty(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "source element out of range")]
+    fn edited_with_checks_removal_ranges() {
+        let g = LabeledGraph::empty(2, 1);
+        let _ = g.edited_with(&[], &[(0, 2, 0)]);
+    }
+
+    #[test]
+    fn has_edge_matches_the_successor_lists() {
+        let mut b = GraphBuilder::new(4, 2);
+        b.extend_edges([(0, 0, 1), (0, 0, 3), (1, 2, 0)]);
+        let g = b.build();
+        assert!(g.has_edge(0, 0, 1));
+        assert!(g.has_edge(0, 0, 3));
+        assert!(g.has_edge(1, 2, 0));
+        assert!(!g.has_edge(0, 0, 2));
+        assert!(!g.has_edge(1, 0, 1));
     }
 
     #[test]

@@ -153,6 +153,80 @@ impl Instance {
         self.pending.reserve(additional);
     }
 
+    /// Applies a whole edge batch — removals first, then additions — as one
+    /// first-class mutation.
+    ///
+    /// This is the batched sibling of [`Instance::add_edge`], and the entry
+    /// point the incremental engine
+    /// ([`DeltaRefiner`](crate::incremental::DeltaRefiner)) drives.  The
+    /// whole batch collapses into at most **one** relayout however many
+    /// edges it carries: a pure-addition batch just extends the pending
+    /// list (merged lazily by the next query, exactly like `add_edge`),
+    /// while a batch with removals folds `base ∪ pending` and the edits
+    /// into a single [`LabeledGraph::edited_with`] pass — it never pays one
+    /// merge per edge.
+    ///
+    /// Removing an absent edge is a no-op, mirroring duplicate additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge mentions an out-of-range label or element.
+    pub fn apply_delta(
+        &mut self,
+        additions: &[(usize, usize, usize)],
+        removals: &[(usize, usize, usize)],
+    ) {
+        for &(label, from, to) in additions.iter().chain(removals) {
+            assert!(label < self.num_labels(), "label out of range");
+            assert!(from < self.num_elements(), "source element out of range");
+            assert!(to < self.num_elements(), "target element out of range");
+        }
+        if removals.is_empty() {
+            if let Some(merged) = self.merged.take() {
+                self.base = merged;
+                self.pending.clear();
+            }
+            self.pending.extend_from_slice(additions);
+        } else {
+            // Removals force a relayout; collapse pending edges into the
+            // same single `edited_with` pass instead of merging them first.
+            let edited = if self.pending.is_empty() {
+                self.base.edited_with(additions, removals)
+            } else {
+                let mut combined = self.pending.clone();
+                combined.extend_from_slice(additions);
+                // A pending edge may itself be removed by this batch;
+                // removals-first ordering means a pending edge named only in
+                // `removals` must not survive, while one re-added here does.
+                // `edited_with` applies removals before additions, so feeding
+                // pending through the additions side keeps exactly the
+                // re-added ones — *except* pending edges absent from
+                // `additions` that are also being removed, which must drop.
+                let doomed: Vec<(usize, usize, usize)> = removals
+                    .iter()
+                    .copied()
+                    .filter(|e| !additions.contains(e))
+                    .collect();
+                combined.retain(|e| !doomed.contains(e));
+                self.base.edited_with(&combined, removals)
+            };
+            self.base = edited;
+            self.pending.clear();
+            self.merged = OnceLock::new();
+        }
+    }
+
+    /// Whether `to ∈ fₗ(from)` — a binary search over the sorted successor
+    /// slice, `O(log c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label`, `from` or `to` is out of range.
+    #[must_use]
+    pub fn has_edge(&self, label: usize, from: usize, to: usize) -> bool {
+        self.graph().has_edge(label, from, to)
+    }
+
     /// The flat CSR view of the relations: the base layout when nothing is
     /// pending, otherwise the lazily merged `base ∪ pending`.
     #[must_use]
@@ -351,6 +425,108 @@ mod tests {
                 "round {i}"
             );
         }
+    }
+
+    #[test]
+    fn apply_delta_matches_batch_construction() {
+        let mut inst = Instance::new(5, 2);
+        inst.add_edge(0, 0, 1);
+        inst.add_edge(0, 1, 2);
+        inst.add_edge(1, 2, 3);
+        inst.apply_delta(&[(0, 3, 4), (1, 4, 0)], &[(0, 1, 2), (1, 0, 0)]);
+        let mut fresh = Instance::new(5, 2);
+        for (l, f, t) in [(0, 0, 1), (1, 2, 3), (0, 3, 4), (1, 4, 0)] {
+            fresh.add_edge(l, f, t);
+        }
+        assert_eq!(inst, fresh);
+        assert!(inst.has_edge(0, 3, 4));
+        assert!(!inst.has_edge(0, 1, 2));
+    }
+
+    #[test]
+    fn apply_delta_lets_additions_win_over_removals() {
+        let mut inst = Instance::new(3, 1);
+        inst.add_edge(0, 0, 1);
+        // The same edge named on both sides: removals first, so it survives.
+        inst.apply_delta(&[(0, 0, 1), (0, 1, 2)], &[(0, 0, 1)]);
+        assert!(inst.has_edge(0, 0, 1));
+        assert!(inst.has_edge(0, 1, 2));
+        assert_eq!(inst.num_edges(), 2);
+    }
+
+    #[test]
+    fn apply_delta_removes_pending_edges_too() {
+        // An edge still sitting in the pending list (never laid out) must be
+        // just as removable as one already in the base CSR.
+        let mut inst = Instance::new(4, 1);
+        inst.add_edge(0, 0, 1);
+        let _ = inst.graph(); // lay out the base
+        inst.add_edge(0, 1, 2); // pending only
+        inst.add_edge(0, 2, 3); // pending only
+        inst.apply_delta(&[(0, 3, 0)], &[(0, 1, 2), (0, 0, 1)]);
+        let mut fresh = Instance::new(4, 1);
+        fresh.add_edge(0, 2, 3);
+        fresh.add_edge(0, 3, 0);
+        assert_eq!(inst, fresh);
+    }
+
+    /// Regression test for repeated solve/mutate/solve cycles: each query
+    /// after a mutation must pay exactly one sorted merge over the edges of
+    /// that batch (the previous merged layout is promoted to the base, so
+    /// chains of batches never re-merge already-merged edges), and the
+    /// result must stay identical to a from-scratch build at every step.
+    #[test]
+    fn repeated_solve_mutate_solve_cycles_stay_incremental() {
+        use crate::{solve, Algorithm};
+        let n = 16;
+        let mut inst = Instance::new(n, 2);
+        let mut live: Vec<(usize, usize, usize)> = Vec::new();
+        for round in 0..10 {
+            let adds = [
+                (round % 2, round % n, (round + 1) % n),
+                ((round + 1) % 2, (round + 3) % n, round % n),
+            ];
+            let removals: Vec<(usize, usize, usize)> = if round % 3 == 2 {
+                vec![live[round / 3]]
+            } else {
+                Vec::new()
+            };
+            inst.apply_delta(&adds, &removals);
+            live.retain(|e| !removals.contains(e));
+            for e in adds {
+                if !live.contains(&e) {
+                    live.push(e);
+                }
+            }
+            // After a removal batch the pending list must be folded away —
+            // the next query sees the base directly, no merge at all.
+            if !removals.is_empty() {
+                assert!(inst.pending.is_empty(), "round {round}");
+            } else {
+                // Addition batches stay pending until a query merges them,
+                // and the previous round's merge was promoted to the base:
+                // only this batch's edges are pending.
+                assert!(inst.pending.len() <= adds.len(), "round {round}");
+            }
+            let mut fresh = Instance::new(n, 2);
+            for &(l, f, t) in &live {
+                fresh.add_edge(l, f, t);
+            }
+            let solved = solve(&inst, Algorithm::KanellakisSmolka);
+            assert_eq!(inst.graph(), fresh.graph(), "round {round}");
+            assert_eq!(
+                solved,
+                solve(&fresh, Algorithm::PaigeTarjan),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source element out of range")]
+    fn apply_delta_checks_removal_ranges() {
+        let mut inst = Instance::new(2, 1);
+        inst.apply_delta(&[], &[(0, 9, 0)]);
     }
 
     #[test]

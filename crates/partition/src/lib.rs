@@ -88,6 +88,7 @@ pub mod dfa_equiv;
 pub mod graph;
 pub mod hopcroft;
 pub mod ids;
+pub mod incremental;
 mod instance;
 pub mod kanellakis_smolka;
 pub mod naive;
@@ -99,6 +100,7 @@ mod union_find;
 pub use dfa::Dfa;
 pub use graph::{GraphBuilder, LabeledGraph};
 pub use ids::{BlockId, IdOverflow, LabelId, StateId};
+pub use incremental::{DeltaPath, DeltaRefiner, DeltaStats, EdgeDelta};
 pub use instance::Instance;
 pub use partition::Partition;
 pub use union_find::UnionFind;

@@ -159,6 +159,30 @@ fn demo(addr: &str) -> Result<(), ClientError> {
         )));
     }
 
+    // Mutate the τ process in place: drop the τ prefix and wire p straight
+    // to r by `a`.  Same handle, and the strong verdict flips — p and s now
+    // both do exactly one `a` into a dead state.
+    let (added, removed) = client.mutate(&tau.session, &[("p", "a", "r")], &[("p", "tau", "q")])?;
+    println!("  mutate on {}: +{added} -{removed}", tau.session);
+    if (added, removed) != (1, 1) {
+        return Err(ClientError::Protocol(format!(
+            "mutate should apply 1 addition and 1 removal, got +{added} -{removed}"
+        )));
+    }
+    if !client.pair(&tau.session, "strong", "p", "s")? {
+        return Err(ClientError::Protocol(
+            "after the mutation p and s should be strongly equivalent".to_owned(),
+        ));
+    }
+    match client.mutate(&tau.session, &[("p", "zap", "q")], &[]) {
+        Err(ClientError::Server { code, .. }) if code == "bad-request" => {}
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "mutating an unknown action should be a bad-request, got {other:?}"
+            )))
+        }
+    }
+
     // A CCS star expression through the representative construction; its
     // anonymous states answer to their reported `s<i>` labels.
     let expr = client.open_ccs("(a+b).c")?;

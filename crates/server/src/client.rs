@@ -276,6 +276,41 @@ impl Client {
             .collect()
     }
 
+    /// Applies an edge delta to a live session in place: each entry is a
+    /// `(from, label, to)` name triple, with `"tau"` naming the silent
+    /// action.  Returns `(added, removed)` — the edits that actually took
+    /// effect.  The handle and every cache the delta does not invalidate
+    /// survive on the server.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; unknown state or action names arrive as code
+    /// `bad-request`.
+    pub fn mutate(
+        &mut self,
+        session: &str,
+        add: &[(&str, &str, &str)],
+        remove: &[(&str, &str, &str)],
+    ) -> Result<(usize, usize), ClientError> {
+        let edges = |list: &[(&str, &str, &str)]| {
+            Json::Arr(
+                list.iter()
+                    .map(|&(f, l, t)| Json::Arr(vec![Json::str(f), Json::str(l), Json::str(t)]))
+                    .collect(),
+            )
+        };
+        let response = self.call(&Json::obj([
+            ("op", Json::str("mutate")),
+            ("session", Json::str(session)),
+            ("add", edges(add)),
+            ("remove", edges(remove)),
+        ]))?;
+        Ok((
+            field_usize(&response, "added")?,
+            field_usize(&response, "removed")?,
+        ))
+    }
+
     /// Closes a session; `true` if the server still held it.
     ///
     /// # Errors

@@ -19,7 +19,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use ccs_equiv::{EquivError, EquivSession, Equivalence};
-use ccs_fsp::{format, Fsp, StateId};
+use ccs_fsp::{format, Fsp, Label, StateId};
 
 use crate::batch::Coalescer;
 use crate::json::{self, Json};
@@ -115,11 +115,12 @@ impl Service {
             "pair" => self.op_pair(request),
             "classify" => self.op_classify(request),
             "partition" => self.op_partition(request),
+            "mutate" => self.op_mutate(request),
             "close" => self.op_close(request),
             "stats" => Ok(self.op_stats()),
             other => Err(EquivError::bad_request(format!(
                 "unknown op {other:?} (expected one of: ping, open, pair, classify, \
-                 partition, close, stats)"
+                 partition, mutate, close, stats)"
             ))),
         }
     }
@@ -237,6 +238,30 @@ impl Service {
         ]))
     }
 
+    fn op_mutate(&self, request: &Json) -> Result<Json, EquivError> {
+        let id = str_field(request, "session")?.to_owned();
+        let session = self.registry.get(&id)?;
+        let additions = edge_list(&session, request, "add")?;
+        let removals = edge_list(&session, request, "remove")?;
+        // Unshare before mutating so the registry can apply the delta in
+        // place instead of swapping in a rebuilt session.
+        drop(session);
+        let outcome = self.registry.mutate(&id, &additions, &removals)?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("added", as_num(outcome.effective_additions)),
+            ("removed", as_num(outcome.effective_removals)),
+            ("tau_touched", Json::Bool(outcome.tau_touched)),
+            ("weak_rows_changed", as_num(outcome.weak_rows_changed)),
+            ("view_patched", Json::Bool(outcome.view_patched)),
+            ("arena_dropped", Json::Bool(outcome.arena_dropped)),
+            (
+                "partitions_delta_refined",
+                as_num(outcome.partitions_delta_refined),
+            ),
+        ]))
+    }
+
     fn op_close(&self, request: &Json) -> Result<Json, EquivError> {
         let id = str_field(request, "session")?;
         let closed = self.registry.close(id);
@@ -290,8 +315,10 @@ fn notion_field(request: &Json) -> Result<Equivalence, EquivError> {
 }
 
 fn state_field(session: &EquivSession, request: &Json, key: &str) -> Result<StateId, EquivError> {
-    let name = str_field(request, key)?;
-    let fsp = session.fsp();
+    resolve_state(session.fsp(), str_field(request, key)?)
+}
+
+fn resolve_state(fsp: &Fsp, name: &str) -> Result<StateId, EquivError> {
     if let Some(id) = fsp.state_by_name(name) {
         return Ok(id);
     }
@@ -306,6 +333,44 @@ fn state_field(session: &EquivSession, request: &Json, key: &str) -> Result<Stat
     Err(EquivError::bad_request(format!(
         "process has no state named {name:?}"
     )))
+}
+
+/// Parses a `mutate` edge list: an array of `[from, label, to]` name
+/// triples, where the label is an action name or `"tau"`.  A missing field
+/// is an empty list; a mutation rewires the existing state space and
+/// alphabet, so unknown names are rejected rather than interned.
+fn edge_list(
+    session: &EquivSession,
+    request: &Json,
+    key: &str,
+) -> Result<Vec<(StateId, Label, StateId)>, EquivError> {
+    let Some(value) = request.get(key) else {
+        return Ok(Vec::new());
+    };
+    let shape = || {
+        EquivError::bad_request(format!(
+            "field {key:?} must be an array of [from, label, to] name triples"
+        ))
+    };
+    let fsp = session.fsp();
+    value
+        .as_arr()
+        .ok_or_else(shape)?
+        .iter()
+        .map(|item| {
+            let triple = item.as_arr().filter(|t| t.len() == 3).ok_or_else(shape)?;
+            let part = |i: usize| triple[i].as_str().ok_or_else(shape);
+            let from = resolve_state(fsp, part(0)?)?;
+            let to = resolve_state(fsp, part(2)?)?;
+            let label = match part(1)? {
+                "tau" => Label::Tau,
+                name => Label::Act(fsp.action_id(name).ok_or_else(|| {
+                    EquivError::bad_request(format!("process has no action named {name:?}"))
+                })?),
+            };
+            Ok((from, label, to))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -354,6 +419,59 @@ mod tests {
         ));
         let value = json::parse(&response).unwrap();
         assert_eq!(value.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("unknown-session")
+        );
+    }
+
+    #[test]
+    fn mutate_rewires_a_live_session() {
+        let service = Service::default();
+        let id = open(
+            &service,
+            "trans p tau q\ntrans q a r\ntrans s a t\ntrans u a v",
+        );
+        // Before the edit, s and u are observationally equivalent to p.
+        let pair = |left: &str, right: &str| {
+            let value = json::parse(&service.handle_line(&format!(
+                r#"{{"op":"pair","session":"{id}","notion":"observational","left":"{left}","right":"{right}"}}"#
+            )))
+            .unwrap();
+            value.get("equivalent").and_then(Json::as_bool).unwrap()
+        };
+        assert!(pair("p", "s"));
+        // Rewire: s loses its a-edge to t and instead τ-steps to u.
+        let value = json::parse(&service.handle_line(&format!(
+            r#"{{"op":"mutate","session":"{id}","add":[["s","tau","u"]],"remove":[["s","a","t"]]}}"#
+        )))
+        .unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(true)), "{value:?}");
+        assert_eq!(value.get("added").and_then(Json::as_i64), Some(1));
+        assert_eq!(value.get("removed").and_then(Json::as_i64), Some(1));
+        assert_eq!(value.get("tau_touched"), Some(&Json::Bool(true)));
+        // Same handle, new answers: s still weakly does `a`, via u.
+        assert!(pair("p", "s"));
+        assert!(pair("s", "u"));
+
+        // Unknown names are rejected without touching the session.
+        for bad in [
+            format!(r#"{{"op":"mutate","session":"{id}","add":[["zz","a","p"]]}}"#),
+            format!(r#"{{"op":"mutate","session":"{id}","add":[["p","zap","q"]]}}"#),
+            format!(r#"{{"op":"mutate","session":"{id}","add":["p a q"]}}"#),
+        ] {
+            let value = json::parse(&service.handle_line(&bad)).unwrap();
+            assert_eq!(value.get("ok"), Some(&Json::Bool(false)), "{bad}");
+            assert_eq!(
+                value.get("code").and_then(Json::as_str),
+                Some("bad-request"),
+                "{bad}"
+            );
+        }
+        let value = json::parse(
+            &service.handle_line(r#"{"op":"mutate","session":"s999","add":[["p","a","q"]]}"#),
+        )
+        .unwrap();
         assert_eq!(
             value.get("code").and_then(Json::as_str),
             Some("unknown-session")

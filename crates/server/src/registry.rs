@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ccs_equiv::{EquivError, EquivSession};
-use ccs_fsp::Fsp;
+use ccs_equiv::{EquivError, EquivSession, SessionDeltaOutcome};
+use ccs_fsp::{Fsp, Label, StateId};
 
 /// Capacity limits for a [`Registry`].
 #[derive(Clone, Copy, Debug)]
@@ -161,6 +161,55 @@ impl Registry {
         }
     }
 
+    /// Applies an edge delta to the named session **in place** — the
+    /// `mutate` op.  The session keeps its handle and, via
+    /// [`EquivSession::apply_delta`], every cache the delta does not
+    /// invalidate (τ-closure, patched saturated view, delta-refined
+    /// partitions, untouched subset arena).
+    ///
+    /// `apply_delta` needs exclusive ownership; if connection threads still
+    /// hold clones of the `Arc`, a detached session is rebuilt over the
+    /// mutated process and swapped in — in-flight queries finish against
+    /// the pre-delta snapshot, later lookups see the new one.  This is the
+    /// one registry call that may do session work under the registry lock;
+    /// mutations are assumed rare next to queries.
+    ///
+    /// # Errors
+    ///
+    /// [`EquivError::UnknownSession`] if the handle was never issued, was
+    /// closed, or has been evicted.
+    pub fn mutate(
+        &self,
+        id: &str,
+        additions: &[(StateId, Label, StateId)],
+        removals: &[(StateId, Label, StateId)],
+    ) -> Result<SessionDeltaOutcome, EquivError> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        let mut entry = inner
+            .sessions
+            .remove(id)
+            .ok_or_else(|| EquivError::UnknownSession { id: id.to_owned() })?;
+        let outcome = match Arc::try_unwrap(entry.session) {
+            Ok(mut session) => {
+                let outcome = session.apply_delta(additions, removals);
+                entry.session = Arc::new(session);
+                outcome
+            }
+            Err(shared) => {
+                let mut session =
+                    EquivSession::with_algorithm(shared.fsp().clone(), shared.default_algorithm());
+                let outcome = session.apply_delta(additions, removals);
+                entry.session = Arc::new(session);
+                outcome
+            }
+        };
+        entry.touched = now;
+        inner.sessions.insert(id.to_owned(), entry);
+        Ok(outcome)
+    }
+
     /// Closes a session; `true` if it existed.
     pub fn close(&self, id: &str) -> bool {
         let mut inner = self.inner.lock().expect("registry lock poisoned");
@@ -261,6 +310,38 @@ mod tests {
         // Opening `b` must evict `a` (budget broken) but keep `b` itself.
         assert!(registry.get(&a).is_err());
         assert!(registry.get(&b).is_ok());
+    }
+
+    #[test]
+    fn mutate_rewires_a_session_in_place() {
+        let registry = Registry::with_defaults();
+        let (id, session) = registry.open(small_fsp(0));
+        let f = session.fsp().clone();
+        let (p, q) = (
+            f.state_by_name("p0").unwrap(),
+            f.state_by_name("q0").unwrap(),
+        );
+        let a = Label::Act(f.action_id("a").unwrap());
+        assert!(!session.equivalent_states(p, q, Equivalence::Strong));
+        // Unshare so the registry mutates in place, then make the two states
+        // symmetric: q0 gains a's and loses b's mirror.
+        drop(session);
+        let b = Label::Act(f.action_id("b").unwrap());
+        let outcome = registry
+            .mutate(&id, &[(q, a, p)], &[(q, b, p)])
+            .expect("live session");
+        assert_eq!(outcome.effective_additions, 1);
+        assert_eq!(outcome.effective_removals, 1);
+        let session = registry.get(&id).unwrap();
+        assert!(session.equivalent_states(p, q, Equivalence::Strong));
+        // A still-shared session is swapped, not blocked on.
+        let outcome = registry.mutate(&id, &[(q, b, p)], &[]).unwrap();
+        assert_eq!(outcome.effective_additions, 1);
+        assert!(!registry
+            .get(&id)
+            .unwrap()
+            .equivalent_states(p, q, Equivalence::Strong));
+        assert!(registry.mutate("nope", &[], &[]).is_err());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * [`queries`] — batched-query workloads (a shared process plus a list of
 //!   state pairs), the input shape of the `EquivSession` engine and the
 //!   `weak_pipeline` bench;
+//! * [`mutating_queries`] — base model × edit stream × query mix: disjoint
+//!   gadget copies with a seed-deterministic toggle sequence of
+//!   class-redundant and refining edits, at both the process level (for
+//!   `EquivSession::apply_delta` and the server's `mutate` op) and the
+//!   partition-kernel level (for `DeltaRefiner` and the DELTA report
+//!   table);
 //! * [`protocols`] — a documented distributed-protocols corpus
 //!   (alternating-bit, ring leader election, two-phase commit, plus broken
 //!   variants) with parallel components, hiding sets and observable
@@ -33,6 +39,7 @@
 
 pub mod families;
 pub mod instances;
+pub mod mutating_queries;
 pub mod protocols;
 pub mod queries;
 pub mod random;

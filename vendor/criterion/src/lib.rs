@@ -8,10 +8,12 @@
 //! `bench_function`, [`BenchmarkId`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros.
 //!
-//! Measurement is simple mean wall-clock timing (no outlier analysis, no
-//! saved baselines, no HTML report). `cargo bench -- --test` is honoured the
-//! same way real criterion honours it: every benchmark body runs exactly once
-//! so CI can smoke-test benches without paying for measurement.
+//! Measurement is simple wall-clock timing (no outlier analysis, no saved
+//! baselines, no HTML report), reported as `[min median mean]` per
+//! benchmark so a single outlier-skewed mean is visible at a glance.
+//! `cargo bench -- --test` is honoured the same way real criterion honours
+//! it: every benchmark body runs exactly once so CI can smoke-test benches
+//! without paying for measurement.
 
 #![forbid(unsafe_code)]
 
@@ -55,11 +57,22 @@ pub struct Bencher {
     measurement_time: Duration,
     /// Mean seconds per iteration, filled in by [`Bencher::iter`].
     mean_secs: f64,
+    /// Fastest observed iteration, filled in by [`Bencher::iter`].
+    min_secs: f64,
+    /// Median iteration over the recorded samples, filled in by
+    /// [`Bencher::iter`].
+    median_secs: f64,
     iterations: u64,
 }
 
+/// Per-iteration samples kept for the median; iterations beyond the cap
+/// still feed the mean and the min, so a nanosecond-scale routine cannot
+/// balloon memory during a long measurement phase.
+const MAX_RECORDED_SAMPLES: usize = 65_536;
+
 impl Bencher {
-    /// Calls `routine` repeatedly and records its mean wall-clock time.
+    /// Calls `routine` repeatedly and records its min, median and mean
+    /// wall-clock time.
     ///
     /// In `--test` mode the routine runs exactly once and nothing is timed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
@@ -74,13 +87,24 @@ impl Bencher {
         }
         let mut total = Duration::ZERO;
         let mut iterations = 0u64;
+        let mut min = f64::INFINITY;
+        let mut samples: Vec<f64> = Vec::new();
         while total < self.measurement_time || iterations < self.sample_size as u64 {
             let start = Instant::now();
             black_box(routine());
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            total += elapsed;
             iterations += 1;
+            let secs = elapsed.as_secs_f64();
+            min = min.min(secs);
+            if samples.len() < MAX_RECORDED_SAMPLES {
+                samples.push(secs);
+            }
         }
         self.mean_secs = total.as_secs_f64() / iterations as f64;
+        self.min_secs = min;
+        samples.sort_unstable_by(f64::total_cmp);
+        self.median_secs = samples[samples.len() / 2];
         self.iterations = iterations;
     }
 }
@@ -104,6 +128,8 @@ impl BenchmarkGroup<'_> {
             warm_up_time: self.criterion.warm_up_time,
             measurement_time: self.criterion.measurement_time,
             mean_secs: 0.0,
+            min_secs: 0.0,
+            median_secs: 0.0,
             iterations: 0,
         };
         if self.criterion.test_mode {
@@ -113,7 +139,9 @@ impl BenchmarkGroup<'_> {
         } else {
             f(&mut bencher);
             println!(
-                "{full_id:<50} time: {:>12}   ({} iterations)",
+                "{full_id:<50} time: [{:>11} {:>11} {:>11}]   (min/median/mean over {} iterations)",
+                format_secs(bencher.min_secs),
+                format_secs(bencher.median_secs),
                 format_secs(bencher.mean_secs),
                 bencher.iterations
             );
@@ -284,12 +312,32 @@ mod tests {
             warm_up_time: Duration::ZERO,
             measurement_time: Duration::ZERO,
             mean_secs: 0.0,
+            min_secs: 0.0,
+            median_secs: 0.0,
             iterations: 0,
         };
         let mut count = 0u64;
         b.iter(|| count += 1);
         assert!(b.iterations >= 3);
         assert_eq!(count, b.iterations);
+    }
+
+    #[test]
+    fn bencher_records_min_median_and_mean() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 8,
+            warm_up_time: Duration::ZERO,
+            measurement_time: Duration::ZERO,
+            mean_secs: 0.0,
+            min_secs: 0.0,
+            median_secs: 0.0,
+            iterations: 0,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.min_secs > 0.0);
+        assert!(b.min_secs <= b.median_secs, "median below the minimum");
+        assert!(b.min_secs <= b.mean_secs, "mean below the minimum");
     }
 
     #[test]
@@ -300,6 +348,8 @@ mod tests {
             warm_up_time: Duration::from_secs(1),
             measurement_time: Duration::from_secs(1),
             mean_secs: 0.0,
+            min_secs: 0.0,
+            median_secs: 0.0,
             iterations: 0,
         };
         let mut count = 0u64;
